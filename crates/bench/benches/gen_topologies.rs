@@ -1,0 +1,82 @@
+//! Criterion benches: topology generation throughput.
+//!
+//! These track the cost of building each family at the E6 comparison scale
+//! — generation must stay cheap enough for parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pd_geometry::Gbps;
+use pd_topology::gen::{
+    fat_tree, fatclique, flattened_butterfly, jellyfish, slimfly, xpander, FatCliqueParams,
+    FlattenedButterflyParams, JellyfishParams, SlimFlyParams, XpanderParams,
+};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(20);
+    g.bench_function("fat_tree_k16", |b| {
+        b.iter(|| fat_tree(black_box(16), Gbps::new(100.0)).unwrap())
+    });
+    g.bench_function("jellyfish_256x16", |b| {
+        b.iter(|| {
+            jellyfish(&JellyfishParams {
+                tors: 256,
+                network_degree: 16,
+                servers_per_tor: 16,
+                link_speed: Gbps::new(100.0),
+                seed: black_box(1),
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("xpander_d16_lift16", |b| {
+        b.iter(|| {
+            xpander(&XpanderParams {
+                network_degree: 16,
+                lift: 16,
+                servers_per_tor: 16,
+                link_speed: Gbps::new(100.0),
+                seed: black_box(1),
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("slimfly_q13", |b| {
+        b.iter(|| {
+            slimfly(&SlimFlyParams {
+                q: black_box(13),
+                servers_per_tor: 8,
+                link_speed: Gbps::new(100.0),
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("flattened_butterfly_9x9", |b| {
+        b.iter(|| {
+            flattened_butterfly(&FlattenedButterflyParams {
+                rows: 9,
+                cols: 9,
+                servers_per_tor: 16,
+                link_speed: Gbps::new(100.0),
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("fatclique_4x4x8", |b| {
+        b.iter(|| {
+            fatclique(&FatCliqueParams {
+                subclique_size: 4,
+                subcliques_per_clique: 4,
+                cliques: 8,
+                inter_clique_links: 16,
+                servers_per_tor: 16,
+                link_speed: Gbps::new(100.0),
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

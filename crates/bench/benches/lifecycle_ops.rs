@@ -1,0 +1,78 @@
+//! Criterion benches: lifecycle operations and the full evaluation.
+//!
+//! Expansion planning, repair simulation, schedule execution, ECMP routing,
+//! and the end-to-end `evaluate` call that every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pd_core::prelude::*;
+use pd_costing::{DeploymentPlan, Schedule, ScheduleParams};
+use pd_geometry::Hours;
+use pd_lifecycle::expansion::{clos_add_pods, ClosExpansionParams, IndirectionLevel};
+use pd_physical::{Hall, SlotId};
+use pd_topology::routing::{AllPairs, EcmpLoads};
+use std::hint::black_box;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifecycle");
+    g.sample_size(15);
+
+    g.bench_function("clos_expansion_plan_8to16", |b| {
+        let params = ClosExpansionParams {
+            old_pods: 8,
+            new_pods: 16,
+            aggs_per_pod: 8,
+            spines: 32,
+            spine_ports: 128,
+            indirection: IndirectionLevel::PatchPanel,
+            panel_slots: (0..8).map(SlotId).collect(),
+            pod_slots: (10..26).map(SlotId).collect(),
+            new_pod_slots: (30..62).map(SlotId).collect(),
+        };
+        let hall = Hall::new(HallSpec::default());
+        b.iter(|| {
+            clos_add_pods(black_box(&params))
+                .complexity(&hall, Hours::from_minutes(4.0), Hours::from_minutes(25.0))
+        })
+    });
+
+    let spec = DesignSpec::new(
+        "bench-ft",
+        TopologySpec::FatTree {
+            k: 8,
+            speed: Gbps::new(100.0),
+        },
+    );
+    let ev = evaluate(&spec).unwrap();
+
+    g.bench_function("ecmp_uniform_k8", |b| {
+        let ap = AllPairs::compute(&ev.network);
+        let tm = TrafficMatrix::uniform_servers(&ev.network, Gbps::new(1.0));
+        b.iter(|| EcmpLoads::compute(black_box(&ev.network), &ap, &tm))
+    });
+
+    g.bench_function("schedule_8_techs_k8", |b| {
+        let dp = DeploymentPlan::from_cabling(
+            &ev.network,
+            &ev.placement,
+            &ev.cabling,
+            Some(&ev.bundling),
+        );
+        let params = ScheduleParams::default();
+        b.iter(|| Schedule::run(black_box(&dp), &ev.hall, &params))
+    });
+
+    g.bench_function("evaluate_end_to_end_k6", |b| {
+        let small = DesignSpec::new(
+            "bench-e2e",
+            TopologySpec::FatTree {
+                k: 6,
+                speed: Gbps::new(100.0),
+            },
+        );
+        b.iter(|| evaluate(black_box(&small)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches: the physicalization pipeline stages.
+//!
+//! Placement, tray routing of a full cabling plan, bundling analysis, and
+//! the twin constraint sweep — the stages E6-style comparisons iterate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy, HarnessReport};
+use pd_geometry::Gbps;
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy, TrayNetwork};
+use pd_topology::gen::fat_tree;
+use pd_twin::check_design;
+use std::hint::black_box;
+
+fn setup() -> (pd_topology::Network, Hall) {
+    let net = fat_tree(8, Gbps::new(100.0)).unwrap();
+    let hall = Hall::new(HallSpec::default());
+    (net, hall)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (net, hall) = setup();
+    let profile = EquipmentProfile::default();
+    let policy = CablingPolicy::default();
+
+    let mut g = c.benchmark_group("physical");
+    g.sample_size(20);
+
+    g.bench_function("placement_block_local_k8", |b| {
+        b.iter(|| {
+            Placement::place(
+                black_box(&net),
+                &hall,
+                PlacementStrategy::BlockLocal,
+                &profile,
+            )
+            .unwrap()
+        })
+    });
+
+    let placement =
+        Placement::place(&net, &hall, PlacementStrategy::BlockLocal, &profile).unwrap();
+    g.bench_function("tray_network_build", |b| {
+        b.iter(|| TrayNetwork::build(black_box(&hall)))
+    });
+    g.bench_function("cabling_plan_k8", |b| {
+        b.iter(|| CablingPlan::build(black_box(&net), &hall, &placement, &policy))
+    });
+
+    let plan = CablingPlan::build(&net, &hall, &placement, &policy);
+    g.bench_function("bundling_analysis", |b| {
+        b.iter(|| BundlingReport::analyze(black_box(&plan), 4))
+    });
+    g.bench_function("harness_analysis", |b| {
+        b.iter(|| HarnessReport::analyze(black_box(&plan), &net, 4))
+    });
+    g.bench_function("twin_constraint_check", |b| {
+        b.iter(|| check_design(black_box(&net), &hall, &placement, &plan))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! The experiment runner.
+//!
+//! ```text
+//! experiments              # list experiments
+//! experiments e6           # run one
+//! experiments all          # run every experiment in order
+//! ```
+
+use pd_bench::{all_experiments, run_by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            println!("physnet experiments (see EXPERIMENTS.md):\n");
+            for (name, desc, _) in all_experiments() {
+                println!("  {name:<4} {desc}");
+            }
+            println!("\nusage: experiments <e1..e13 | all>");
+        }
+        Some("all") => {
+            for (name, _, f) in all_experiments() {
+                println!("\n{}\n{}", "═".repeat(72), f());
+                let _ = name;
+            }
+        }
+        Some(name) => match run_by_name(name) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment {name:?}; try `experiments list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,118 @@
+//! E2 — §3.1 \[10\]: AWS's cable-diameter story. "The 2.5 m cables they used
+//! within switch racks went from a 6.7 mm OD for 100Gbps to an 11 mm OD for
+//! 400Gbps … their cross-sectional area increases by 2.7X. Such cables are
+//! much harder (or impossible?) to fit into a rack full of switches (they
+//! report using 256 cables in a rack). Therefore, they switched to active
+//! electrical cables."
+//!
+//! Three tables: (1) the diameter/area progression, (2) rack-entry
+//! feasibility of 256 intra-rack cables per media generation, (3) the
+//! media-choice crossover by run length at each speed.
+
+use pd_cabling::{media::sku, CableCatalog, MediaClass};
+use pd_geometry::{Gbps, Meters, SquareMillimeters};
+
+/// AWS's cited intra-rack cable count.
+pub const CABLES_PER_RACK: usize = 256;
+
+/// Rack cable-entry area budget: one tray-drop's worth (the default hall's
+/// fully-provisioned segment).
+pub const RACK_ENTRY_AREA: SquareMillimeters = SquareMillimeters(24_000.0);
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("E2 — copper diameter growth and the AEC escape hatch (§3.1)\n\n");
+
+    out.push_str("media | speed | OD (mm) | area (mm²) | area vs 100G DAC\n");
+    out.push_str("------|-------|---------|------------|-----------------\n");
+    let dac100 = sku(MediaClass::DacCopper, Gbps::new(100.0)).expect("in catalog");
+    for (class, speed) in [
+        (MediaClass::DacCopper, 100.0),
+        (MediaClass::DacCopper, 200.0),
+        (MediaClass::DacCopper, 400.0),
+        (MediaClass::ActiveElectrical, 400.0),
+        (MediaClass::ActiveElectrical, 800.0),
+    ] {
+        let s = sku(class, Gbps::new(speed)).expect("in catalog");
+        out.push_str(&format!(
+            "{:>5} | {speed:>4}G | {:>7.1} | {:>10.1} | {:>15.2}x\n",
+            class.short(),
+            s.od.value(),
+            s.area().value(),
+            s.area().ratio(dac100.area()),
+        ));
+    }
+    let dac400 = sku(MediaClass::DacCopper, Gbps::new(400.0)).expect("in catalog");
+    out.push_str(&format!(
+        "\npaper says: 6.7 mm → 11 mm OD is a 2.7× area increase → we measure {:.2}×\n",
+        dac400.area().ratio(dac100.area())
+    ));
+
+    out.push_str(&format!(
+        "\nrack-entry feasibility for {CABLES_PER_RACK} cables (budget {:.0} mm²):\n",
+        RACK_ENTRY_AREA.value()
+    ));
+    out.push_str("media@speed | bundle area (mm²) | fill of entry | verdict\n");
+    out.push_str("------------|-------------------|---------------|--------\n");
+    for (class, speed) in [
+        (MediaClass::DacCopper, 100.0),
+        (MediaClass::DacCopper, 400.0),
+        (MediaClass::ActiveElectrical, 400.0),
+    ] {
+        let s = sku(class, Gbps::new(speed)).expect("in catalog");
+        let total = SquareMillimeters::new(s.area().value() * CABLES_PER_RACK as f64);
+        let fill = total.ratio(RACK_ENTRY_AREA);
+        out.push_str(&format!(
+            "{:>7}@{speed:<4} | {:>17.0} | {:>12.0}% | {}\n",
+            class.short(),
+            total.value(),
+            fill * 100.0,
+            if fill > 1.0 { "DOES NOT FIT" } else { "fits" },
+        ));
+    }
+
+    out.push_str("\nmedia choice by run length (cheapest feasible class):\n");
+    out.push_str("length (m) | 100G | 400G\n");
+    out.push_str("-----------|------|-----\n");
+    let cat = CableCatalog::default();
+    for len in [2.0, 3.0, 5.0, 10.0, 30.0, 100.0, 140.0] {
+        let pick = |speed: f64| {
+            cat.choose(Gbps::new(speed), Meters::new(len), 0, 0)
+                .map(|c| c.sku.class.short())
+                .unwrap_or("—")
+        };
+        out.push_str(&format!("{len:>10.0} | {:>4} | {:>4}\n", pick(100.0), pick(400.0)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_aws_area_ratio() {
+        let r = run();
+        assert!(r.contains("we measure 2.70×") || r.contains("we measure 2.69×"), "{r}");
+    }
+
+    #[test]
+    fn dac400_rack_does_not_fit_but_aec_does() {
+        let r = run();
+        let dac_line = r.lines().find(|l| l.contains("DAC@400")).unwrap();
+        assert!(dac_line.contains("DOES NOT FIT"), "{dac_line}");
+        let aec_line = r.lines().find(|l| l.contains("AEC@400")).unwrap();
+        assert!(aec_line.ends_with("fits"), "{aec_line}");
+    }
+
+    #[test]
+    fn crossover_structure_holds() {
+        let r = run();
+        // 2 m: copper at both speeds; 10 m: AEC infeasible at... 10 m
+        // exceeds AEC reach (7 m) → fiber; 140 m: SMF territory.
+        let at = |len: &str| r.lines().find(|l| l.trim_start().starts_with(len)).unwrap().to_string();
+        assert!(at("2 ").contains("DAC"));
+        assert!(at("140").contains("SMF"));
+    }
+}

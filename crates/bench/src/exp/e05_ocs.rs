@@ -1,0 +1,95 @@
+//! E5 — §4.1 \[39\]: replacing patch panels with an OCS "not only further
+//! eases expansions, but also supports frequent changes to the capacity
+//! between aggregation blocks, to respond to changing and uneven
+//! inter-block traffic demands."
+//!
+//! A direct-connect fabric carries a skewed traffic matrix twice: once on
+//! its uniform inter-block mesh, once after OCS topology engineering
+//! reapportions links to the demand. The throughput gain costs zero cable
+//! moves — every "rewire" is a software reconfiguration.
+
+use pd_geometry::Gbps;
+use pd_topology::gen::{direct_connect, DirectConnectParams};
+use pd_topology::routing::{AllPairs, EcmpLoads};
+use pd_topology::TrafficMatrix;
+
+fn fabric() -> pd_topology::gen::directconnect::DirectConnectFabric {
+    direct_connect(&DirectConnectParams {
+        blocks: 8,
+        tors_per_block: 4,
+        mids_per_block: 4,
+        uplinks_per_mid: 7,
+        servers_per_tor: 16,
+        link_speed: Gbps::new(100.0),
+    })
+    .expect("valid fabric")
+}
+
+fn throughput(net: &pd_topology::Network, tm: &TrafficMatrix) -> f64 {
+    let ap = AllPairs::compute(net);
+    EcmpLoads::compute(net, &ap, tm).throughput_scale(net)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut f = fabric();
+    // Skewed demand: the first two blocks exchange 5× the background.
+    let tm = TrafficMatrix::hotspot(&f.network, Gbps::new(1.0), 8, 5.0);
+
+    let before = throughput(&f.network, &tm);
+    let block_demand = tm.to_block_matrix(&f.network);
+    let changed = f.reconfigure(&block_demand).expect("reconfigure");
+    let after = throughput(&f.network, &tm);
+
+    let mut out = String::new();
+    out.push_str("E5 — OCS topology engineering (§4.1, Poutievski et al. [39])\n");
+    out.push_str(&format!(
+        "direct-connect fabric, 8 blocks, skewed matrix (hot blocks at 5×)\n\n\
+         uniform mesh throughput scale   : {before:.3}\n\
+         after OCS reapportionment       : {after:.3}   ({:+.0}%)\n\
+         logical links retargeted        : {changed}\n\
+         fibers moved by technicians     : 0 (all changes are OCS reconfigurations)\n",
+        (after / before - 1.0) * 100.0
+    ));
+    out.push_str(
+        "\npaper says: OCS supports frequent capacity changes between blocks\n\
+         we measure: meaningful throughput gain on skewed traffic at zero cable moves\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconfiguration_improves_skewed_throughput() {
+        let mut f = fabric();
+        let tm = TrafficMatrix::hotspot(&f.network, Gbps::new(1.0), 8, 5.0);
+        let before = throughput(&f.network, &tm);
+        let demand = tm.to_block_matrix(&f.network);
+        let changed = f.reconfigure(&demand).unwrap();
+        let after = throughput(&f.network, &tm);
+        assert!(changed > 0);
+        assert!(
+            after > before * 1.1,
+            "expected >10% gain: before {before}, after {after}"
+        );
+        assert!(f.network.validate().is_ok());
+        assert!(f.network.is_connected());
+    }
+
+    #[test]
+    fn uniform_traffic_needs_no_changes() {
+        let mut f = fabric();
+        let tm = TrafficMatrix::uniform_servers(&f.network, Gbps::new(1.0));
+        let demand = tm.to_block_matrix(&f.network);
+        let changed = f.reconfigure(&demand).unwrap();
+        assert_eq!(changed, 0, "uniform demand matches the uniform mesh");
+    }
+
+    #[test]
+    fn report_shows_zero_fiber_moves() {
+        assert!(run().contains("fibers moved by technicians     : 0"));
+    }
+}

@@ -1,0 +1,124 @@
+//! E12 — §2.1: "It is surprisingly hard to automate a decom procedure,
+//! because it can be hard to know for sure what cannot be removed. (E.g.,
+//! we can only remove a cable bundle once none of the affected ports are
+//! still in service, and none are planned to be in service soon.)"
+//!
+//! A partial-decom scenario: half a leaf-spine's uplinks are being retired,
+//! some of the "retired" ports are secretly reserved by pending work
+//! orders, and one link's removal would disconnect live traffic. We compare
+//! a naive removal script against the checker + twin dry run.
+
+use pd_geometry::Gbps;
+use pd_lifecycle::DecomChecker;
+use pd_topology::gen::{leaf_spine, SplitMix64};
+use pd_topology::{LinkId, TrafficMatrix};
+use pd_twin::dryrun::{dry_run, DryRunIssue, Op};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let net = leaf_spine(6, 4, 8, 1, Gbps::new(100.0)).expect("leaf-spine");
+    let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+    let links: Vec<LinkId> = net.links().map(|l| l.id).collect();
+
+    // Decom scenario: retire the first 12 of 24 uplinks. Ops drained 10 of
+    // them; 2 are still carrying traffic. Separately, 3 of the drained ones
+    // are reserved by a pending expansion work order.
+    let mut checker = DecomChecker::all_in_service(&net);
+    let retiring: Vec<LinkId> = links.iter().take(12).copied().collect();
+    for l in retiring.iter().take(10) {
+        checker.drain_link(&net, *l);
+    }
+    for l in retiring.iter().take(3) {
+        checker.plan_link(&net, *l);
+    }
+
+    // Naive script: remove everything on the retirement list, in a shuffled
+    // order (work orders rarely execute in list order).
+    let mut order = retiring.clone();
+    SplitMix64::new(9).shuffle(&mut order);
+    let naive_outages = checker.naive_removal_outages(&net, &order);
+
+    // Twin dry run: the rehearsal replays the *whole* operational history
+    // (drains, the pending work order's reservations, then the removal
+    // script) so the twin state matches the floor state.
+    let mut ops: Vec<Op> = Vec::new();
+    ops.extend(retiring.iter().take(10).map(|&l| Op::Drain(l)));
+    ops.extend(retiring.iter().take(3).map(|&l| Op::Plan(l)));
+    ops.extend(order.iter().map(|&l| Op::Remove(l)));
+    let rehearsal = dry_run(&net, Some(&tm), &ops);
+    let caught_in_service = rehearsal
+        .issues
+        .iter()
+        .filter(|i| matches!(i, DryRunIssue::RemoveInService { .. }))
+        .count();
+    let caught_planned = rehearsal
+        .issues
+        .iter()
+        .filter(|i| matches!(i, DryRunIssue::RemovePlanned { .. }))
+        .count();
+    let caught_disconnect = rehearsal
+        .issues
+        .iter()
+        .filter(|i| matches!(i, DryRunIssue::DisconnectsTraffic { .. }))
+        .count();
+
+    let mut out = String::new();
+    out.push_str("E12 — decom safety (§2.1)\n");
+    out.push_str(&format!(
+        "retiring {} of {} links; 10 drained, 2 still live, 3 reserved by \
+         pending work orders\n\n",
+        retiring.len(),
+        links.len()
+    ));
+    out.push_str(&format!(
+        "naive removal script     : {naive_outages} removals would have cut live or \
+         reserved ports\n\
+         twin dry run             : flagged {caught_in_service} in-service + \
+         {caught_planned} planned-port removals + {caught_disconnect} \
+         would-disconnect removal the port rule alone misses; {} safe removals \
+         applied\n\
+         checker rule             : exactly the paper's — no affected port in \
+         service or planned\n",
+        rehearsal.removed.len(),
+    ));
+    out.push_str(
+        "\npaper says: it is hard to know for sure what cannot be removed\n\
+         we measure: the naive script causes outages; the checked/dry-run path \
+         removes only what is provably safe\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_script_would_cause_outages() {
+        let r = run();
+        let line = r.lines().find(|l| l.contains("naive removal")).unwrap();
+        let n: usize = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // 2 live + 3 planned = 5 dangerous removals.
+        assert_eq!(n, 5, "{line}");
+    }
+
+    #[test]
+    fn dry_run_catches_more_than_the_port_rule() {
+        let r = run();
+        assert!(r.contains("flagged 2 in-service + 3"), "{r}");
+        // One leaf had ALL its uplinks on the retirement list: the last
+        // removal would disconnect its servers even though every port was
+        // drained — only the traffic-aware dry run sees it.
+        assert!(r.contains("1 \n         would-disconnect") || r.contains("+ 1"), "{r}");
+        assert!(r.contains("6 safe removals applied"), "{r}");
+    }
+}

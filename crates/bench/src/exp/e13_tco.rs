@@ -1,0 +1,134 @@
+//! E13 — §3.5/§5.4: "We also need to represent the tradeoff between day-1
+//! costs and longer-term costs, since a hard-to-evolve design might be
+//! sufficiently cheaper up-front to merit its use."
+//!
+//! Two ways to build the same-capacity Clos: cables run switch-to-switch
+//! (cheap day 1 — no OCS hardware), or through an OCS layer (expensive day
+//! 1, but every future expansion is near-free reconfiguration instead of
+//! floor work). We charge each design its day-1 bill plus one doubling-scale expansion
+//! per year and find the crossover.
+
+use pd_core::prelude::*;
+use pd_geometry::Dollars;
+use pd_lifecycle::expansion::IndirectionLevel;
+use pd_topology::gen::ClosParams;
+
+fn spec(via_ocs: bool) -> DesignSpec {
+    let mut s = DesignSpec::new(
+        if via_ocs { "clos+OCS" } else { "clos-direct" },
+        TopologySpec::FoldedClos(ClosParams {
+            pods: 4,
+            tors_per_pod: 8,
+            aggs_per_pod: 4,
+            spines: 16,
+            servers_per_tor: 16,
+            spine_via_panels: via_ocs,
+            max_pods: Some(16),
+            ..ClosParams::default()
+        }),
+    );
+    s.expansion = ExpansionProbe::ClosPods {
+        to_pods: 8,
+        indirection: if via_ocs {
+            IndirectionLevel::Ocs
+        } else {
+            IndirectionLevel::None
+        },
+    };
+    s
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let direct = evaluate(&spec(false)).expect("direct");
+    let ocs = evaluate(&spec(true)).expect("ocs");
+    let calib = &spec(false).schedule.calib;
+
+    // Annual expansion cost = labor cost of one +1-pod expansion plus the
+    // new-cable pulls (identical hardware both ways, so hardware cancels).
+    let exp_cost = |ev: &Evaluation| -> f64 {
+        ev.expansion
+            .as_ref()
+            .map(|c| c.labor.value() * calib.tech_hourly_usd)
+            .unwrap_or(0.0)
+    };
+    let d_exp = exp_cost(&direct);
+    let o_exp = exp_cost(&ocs);
+
+    let mut out = String::new();
+    out.push_str("E13 — day-1 vs lifetime cost (§3.5, §5.4)\n\n");
+    out.push_str(&format!(
+        "                        | clos-direct | clos+OCS\n\
+         ------------------------|-------------|----------\n\
+         day-1 cost ($k)         | {:>11.0} | {:>8.0}\n\
+         one expansion labor ($k)| {:>11.1} | {:>8.1}\n",
+        direct.report.day_one_cost.value() / 1e3,
+        ocs.report.day_one_cost.value() / 1e3,
+        d_exp / 1e3,
+        o_exp / 1e3,
+    ));
+    out.push_str("\nyear | cumulative direct ($k) | cumulative OCS ($k) | cheaper\n");
+    out.push_str("-----|------------------------|---------------------|--------\n");
+    let mut crossover: Option<usize> = None;
+    for year in 0..=10usize {
+        let d = direct.report.day_one_cost + Dollars::new(d_exp) * year as f64;
+        let o = ocs.report.day_one_cost + Dollars::new(o_exp) * year as f64;
+        if crossover.is_none() && o < d {
+            crossover = Some(year);
+        }
+        out.push_str(&format!(
+            "{year:>4} | {:>22.0} | {:>19.0} | {}\n",
+            d.value() / 1e3,
+            o.value() / 1e3,
+            if o < d { "OCS" } else { "direct" }
+        ));
+    }
+    out.push_str(&format!(
+        "\npaper says: a hard-to-evolve design might be cheaper up-front and still \
+         merit its use — the tradeoff needs representing\nwe measure: direct \
+         cabling is cheaper on day 1; with one pod expansion per year the OCS \
+         build {}.\n",
+        match crossover {
+            Some(y) => format!("pays for itself in year {y}"),
+            None => "does not pay back within 10 years at this expansion rate".into(),
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_is_cheaper_day_one_ocs_cheaper_to_expand() {
+        let direct = evaluate(&spec(false)).unwrap();
+        let ocs = evaluate(&spec(true)).unwrap();
+        assert!(
+            direct.report.day_one_cost < ocs.report.day_one_cost,
+            "direct {} ocs {}",
+            direct.report.day_one_cost,
+            ocs.report.day_one_cost
+        );
+        let d = direct.expansion.as_ref().unwrap();
+        let o = ocs.expansion.as_ref().unwrap();
+        assert!(
+            o.labor < d.labor,
+            "ocs expansion {} should beat direct {}",
+            o.labor,
+            d.labor
+        );
+        // OCS moves are software; direct moves are floor work.
+        assert!(o.software_steps > 0);
+        assert_eq!(d.software_steps, 0);
+    }
+
+    #[test]
+    fn report_contains_crossover_verdict() {
+        let r = run();
+        assert!(
+            r.contains("pays for itself in year") || r.contains("does not pay back"),
+            "{r}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! E14 — §2.2/§3.3: supply-chain fungibility. "A desire for fungibility
+//! might mean not taking advantage … of special features only available
+//! from one vendor. … Fungibility implies a need to design a network
+//! without depending on the best available parts, but rather the
+//! second-best. This could, for example, reduce the allowable length for a
+//! cable."
+//!
+//! We audit every topology family's cable BOM against a second-best-vendor
+//! catalog (reach derated 10 %), then hit the dominant media class with a
+//! six-week vendor outage mid-deployment and compare the schedule damage
+//! with and without dual sourcing.
+
+use pd_core::prelude::*;
+use pd_costing::calib::LaborCalibration;
+use pd_costing::supply::{fungibility_audit, Substitution, VendorOutage};
+use pd_geometry::Hours;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("E14 — supply-chain fungibility (§2.2, §3.3)\n");
+    out.push_str("second-best vendor = 10% reach derating; outage = 6 weeks on the dominant class\n\n");
+    out.push_str(
+        "family       | fungible | class changes | premium ($) | outage delay dual | single-sourced\n",
+    );
+    out.push_str(
+        "-------------|----------|---------------|-------------|-------------------|---------------\n",
+    );
+
+    let calib = LaborCalibration::default();
+    for (name, topo) in compare::all_families(512, Gbps::new(100.0), 11) {
+        let spec = DesignSpec::new(name.clone(), topo);
+        let ev = evaluate(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let audit = fungibility_audit(&ev.cabling, &spec.cabling.catalog, 0.9);
+        let dominant = *ev
+            .cabling
+            .media_histogram()
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|(c, _)| c)
+            .expect("has cables");
+        let outage = VendorOutage {
+            class: dominant,
+            outage: Hours::new(6.0 * 168.0),
+            secondary_lead: Hours::new(168.0),
+        };
+        let impact = outage.deployment_delay(&ev.cabling, &audit, &calib, ev.report.servers);
+        let singles = audit
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v, Substitution::SingleSource))
+            .count();
+        out.push_str(&format!(
+            "{name:<12} | {:>7.0}% | {:>13} | {:>11.0} | {:>15.0} h | {singles:>14}\n",
+            audit.fungible_fraction * 100.0,
+            audit.class_changes,
+            audit.total_premium.value(),
+            impact.delay.value(),
+        ));
+    }
+    out.push_str(
+        "\npaper says: fungibility resolves supply problems by substituting parts; \
+         designing for the second-best part may shorten allowable cables\n\
+         we measure: ≥10% derating keeps nearly every cable substitutable but \
+         pushes marginal copper to costlier media; dual-sourced BOMs turn a \
+         six-week outage into a one-week lead-time blip\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_is_mostly_fungible_at_10pct() {
+        let r = run();
+        for line in r.lines().filter(|l| l.contains('|') && l.contains('%')) {
+            if let Some(frac) = line.split('|').nth(1) {
+                if let Ok(v) = frac.trim().trim_end_matches('%').parse::<f64>() {
+                    assert!(v >= 90.0, "family should stay fungible: {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_sourcing_caps_outage_delay() {
+        let r = run();
+        // Every row's dual-sourced delay must be ≤ the one-week secondary
+        // lead (168 h) because nothing is single-sourced at 10% derating.
+        for line in r.lines().filter(|l| l.contains(" h |")) {
+            let delay: f64 = line
+                .split('|')
+                .nth(4)
+                .unwrap()
+                .trim()
+                .trim_end_matches(" h")
+                .trim()
+                .parse()
+                .unwrap();
+            assert!(delay <= 168.0 + 1e-9, "{line}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! E18 — ablations over the toolkit's own design knobs.
+//!
+//! Not a paper claim: this experiment justifies the modeling choices
+//! DESIGN.md calls out by showing each knob moves the answer. Four
+//! ablations on one fixed fat-tree:
+//!
+//! 1. **Placement local search** — does the bounded swap-improver earn its
+//!    keep over the plain block-local heuristic?
+//! 2. **Bundle threshold** — how sensitive are the labor savings to what
+//!    counts as "manufacturable"?
+//! 3. **Technician pool size** — where parallelism stops paying (walking
+//!    and rack exclusion dominate).
+//! 4. **Cross-tray frequency** — sparser tray interconnects force longer
+//!    detours; the plant model matters, not just the graph.
+
+use pd_core::prelude::*;
+use pd_costing::{DeploymentPlan, Schedule, ScheduleParams};
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::Hall;
+
+fn base_spec() -> DesignSpec {
+    DesignSpec::new("ablate", compare::fat_tree_near(512, Gbps::new(100.0)))
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("E18 — toolkit ablations (modeling knobs, not paper claims)\n\n");
+
+    // 1. Placement improvement iterations.
+    out.push_str("placement local-search iterations → total cable length:\n");
+    for iters in [0usize, 100, 500, 2000] {
+        let mut spec = base_spec();
+        spec.placement_improvement = iters;
+        let ev = evaluate(&spec).expect("eval");
+        out.push_str(&format!(
+            "  {iters:>5} iters: {:>7.2} km ordered, capex {:>6.0}k\n",
+            ev.report.cable_length.value() / 1000.0,
+            ev.report.capex.value() / 1e3,
+        ));
+    }
+
+    // 2. Bundle threshold.
+    out.push_str("\nmin bundle size → bundled fraction and labor:\n");
+    for min in [2usize, 4, 8, 16] {
+        let mut spec = base_spec();
+        spec.min_bundle_size = min;
+        let ev = evaluate(&spec).expect("eval");
+        out.push_str(&format!(
+            "  min {min:>2}: {:>4.0}% bundled, {:>5.0} person-h, deploy {:>4.0} h\n",
+            ev.report.bundled_fraction * 100.0,
+            ev.report.labor.value(),
+            ev.report.time_to_deploy.value(),
+        ));
+    }
+
+    // 3. Technician pool.
+    out.push_str("\ntechnician pool → makespan (diminishing returns):\n");
+    let ev = evaluate(&base_spec()).expect("eval");
+    let dp = DeploymentPlan::from_cabling(
+        &ev.network,
+        &ev.placement,
+        &ev.cabling,
+        Some(&ev.bundling),
+    );
+    for techs in [2usize, 4, 8, 16, 32] {
+        let sched = Schedule::run(
+            &dp,
+            &ev.hall,
+            &ScheduleParams {
+                technicians: techs,
+                ..ScheduleParams::default()
+            },
+        );
+        out.push_str(&format!(
+            "  {techs:>3} techs: {:>5.0} h makespan, {:>4.0}% utilization\n",
+            sched.makespan.value(),
+            sched.utilization() * 100.0,
+        ));
+    }
+
+    // 4. Cross-tray frequency.
+    out.push_str("\ncross-tray spacing → mean routed cable length:\n");
+    let net = base_spec().topology.build().expect("net");
+    for every in [2usize, 5, 10, 20] {
+        let hall = Hall::new(HallSpec {
+            cross_tray_every: every,
+            ..HallSpec::default()
+        });
+        let placement = pd_physical::Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .expect("place");
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let rep = BundlingReport::analyze(&plan, 4);
+        out.push_str(&format!(
+            "  every {every:>2} slots: mean run {:>5.2} m, {:>4.0}% bundled, max fill {:>3.0}%\n",
+            plan.mean_routed_length().value(),
+            rep.bundled_fraction() * 100.0,
+            plan.max_tray_fill() * 100.0,
+        ));
+    }
+    out.push_str(
+        "\nreading: each knob visibly moves cost, labor, or feasibility — the\n\
+         physical-plant details the paper says abstractions hide are load-bearing\n\
+         in this model too.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_search_never_lengthens_cabling() {
+        let baseline = {
+            let spec = base_spec();
+            evaluate(&spec).unwrap().report.cable_length
+        };
+        let improved = {
+            let mut spec = base_spec();
+            spec.placement_improvement = 500;
+            evaluate(&spec).unwrap().report.cable_length
+        };
+        assert!(improved <= baseline, "improved {improved} baseline {baseline}");
+    }
+
+    #[test]
+    fn stricter_bundle_threshold_bundles_less() {
+        let frac = |min: usize| {
+            let mut spec = base_spec();
+            spec.min_bundle_size = min;
+            evaluate(&spec).unwrap().report.bundled_fraction
+        };
+        assert!(frac(16) <= frac(2));
+    }
+
+    #[test]
+    fn sparser_cross_trays_lengthen_runs() {
+        let r = run();
+        let rows: Vec<f64> = r
+            .lines()
+            .filter(|l| l.trim_start().starts_with("every"))
+            .filter_map(|l| l.split("mean run").nth(1)?.trim().split(' ').next()?.parse().ok())
+            .collect();
+        assert_eq!(rows.len(), 4, "{r}");
+        assert!(
+            rows.last().unwrap() >= rows.first().unwrap(),
+            "sparser trays must not shorten runs: {rows:?}"
+        );
+    }
+}

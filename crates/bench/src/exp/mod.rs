@@ -1,0 +1,88 @@
+//! Experiment registry.
+//!
+//! | id | paper anchor | claim |
+//! |----|--------------|-------|
+//! | e1 | §2.3 | +5 min × 10k things ≈ 1 week; stranded capital |
+//! | e2 | §3.1 \[10\] | 100G→400G DAC: ×2.7 area; 256-cable racks; AEC |
+//! | e3 | §3.1 \[44\] | pre-built bundles save ≈40% and weeks |
+//! | e4 | §4.1 \[56\] | indirection concentrates expansion rewiring |
+//! | e5 | §4.1 \[39\] | OCS topology engineering for skewed traffic |
+//! | e6 | §4.2 | expanders win on paper, lose on deployability |
+//! | e7 | §4.2 \[50\] | d/2 rewires per added ToR in flat networks |
+//! | e8 | §4.3 | live fat-tree → direct-connect conversion |
+//! | e9 | §3.3 | unit of repair vs linecard size; availability |
+//! | e10 | §5.3 | twin dry-runs catch errors before the floor |
+//! | e11 | §3.4 \[46\]\[12\] | diversity support: mixed radix/speed |
+//! | e12 | §2.1 | decom safety rule vs naive removal |
+//! | e13 | §3.5 §5.4 | day-1 vs lifetime cost crossover |
+//! | e14 | §2.2 §3.3 | supply-chain fungibility, vendor outages |
+//! | e15 | §2 | human vs robotic deployment |
+//! | e16 | §3.1 | free-space optics vs cables |
+//! | e17 | §3.5 §2.3 | incremental deployment under forecast error |
+//! | e18 | — | toolkit ablations (modeling-knob sensitivity) |
+
+pub mod e01_time;
+pub mod e02_cables;
+pub mod e03_bundles;
+pub mod e04_indirection;
+pub mod e05_ocs;
+pub mod e06_families;
+pub mod e07_incremental;
+pub mod e08_conversion;
+pub mod e09_repair;
+pub mod e10_twin;
+pub mod e11_diversity;
+pub mod e12_decom;
+pub mod e13_tco;
+pub mod e14_supply;
+pub mod e15_robots;
+pub mod e16_fso;
+pub mod e17_phased;
+pub mod e18_ablations;
+
+/// (name, description, runner) for every experiment.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    vec![
+        ("e1", "§2.3: +5 min/item × 10k items; stranded capital", e01_time::run),
+        ("e2", "§3.1: DAC diameter growth, rack feasibility, AEC", e02_cables::run),
+        ("e3", "§3.1: pre-built bundle savings", e03_bundles::run),
+        ("e4", "§4.1: indirection and expansion rewiring", e04_indirection::run),
+        ("e5", "§4.1: OCS topology engineering", e05_ocs::run),
+        ("e6", "§4.2: topology families, goodness vs deployability", e06_families::run),
+        ("e7", "§4.2: incremental ToR addition cost", e07_incremental::run),
+        ("e8", "§4.3: live fat-tree→direct-connect conversion", e08_conversion::run),
+        ("e9", "§3.3: unit of repair and availability", e09_repair::run),
+        ("e10", "§5.3: digital-twin early detection value", e10_twin::run),
+        ("e11", "§3.4: heterogeneity / diversity support", e11_diversity::run),
+        ("e12", "§2.1: decom safety", e12_decom::run),
+        ("e13", "§3.5: day-1 vs lifetime cost", e13_tco::run),
+        ("e14", "§2.2: supply-chain fungibility and vendor outages", e14_supply::run),
+        ("e15", "§2: human vs robotic deployment", e15_robots::run),
+        ("e16", "§3.1: free-space optics vs cables", e16_fso::run),
+        ("e17", "§3.5: incremental deployment under forecast error", e17_phased::run),
+        ("e18", "toolkit ablations: modeling-knob sensitivity", e18_ablations::run),
+    ]
+}
+
+/// Runs an experiment by name; `None` if unknown.
+pub fn run_by_name(name: &str) -> Option<String> {
+    all_experiments()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, _, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_runnable_by_name() {
+        let all = all_experiments();
+        let mut names: Vec<_> = all.iter().map(|(n, _, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+        assert!(run_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,12 @@
+//! # pd-bench — the experiment harness
+//!
+//! One module per experiment; each `run()` returns the report text it also
+//! prints, so integration tests can assert on the numbers. The experiment
+//! index (paper anchor → experiment) lives in `EXPERIMENTS.md` at the repo
+//! root; the `experiments` binary exposes each as a subcommand.
+
+#![forbid(unsafe_code)]
+
+pub mod exp;
+
+pub use exp::{all_experiments, run_by_name};

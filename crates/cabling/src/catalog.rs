@@ -1,0 +1,209 @@
+//! The purchasable catalog: discrete SKU lengths and media selection.
+//!
+//! Cables are ordered in standard lengths, not cut to fit; the gap between
+//! the routed length and the next SKU up is *slack* that coils in the tray
+//! or rack (consuming space and technician patience). Media selection picks
+//! the cheapest class that satisfies reach, the optical loss budget, and —
+//! for pre-planning — availability of the *second-best* vendor part when
+//! fungibility is required (paper §3.3: "design a network without depending
+//! on the best available parts, but rather the second-best", which we model
+//! as a configurable derating of every reach limit).
+
+use crate::loss::{LossBudget, LossStack};
+use crate::media::{sku, CableSku, MediaClass};
+use pd_geometry::{Dollars, Gbps, Meters};
+use serde::{Deserialize, Serialize};
+
+/// The catalog: available lengths plus selection policy knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CableCatalog {
+    /// Orderable cable lengths, ascending.
+    pub lengths: Vec<Meters>,
+    /// Reach derating factor in `(0, 1]` for fungibility: 1.0 trusts the
+    /// best part's datasheet; 0.8 designs to the second-best vendor.
+    pub reach_derating: f64,
+    /// Loss model.
+    pub loss: LossStack,
+    /// Loss budgets.
+    pub budget: LossBudget,
+}
+
+impl Default for CableCatalog {
+    fn default() -> Self {
+        Self {
+            lengths: [1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 50.0, 100.0, 150.0]
+                .into_iter()
+                .map(Meters::new)
+                .collect(),
+            reach_derating: 1.0,
+            loss: LossStack::default(),
+            budget: LossBudget::default(),
+        }
+    }
+}
+
+/// A selected cable: the SKU family, the ordered length, and the slack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediaChoice {
+    /// The cable family.
+    pub sku: CableSku,
+    /// The ordered (SKU) length.
+    pub ordered_length: Meters,
+    /// Slack: ordered − required.
+    pub slack: Meters,
+    /// Total cost of this cable.
+    pub cost: Dollars,
+}
+
+impl CableCatalog {
+    /// Smallest orderable length ≥ `required`, or `None` if even the
+    /// longest SKU is too short.
+    pub fn next_length_up(&self, required: Meters) -> Option<Meters> {
+        self.lengths
+            .iter()
+            .copied()
+            .find(|&l| l + Meters::new(1e-9) >= required)
+    }
+
+    /// Effective (derated) reach of a SKU.
+    pub fn effective_reach(&self, sku: &CableSku) -> Meters {
+        sku.max_reach * self.reach_derating
+    }
+
+    /// Picks the cheapest media class for a run of `required` length at
+    /// `speed`, traversing `panels` patch panels and `ocs` OCS ports.
+    ///
+    /// Feasibility per class: a SKU exists at this speed, an orderable
+    /// length covers the run, the (derated) reach covers the *ordered*
+    /// length (slack counts against reach — it is real cable), electrical
+    /// media cannot traverse panels/OCS, and optical media must close the
+    /// loss budget at the ordered length.
+    pub fn choose(
+        &self,
+        speed: Gbps,
+        required: Meters,
+        panels: u32,
+        ocs: u32,
+    ) -> Option<MediaChoice> {
+        let mut best: Option<MediaChoice> = None;
+        for class in MediaClass::ALL {
+            let Some(s) = sku(class, speed) else {
+                continue;
+            };
+            if !class.is_optical() && (panels > 0 || ocs > 0) {
+                continue;
+            }
+            let Some(ordered) = self.next_length_up(required) else {
+                continue;
+            };
+            if ordered > self.effective_reach(&s) {
+                continue;
+            }
+            let connectors = 2 + panels * 2 + ocs * 2;
+            if class.is_optical()
+                && !self
+                    .loss
+                    .channel_closes(&self.budget, class, ordered, connectors, panels, ocs)
+            {
+                continue;
+            }
+            let cost = s.cable_cost(ordered);
+            let cand = MediaChoice {
+                sku: s,
+                ordered_length: ordered,
+                slack: ordered - required,
+                cost,
+            };
+            match &best {
+                Some(b) if b.cost <= cost => {}
+                _ => best = Some(cand),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> CableCatalog {
+        CableCatalog::default()
+    }
+
+    #[test]
+    fn next_length_up_rounds_correctly() {
+        let c = cat();
+        assert_eq!(c.next_length_up(Meters::new(2.4)), Some(Meters::new(3.0)));
+        assert_eq!(c.next_length_up(Meters::new(3.0)), Some(Meters::new(3.0)));
+        assert_eq!(c.next_length_up(Meters::new(120.0)), Some(Meters::new(150.0)));
+        assert_eq!(c.next_length_up(Meters::new(200.0)), None);
+    }
+
+    #[test]
+    fn short_runs_pick_copper() {
+        let choice = cat().choose(Gbps::new(100.0), Meters::new(2.2), 0, 0).unwrap();
+        assert_eq!(choice.sku.class, MediaClass::DacCopper);
+        assert_eq!(choice.ordered_length, Meters::new(3.0));
+        assert!((choice.slack - Meters::new(0.8)).abs() < Meters::new(1e-9));
+    }
+
+    #[test]
+    fn medium_runs_pick_aec_long_runs_pick_fiber() {
+        // 5 m at 400G: DAC reach (3 m) fails, AEC (7 m) wins on price.
+        let mid = cat().choose(Gbps::new(400.0), Meters::new(5.0), 0, 0).unwrap();
+        assert_eq!(mid.sku.class, MediaClass::ActiveElectrical);
+        // 40 m: only fiber reaches; MMF ends are... pricier than SMF? At
+        // 400G our SMF ends cost more than MMF, so MMF wins within 100 m.
+        let long = cat().choose(Gbps::new(400.0), Meters::new(40.0), 0, 0).unwrap();
+        assert_eq!(long.sku.class, MediaClass::MultimodeFiber);
+        // 140 m: beyond MMF reach → SMF.
+        let vlong = cat().choose(Gbps::new(400.0), Meters::new(140.0), 0, 0).unwrap();
+        assert_eq!(vlong.sku.class, MediaClass::SinglemodeFiber);
+    }
+
+    #[test]
+    fn ocs_traversal_excludes_electrical_and_tight_mmf() {
+        let c = cat();
+        // 3 m through an OCS: copper ineligible, MMF closes (short length).
+        let through = c.choose(Gbps::new(100.0), Meters::new(3.0), 0, 1).unwrap();
+        assert!(through.sku.class.is_optical());
+        // 100 m through an OCS at 400G: MMF cannot close → SMF.
+        let far = c.choose(Gbps::new(400.0), Meters::new(95.0), 0, 1).unwrap();
+        assert_eq!(far.sku.class, MediaClass::SinglemodeFiber);
+    }
+
+    #[test]
+    fn derating_flips_marginal_choices() {
+        // 2.5 m at 400G fits DAC (3 m) at full reach but not at 0.8×.
+        let full = cat();
+        let choice = full.choose(Gbps::new(400.0), Meters::new(2.5), 0, 0).unwrap();
+        assert_eq!(choice.sku.class, MediaClass::DacCopper);
+        let derated = CableCatalog {
+            reach_derating: 0.8,
+            ..cat()
+        };
+        let choice2 = derated.choose(Gbps::new(400.0), Meters::new(2.5), 0, 0).unwrap();
+        assert_ne!(
+            choice2.sku.class,
+            MediaClass::DacCopper,
+            "second-best-vendor design must not rely on the 3 m DAC"
+        );
+    }
+
+    #[test]
+    fn impossible_runs_return_none() {
+        // 200 m exceeds the longest SKU.
+        assert!(cat().choose(Gbps::new(100.0), Meters::new(200.0), 0, 0).is_none());
+    }
+
+    #[test]
+    fn slack_counts_against_reach() {
+        // Required 2.8 m at 400G DAC: ordered length is 3.0 (= reach), OK.
+        let ok = cat().choose(Gbps::new(400.0), Meters::new(2.8), 0, 0).unwrap();
+        assert_eq!(ok.sku.class, MediaClass::DacCopper);
+        // Required 3.2 m: ordered 5 m exceeds DAC reach → AEC.
+        let over = cat().choose(Gbps::new(400.0), Meters::new(3.2), 0, 0).unwrap();
+        assert_ne!(over.sku.class, MediaClass::DacCopper);
+    }
+}

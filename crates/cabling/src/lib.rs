@@ -1,0 +1,43 @@
+//! # pd-cabling — cable media, physical routing, bundling, and optics
+//!
+//! The paper's §3.1 is a tour of cabling physics: copper is cheap but short
+//! and thick (AWS's 400G DACs are 11 mm across — 2.7× the cross-section of
+//! their 100G cables), fiber is long but needs expensive, power-hungry
+//! transceivers with insertion-loss budgets that patch panels and OCS layers
+//! eat into, and everything must fit through trays provisioned for several
+//! technology generations. This crate turns those physics into a checkable
+//! model:
+//!
+//! * [`media`] — cable classes (passive DAC, active electrical, multimode
+//!   and singlemode fiber) with per-speed reach, diameter, bend radius,
+//!   cost, power, and reliability, calibrated to the numbers the paper
+//!   cites.
+//! * [`catalog`] — discrete SKU lengths and media selection (cheapest
+//!   feasible class for a routed length and loss budget).
+//! * [`loss`] — optical insertion-loss budgets across connectors, patch
+//!   panels, OCS ports, and fiber attenuation.
+//! * [`plan`] — routes every logical link of a placed network through the
+//!   tray graph, picks media, places indirection (patch-panel / OCS) sites,
+//!   and emits the full bill of materials.
+//! * [`bundles`] — groups runs into pre-built bundles (Singh et al. \[44\])
+//!   and measures how bundleable a design's cabling actually is — the §4.2
+//!   discriminator between Clos and Jellyfish.
+//! * [`fso`] — §3.1's free-space-optics alternative, with the line-of-sight,
+//!   eye-safety, and beam-packing limits the paper lists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bundles;
+pub mod catalog;
+pub mod fso;
+pub mod loss;
+pub mod media;
+pub mod plan;
+
+pub use bundles::{Bundle, BundlingReport, Harness, HarnessReport};
+pub use catalog::{CableCatalog, MediaChoice};
+pub use fso::{FsoInfeasible, FsoPlan, FsoSpec};
+pub use loss::{LossBudget, LossStack};
+pub use media::{CableSku, MediaClass};
+pub use plan::{CableRun, CablingError, CablingPlan, CablingPolicy, IndirectionKind, IndirectionSite};

@@ -1,0 +1,640 @@
+//! The cabling plan: every logical link realized as physical cable.
+//!
+//! [`CablingPlan::build`] walks the placed network and, for each link:
+//!
+//! 1. finds the tray route between the two racks (or an intra-rack length
+//!    for same-rack links),
+//! 2. for OCS/patch-panel-mediated links ([`pd_topology::Link::via_ocs`]),
+//!    routes *two* cables — switch→site and site→switch — through an
+//!    [`IndirectionSite`] (paper §4.1's indirection layer),
+//! 3. selects the cheapest feasible media (reach, loss budget, discrete SKU
+//!    lengths; see [`crate::catalog`]),
+//! 4. commits the cable's cross-sectional area to every tray segment it
+//!    traverses.
+//!
+//! Links that cannot be realized (no tray path with capacity, no feasible
+//! media) are recorded as [`CablingError`]s, not panics: an infeasible
+//! cabling plan is a *result* the deployability report surfaces — it is the
+//! paper's "designs that look appealing on paper can turn out to be
+//! infeasible" made concrete.
+
+use crate::catalog::{CableCatalog, MediaChoice};
+use crate::media::MediaClass;
+use pd_geometry::{Dollars, Meters, RouteEdgeId, SquareMillimeters, Watts};
+use pd_physical::{Hall, Placement, SlotId, TrayNetwork};
+use pd_topology::{LinkId, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// What the indirection layer is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndirectionKind {
+    /// Passive patch panels (Zhao et al. \[56\]).
+    PatchPanel,
+    /// Optical circuit switches (Poutievski et al. \[39\]).
+    Ocs,
+}
+
+impl IndirectionKind {
+    /// (panels, ocs) element counts a channel through one site incurs.
+    fn elements(&self) -> (u32, u32) {
+        match self {
+            IndirectionKind::PatchPanel => (1, 0),
+            IndirectionKind::Ocs => (0, 1),
+        }
+    }
+}
+
+/// One installed patch-panel or OCS rack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndirectionSite {
+    /// Panel or OCS.
+    pub kind: IndirectionKind,
+    /// The slot the site rack occupies.
+    pub slot: SlotId,
+    /// Duplex ports available (Telescent G4-class: ~1008).
+    pub port_capacity: u32,
+    /// Ports consumed so far (each mediated link uses one duplex port).
+    pub ports_used: u32,
+}
+
+/// Policy knobs for plan construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CablingPolicy {
+    /// The purchase catalog and loss model.
+    pub catalog: CableCatalog,
+    /// Extra cable needed at each end for in-rack dressing (patching from
+    /// the rack top down to the switch port).
+    pub in_rack_tail: Meters,
+    /// Assumed length of a cable between two switches in the same rack.
+    pub intra_rack_length: Meters,
+    /// What mediates `via_ocs` links.
+    pub indirection_kind: IndirectionKind,
+    /// Duplex port capacity per indirection site.
+    pub site_port_capacity: u32,
+}
+
+impl Default for CablingPolicy {
+    fn default() -> Self {
+        Self {
+            catalog: CableCatalog::default(),
+            in_rack_tail: Meters::new(1.5),
+            intra_rack_length: Meters::new(2.0),
+            indirection_kind: IndirectionKind::Ocs,
+            site_port_capacity: 1008,
+        }
+    }
+}
+
+/// Why a link could not be physically realized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CablingError {
+    /// No tray path with enough residual capacity.
+    NoTrayPath(String),
+    /// No media class satisfies reach/loss/SKU constraints.
+    NoFeasibleMedia {
+        /// The length that needed covering.
+        required: Meters,
+    },
+    /// Every indirection site is out of ports.
+    NoIndirectionPorts,
+    /// An endpoint switch was never placed.
+    Unplaced,
+}
+
+impl std::fmt::Display for CablingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CablingError::NoTrayPath(m) => write!(f, "no tray path: {m}"),
+            CablingError::NoFeasibleMedia { required } => {
+                write!(f, "no feasible media for {required}")
+            }
+            CablingError::NoIndirectionPorts => write!(f, "all indirection sites full"),
+            CablingError::Unplaced => write!(f, "endpoint switch not placed"),
+        }
+    }
+}
+
+impl std::error::Error for CablingError {}
+
+/// One physical cable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CableRun {
+    /// The logical link this cable realizes (possibly one of a trunk, and
+    /// possibly one of the two halves of a mediated channel).
+    pub link: LinkId,
+    /// Which trunk member (0-based).
+    pub trunk_index: u16,
+    /// `0` for the direct or switch→site half; `1` for the site→switch half.
+    pub half: u8,
+    /// Source rack slot.
+    pub from_slot: SlotId,
+    /// Destination rack slot (an indirection site's slot for half 0 of a
+    /// mediated link).
+    pub to_slot: SlotId,
+    /// Selected media and ordered length.
+    pub choice: MediaChoice,
+    /// Actual routed length (tray path + tails).
+    pub routed_length: Meters,
+    /// Tray segments traversed (empty for intra-rack cables).
+    pub tray_edges: Vec<RouteEdgeId>,
+    /// Index into [`CablingPlan::sites`] if this run lands on an
+    /// indirection site.
+    pub via_site: Option<usize>,
+}
+
+/// The complete cabling plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CablingPlan {
+    /// Every physical cable.
+    pub runs: Vec<CableRun>,
+    /// The tray network with all cable area committed.
+    pub tray: TrayNetwork,
+    /// Indirection sites installed (empty if the design has no `via_ocs`
+    /// links).
+    pub sites: Vec<IndirectionSite>,
+    /// Links that could not be realized, with the reason.
+    pub failures: Vec<(LinkId, CablingError)>,
+}
+
+impl CablingPlan {
+    /// Builds the full plan for a placed network.
+    pub fn build(
+        net: &Network,
+        hall: &Hall,
+        placement: &Placement,
+        policy: &CablingPolicy,
+    ) -> Self {
+        let mut tray = TrayNetwork::build(hall);
+        let mut runs = Vec::new();
+        let mut failures = Vec::new();
+
+        // Install indirection sites if any link needs them: one site per
+        // `site_port_capacity` mediated cables, on free slots nearest the
+        // centroid of all placed racks.
+        let mediated_cables: u32 = net
+            .links()
+            .filter(|l| l.via_ocs)
+            .map(|l| u32::from(l.trunking))
+            .sum();
+        let mut sites: Vec<IndirectionSite> = if mediated_cables > 0 {
+            let needed = mediated_cables.div_ceil(policy.site_port_capacity) as usize;
+            free_central_slots(hall, placement, needed)
+                .into_iter()
+                .map(|slot| IndirectionSite {
+                    kind: policy.indirection_kind,
+                    slot,
+                    port_capacity: policy.site_port_capacity,
+                    ports_used: 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Deterministic link order.
+        let mut links: Vec<&pd_topology::Link> = net.links().collect();
+        links.sort_by_key(|l| l.id);
+
+        for link in links {
+            let (Some(sa), Some(sb)) = (placement.slot_of(link.a), placement.slot_of(link.b))
+            else {
+                failures.push((link.id, CablingError::Unplaced));
+                continue;
+            };
+            for trunk in 0..link.trunking {
+                if link.via_ocs {
+                    match route_mediated(
+                        &mut tray, hall, policy, &mut sites, link, trunk, sa, sb,
+                    ) {
+                        Ok(mut two) => runs.append(&mut two),
+                        Err(e) => failures.push((link.id, e)),
+                    }
+                } else {
+                    match route_direct(&mut tray, policy, link, trunk, sa, sb) {
+                        Ok(run) => runs.push(run),
+                        Err(e) => failures.push((link.id, e)),
+                    }
+                }
+            }
+        }
+
+        Self {
+            runs,
+            tray,
+            sites,
+            failures,
+        }
+    }
+
+    /// Total cable + transceiver cost.
+    pub fn total_cable_cost(&self) -> Dollars {
+        self.runs.iter().map(|r| r.choice.cost).sum()
+    }
+
+    /// Total ordered cable length.
+    pub fn total_ordered_length(&self) -> Meters {
+        self.runs.iter().map(|r| r.choice.ordered_length).sum()
+    }
+
+    /// Total slack (ordered − routed).
+    pub fn total_slack(&self) -> Meters {
+        self.runs.iter().map(|r| r.choice.slack).sum()
+    }
+
+    /// Total transceiver/end power.
+    pub fn total_end_power(&self) -> Watts {
+        self.runs.iter().map(|r| r.choice.sku.ends_power).sum()
+    }
+
+    /// Cable counts per media class.
+    pub fn media_histogram(&self) -> BTreeMap<MediaClass, usize> {
+        let mut h = BTreeMap::new();
+        for r in &self.runs {
+            *h.entry(r.choice.sku.class).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Fraction of cables that are optical.
+    pub fn optical_fraction(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .filter(|r| r.choice.sku.class.is_optical())
+            .count() as f64
+            / self.runs.len() as f64
+    }
+
+    /// Number of distinct (class, speed, ordered-length) SKUs — the
+    /// procurement-complexity proxy ("computing the lengths … for
+    /// pre-deployed fiber is highly non-trivial", §4.2).
+    pub fn distinct_skus(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for r in &self.runs {
+            set.insert((
+                r.choice.sku.class,
+                r.choice.sku.speed.value() as u64,
+                (r.choice.ordered_length.value() * 1000.0) as u64,
+            ));
+        }
+        set.len()
+    }
+
+    /// Worst tray fill after all commits.
+    pub fn max_tray_fill(&self) -> f64 {
+        self.tray.max_fill()
+    }
+
+    /// All runs realizing a logical link.
+    pub fn runs_of_link(&self, link: LinkId) -> Vec<&CableRun> {
+        self.runs.iter().filter(|r| r.link == link).collect()
+    }
+
+    /// For SPOF analysis: maps each tray segment to the logical links whose
+    /// cables traverse it.
+    pub fn links_per_tray_edge(&self) -> HashMap<RouteEdgeId, Vec<LinkId>> {
+        let mut m: HashMap<RouteEdgeId, Vec<LinkId>> = HashMap::new();
+        for r in &self.runs {
+            for &e in &r.tray_edges {
+                m.entry(e).or_default().push(r.link);
+            }
+        }
+        m
+    }
+
+    /// Mean routed length (0 for an empty plan).
+    pub fn mean_routed_length(&self) -> Meters {
+        if self.runs.is_empty() {
+            return Meters::ZERO;
+        }
+        self.runs.iter().map(|r| r.routed_length).sum::<Meters>() / self.runs.len() as f64
+    }
+}
+
+fn route_direct(
+    tray: &mut TrayNetwork,
+    policy: &CablingPolicy,
+    link: &pd_topology::Link,
+    trunk: u16,
+    sa: SlotId,
+    sb: SlotId,
+) -> Result<CableRun, CablingError> {
+    if sa == sb {
+        // Intra-rack cable: no tray involvement.
+        let required = policy.intra_rack_length;
+        let choice = policy
+            .catalog
+            .choose(link.speed, required, 0, 0)
+            .ok_or(CablingError::NoFeasibleMedia { required })?;
+        return Ok(CableRun {
+            link: link.id,
+            trunk_index: trunk,
+            half: 0,
+            from_slot: sa,
+            to_slot: sb,
+            choice,
+            routed_length: required,
+            tray_edges: Vec::new(),
+            via_site: None,
+        });
+    }
+    // Route with a small probe area first (fiber-class), then commit the
+    // chosen media's true area. One-pass heuristic: the probe finds the
+    // geometric path; overfill from thick copper is *recorded* by the fill
+    // metrics rather than silently rerouted — matching how pre-planned
+    // routes overflow in reality when cable diameters grow (§3.1).
+    let probe = SquareMillimeters::new(7.0);
+    let path = tray
+        .route_cable(sa, sb, probe)
+        .map_err(|e| CablingError::NoTrayPath(e.to_string()))?;
+    let required = path.length + policy.in_rack_tail * 2.0;
+    let choice = match policy.catalog.choose(link.speed, required, 0, 0) {
+        Some(c) => c,
+        None => {
+            tray.router.release(&path, probe);
+            return Err(CablingError::NoFeasibleMedia { required });
+        }
+    };
+    let true_area = choice.sku.area();
+    tray.router.release(&path, probe);
+    tray.router.commit(&path, true_area);
+    Ok(CableRun {
+        link: link.id,
+        trunk_index: trunk,
+        half: 0,
+        from_slot: sa,
+        to_slot: sb,
+        choice,
+        routed_length: required,
+        tray_edges: path.edges,
+        via_site: None,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route_mediated(
+    tray: &mut TrayNetwork,
+    _hall: &Hall,
+    policy: &CablingPolicy,
+    sites: &mut [IndirectionSite],
+    link: &pd_topology::Link,
+    trunk: u16,
+    sa: SlotId,
+    sb: SlotId,
+) -> Result<Vec<CableRun>, CablingError> {
+    // Pick the first site with a free port (sites are centroid-ordered, so
+    // this is also roughly the nearest).
+    let site_idx = sites
+        .iter()
+        .position(|s| s.ports_used < s.port_capacity)
+        .ok_or(CablingError::NoIndirectionPorts)?;
+    let site_slot = sites[site_idx].slot;
+    let (panels, ocs) = sites[site_idx].kind.elements();
+
+    let probe = SquareMillimeters::new(7.0);
+    let path_a = tray
+        .route_cable(sa, site_slot, probe)
+        .map_err(|e| CablingError::NoTrayPath(format!("to site: {e}")))?;
+    let path_b = match tray.route_cable(site_slot, sb, probe) {
+        Ok(p) => p,
+        Err(e) => {
+            tray.router.release(&path_a, probe);
+            return Err(CablingError::NoTrayPath(format!("from site: {e}")));
+        }
+    };
+    let req_a = path_a.length + policy.in_rack_tail * 2.0;
+    let req_b = path_b.length + policy.in_rack_tail * 2.0;
+
+    // The *channel* spans both halves plus the site: media must be optical
+    // and must close the loss budget over the combined ordered length.
+    let choice_pair = choose_mediated(&policy.catalog, link.speed, req_a, req_b, panels, ocs);
+    let (ca, cb) = match choice_pair {
+        Some(p) => p,
+        None => {
+            tray.router.release(&path_a, probe);
+            tray.router.release(&path_b, probe);
+            return Err(CablingError::NoFeasibleMedia {
+                required: req_a + req_b,
+            });
+        }
+    };
+    tray.router.release(&path_a, probe);
+    tray.router.release(&path_b, probe);
+    tray.router.commit(&path_a, ca.sku.area());
+    tray.router.commit(&path_b, cb.sku.area());
+    sites[site_idx].ports_used += 1;
+
+    Ok(vec![
+        CableRun {
+            link: link.id,
+            trunk_index: trunk,
+            half: 0,
+            from_slot: sa,
+            to_slot: site_slot,
+            choice: ca,
+            routed_length: req_a,
+            tray_edges: path_a.edges,
+            via_site: Some(site_idx),
+        },
+        CableRun {
+            link: link.id,
+            trunk_index: trunk,
+            half: 1,
+            from_slot: site_slot,
+            to_slot: sb,
+            choice: cb,
+            routed_length: req_b,
+            tray_edges: path_b.edges,
+            via_site: Some(site_idx),
+        },
+    ])
+}
+
+/// Chooses optical media for both halves of a mediated channel such that
+/// the combined channel closes the loss budget.
+fn choose_mediated(
+    catalog: &CableCatalog,
+    speed: pd_geometry::Gbps,
+    req_a: Meters,
+    req_b: Meters,
+    panels: u32,
+    ocs: u32,
+) -> Option<(MediaChoice, MediaChoice)> {
+    let mut best: Option<(MediaChoice, MediaChoice)> = None;
+    for class in [MediaClass::MultimodeFiber, MediaClass::SinglemodeFiber] {
+        let Some(s) = crate::media::sku(class, speed) else {
+            continue;
+        };
+        let (Some(la), Some(lb)) = (catalog.next_length_up(req_a), catalog.next_length_up(req_b))
+        else {
+            continue;
+        };
+        if la > catalog.effective_reach(&s) || lb > catalog.effective_reach(&s) {
+            continue;
+        }
+        // Transceiver ends (2) + connectors at the site (2 per traversal).
+        let connectors = 2 + panels * 2 + ocs * 2;
+        if !catalog.loss.channel_closes(
+            &catalog.budget,
+            class,
+            la + lb,
+            connectors,
+            panels,
+            ocs,
+        ) {
+            continue;
+        }
+        let make = |len: Meters, req: Meters| MediaChoice {
+            sku: s,
+            ordered_length: len,
+            slack: len - req,
+            cost: s.cable_cost(len),
+        };
+        let cand = (make(la, req_a), make(lb, req_b));
+        let cost = cand.0.cost + cand.1.cost;
+        match &best {
+            Some((a, b)) if a.cost + b.cost <= cost => {}
+            _ => best = Some(cand),
+        }
+    }
+    best
+}
+
+/// Free slots (no rack placed) nearest the centroid of placed racks.
+fn free_central_slots(hall: &Hall, placement: &Placement, n: usize) -> Vec<SlotId> {
+    let used: std::collections::HashSet<SlotId> =
+        placement.racks.iter().map(|r| r.slot).collect();
+    let (mut cx, mut cy, mut count) = (0.0f64, 0.0f64, 0usize);
+    for r in &placement.racks {
+        if let Some(s) = hall.slot(r.slot) {
+            cx += s.center.x.value();
+            cy += s.center.y.value();
+            count += 1;
+        }
+    }
+    let centroid = if count == 0 {
+        pd_geometry::Point2::ORIGIN
+    } else {
+        pd_geometry::Point2::new(cx / count as f64, cy / count as f64)
+    };
+    let mut free: Vec<SlotId> = hall
+        .slots()
+        .iter()
+        .map(|s| s.id)
+        .filter(|id| !used.contains(id))
+        .collect();
+    free.sort_by(|a, b| {
+        let da = hall.slot(*a).unwrap().center.manhattan(centroid);
+        let db = hall.slot(*b).unwrap().center.manhattan(centroid);
+        da.total_cmp(&db).then(a.cmp(b))
+    });
+    free.truncate(n);
+    free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, PlacementStrategy};
+    use pd_topology::gen::{fat_tree, folded_clos, ClosParams};
+
+    fn setup(
+        net: &Network,
+        strategy: PlacementStrategy,
+    ) -> (Hall, Placement) {
+        let hall = Hall::new(HallSpec::default());
+        let placement =
+            Placement::place(net, &hall, strategy, &EquipmentProfile::default()).unwrap();
+        (hall, placement)
+    }
+
+    #[test]
+    fn fat_tree_plan_realizes_every_link() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let (hall, placement) = setup(&net, PlacementStrategy::BlockLocal);
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        assert!(plan.failures.is_empty(), "failures: {:?}", plan.failures);
+        assert_eq!(plan.runs.len(), net.link_count());
+        assert!(plan.total_cable_cost() > Dollars::ZERO);
+        assert!(plan.max_tray_fill() > 0.0);
+        assert!(plan.sites.is_empty());
+    }
+
+    #[test]
+    fn slack_is_nonnegative_and_lengths_ordered() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let (hall, placement) = setup(&net, PlacementStrategy::BlockLocal);
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        for r in &plan.runs {
+            assert!(r.choice.slack >= Meters::ZERO);
+            assert!(r.choice.ordered_length + Meters::new(1e-9) >= r.routed_length);
+        }
+        assert!(plan.total_slack() >= Meters::ZERO);
+    }
+
+    #[test]
+    fn block_local_is_cheaper_than_scattered() {
+        let net = fat_tree(6, Gbps::new(100.0)).unwrap();
+        let (hall, local) = setup(&net, PlacementStrategy::BlockLocal);
+        let scat =
+            Placement::place(&net, &hall, PlacementStrategy::Scattered(3), &EquipmentProfile::default())
+                .unwrap();
+        let policy = CablingPolicy::default();
+        let plan_local = CablingPlan::build(&net, &hall, &local, &policy);
+        let plan_scat = CablingPlan::build(&net, &hall, &scat, &policy);
+        assert!(plan_local.total_cable_cost() < plan_scat.total_cable_cost());
+        assert!(plan_local.optical_fraction() <= plan_scat.optical_fraction());
+    }
+
+    #[test]
+    fn ocs_links_get_two_halves_and_consume_site_ports() {
+        let p = ClosParams {
+            spine_via_panels: true,
+            ..ClosParams::default()
+        };
+        let net = folded_clos(&p).unwrap();
+        let (hall, placement) = setup(&net, PlacementStrategy::BlockLocal);
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        assert!(plan.failures.is_empty(), "failures: {:?}", plan.failures);
+        assert!(!plan.sites.is_empty());
+        let mediated = net.links().filter(|l| l.via_ocs).count();
+        let direct = net.links().filter(|l| !l.via_ocs).count();
+        assert_eq!(plan.runs.len(), direct + 2 * mediated);
+        let used: u32 = plan.sites.iter().map(|s| s.ports_used).sum();
+        assert_eq!(used as usize, mediated);
+        // Every mediated half is optical (electrical can't cross an OCS).
+        for r in plan.runs.iter().filter(|r| r.via_site.is_some()) {
+            assert!(r.choice.sku.class.is_optical());
+        }
+    }
+
+    #[test]
+    fn media_histogram_sums_to_runs() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let (hall, placement) = setup(&net, PlacementStrategy::BlockLocal);
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let total: usize = plan.media_histogram().values().sum();
+        assert_eq!(total, plan.runs.len());
+        assert!(plan.distinct_skus() >= 1);
+        assert!(plan.mean_routed_length() > Meters::ZERO);
+    }
+
+    #[test]
+    fn links_per_tray_edge_covers_all_committed_edges() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let (hall, placement) = setup(&net, PlacementStrategy::BlockLocal);
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let per_edge = plan.links_per_tray_edge();
+        // Every edge with nonzero fill must appear in the map.
+        for e in plan.tray.router.edge_ids() {
+            if plan.tray.router.fill_fraction(e) > 0.0 {
+                assert!(per_edge.contains_key(&e), "edge {e:?} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the cabling substrate.
+
+use pd_cabling::{BundlingReport, CableCatalog, CablingPlan, CablingPolicy, MediaClass};
+use pd_geometry::{Gbps, Meters};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy};
+use pd_topology::gen::{jellyfish, JellyfishParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Media choice always covers the requirement and never exceeds the
+    /// (derated) reach, at every supported speed.
+    #[test]
+    fn media_choice_sound(speed_idx in 0usize..4, len in 0.5f64..150.0, derate in 0.5f64..1.0) {
+        let speed = Gbps::new([100.0, 200.0, 400.0, 25.0][speed_idx]);
+        let cat = CableCatalog { reach_derating: derate, ..CableCatalog::default() };
+        if let Some(c) = cat.choose(speed, Meters::new(len), 0, 0) {
+            prop_assert!(c.ordered_length + Meters::new(1e-9) >= Meters::new(len));
+            prop_assert!(c.ordered_length <= cat.effective_reach(&c.sku) + Meters::new(1e-9));
+            prop_assert!(c.slack >= Meters::ZERO);
+            prop_assert!(c.cost.value() > 0.0);
+        }
+    }
+
+    /// Longer runs never get cheaper: the chosen cost is monotone
+    /// nondecreasing in required length (same speed, same elements).
+    #[test]
+    fn cost_monotone_in_length(len in 1.0f64..80.0, extra in 0.1f64..60.0) {
+        let cat = CableCatalog::default();
+        let speed = Gbps::new(100.0);
+        let a = cat.choose(speed, Meters::new(len), 0, 0);
+        let b = cat.choose(speed, Meters::new(len + extra), 0, 0);
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!(b.cost + pd_geometry::Dollars::new(1e-9) >= a.cost,
+                "len {len} cost {} vs len {} cost {}", a.cost, len + extra, b.cost);
+        }
+    }
+
+    /// A full cabling plan on a random topology: every link either gets runs
+    /// or a recorded failure; bundling partitions the runs exactly.
+    #[test]
+    fn plan_accounts_for_every_link(seed in 0u64..40, tors in 10usize..40) {
+        prop_assume!((tors * 6) % 2 == 0);
+        let net = jellyfish(&JellyfishParams {
+            tors,
+            network_degree: 6,
+            servers_per_tor: 4,
+            link_speed: Gbps::new(100.0),
+            seed,
+        }).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(&net, &hall, PlacementStrategy::BlockLocal, &EquipmentProfile::default()).unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let realized: std::collections::HashSet<_> = plan.runs.iter().map(|r| r.link).collect();
+        let failed: std::collections::HashSet<_> = plan.failures.iter().map(|(l, _)| *l).collect();
+        for l in net.links() {
+            prop_assert!(realized.contains(&l.id) || failed.contains(&l.id));
+        }
+        let rep = BundlingReport::analyze(&plan, 4);
+        let total: usize = rep.bundles.iter().map(|b| b.size()).sum();
+        prop_assert_eq!(total, plan.runs.len());
+    }
+
+    /// Copper never appears on runs longer than its reach.
+    #[test]
+    fn no_overlong_copper(seed in 0u64..20) {
+        let net = jellyfish(&JellyfishParams {
+            tors: 24,
+            network_degree: 5,
+            servers_per_tor: 4,
+            link_speed: Gbps::new(100.0),
+            seed,
+        }).unwrap();
+        prop_assume!(24 * 5 % 2 == 0);
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(&net, &hall, PlacementStrategy::Scattered(seed), &EquipmentProfile::default()).unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        for r in &plan.runs {
+            if r.choice.sku.class == MediaClass::DacCopper {
+                prop_assert!(r.choice.ordered_length <= r.choice.sku.max_reach + Meters::new(1e-9));
+            }
+        }
+    }
+}

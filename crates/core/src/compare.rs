@@ -1,0 +1,243 @@
+//! Normalized design constructors for cross-family comparison.
+//!
+//! The paper's §4.2 question — "why aren't expanders in wide use?" — only
+//! makes sense at *equal server count and equal gear class*. These helpers
+//! build each family sized as close as its structure allows to a target
+//! server count, using radix-32 switches with half their ports facing
+//! servers (the Jellyfish paper's convention), so experiment E6 can compare
+//! per-server metrics honestly. Exact server counts differ by family
+//! granularity; reports normalize per server.
+
+use crate::design::TopologySpec;
+use pd_geometry::Gbps;
+use pd_topology::gen::{
+    ClosParams, DirectConnectParams, FatCliqueParams, FlattenedButterflyParams, JellyfishParams,
+    SlimFlyParams, XpanderParams,
+};
+
+/// The standard switch radix the comparison uses.
+pub const RADIX: u16 = 32;
+
+/// Ports per switch facing servers in flat families.
+pub const SERVER_PORTS: u16 = RADIX / 2;
+
+/// Fat-tree sized for ≥ `target_servers` (k³/4 servers at k/2 per ToR).
+pub fn fat_tree_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    let mut k = 4usize;
+    while k * k * k / 4 < target_servers {
+        k += 2;
+    }
+    TopologySpec::FatTree { k, speed }
+}
+
+/// Folded Clos sized for ≈ `target_servers` with radix-32 gear.
+pub fn folded_clos_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    // ToR: 16 servers + 8 uplinks... keep a balanced 2:1: 16 servers, 8
+    // aggs per pod? Use: servers_per_tor = 16, tors_per_pod = 8,
+    // aggs_per_pod = 4, spines = 16 (agg radix = 8 + 16 = 24 ≤ 32).
+    let per_pod = 16 * 8;
+    let pods = target_servers.div_ceil(per_pod).max(2);
+    TopologySpec::FoldedClos(ClosParams {
+        pods,
+        tors_per_pod: 8,
+        aggs_per_pod: 4,
+        spines: 16,
+        servers_per_tor: 16,
+        link_speed: speed,
+        tor_agg_trunking: 1,
+        agg_spine_trunking: 1,
+        spine_via_panels: false,
+        max_pods: None,
+    })
+}
+
+/// Leaf-spine sized for ≥ `target_servers`.
+pub fn leaf_spine_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    let servers_per_leaf = SERVER_PORTS;
+    let leaves = target_servers.div_ceil(usize::from(servers_per_leaf)).max(2);
+    TopologySpec::LeafSpine {
+        leaves,
+        spines: usize::from(RADIX / 2),
+        servers_per_leaf,
+        trunking: 1,
+        speed,
+    }
+}
+
+/// Jellyfish sized for ≥ `target_servers` (half ports to servers).
+pub fn jellyfish_near(target_servers: usize, speed: Gbps, seed: u64) -> TopologySpec {
+    let degree = usize::from(RADIX - SERVER_PORTS);
+    let mut tors = target_servers.div_ceil(usize::from(SERVER_PORTS)).max(degree + 1);
+    if tors * degree % 2 != 0 {
+        tors += 1;
+    }
+    TopologySpec::Jellyfish(JellyfishParams {
+        tors,
+        network_degree: degree,
+        servers_per_tor: SERVER_PORTS,
+        link_speed: speed,
+        seed,
+    })
+}
+
+/// Xpander sized for ≥ `target_servers`.
+pub fn xpander_near(target_servers: usize, speed: Gbps, seed: u64) -> TopologySpec {
+    let degree = usize::from(RADIX - SERVER_PORTS);
+    let tors_needed = target_servers.div_ceil(usize::from(SERVER_PORTS));
+    // Lift granularity: Xpander grows in whole-metanode-lift multiples, and
+    // the metanode-pair harnesses its papers advertise need several cables
+    // per pair to be worth pre-building; we never build below lift 4.
+    let lift = tors_needed.div_ceil(degree + 1).max(4);
+    TopologySpec::Xpander(XpanderParams {
+        network_degree: degree,
+        lift,
+        servers_per_tor: SERVER_PORTS,
+        link_speed: speed,
+        seed,
+    })
+}
+
+/// Slim Fly: the smallest valid `q` whose 2q² switches can host
+/// `target_servers` with ≤ 16 servers per switch.
+pub fn slimfly_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    for q in [5usize, 13, 17, 29, 37, 41, 53, 61] {
+        let switches = 2 * q * q;
+        let per = target_servers.div_ceil(switches);
+        if per <= usize::from(SERVER_PORTS) {
+            return TopologySpec::SlimFly(SlimFlyParams {
+                q,
+                servers_per_tor: per.max(1) as u16,
+                link_speed: speed,
+            });
+        }
+    }
+    // Fall through: largest table entry with max servers.
+    TopologySpec::SlimFly(SlimFlyParams {
+        q: 61,
+        servers_per_tor: SERVER_PORTS,
+        link_speed: speed,
+    })
+}
+
+/// Flattened butterfly: square grid, half ports to servers.
+pub fn flattened_butterfly_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    // Grid a×a: network degree 2(a−1) ≤ 16 ⇒ a ≤ 9.
+    let mut a = 2usize;
+    while a < 9 && a * a * usize::from(SERVER_PORTS) < target_servers {
+        a += 1;
+    }
+    let per = target_servers
+        .div_ceil(a * a)
+        .clamp(1, usize::from(SERVER_PORTS)) as u16;
+    TopologySpec::FlattenedButterfly(FlattenedButterflyParams {
+        rows: a,
+        cols: a,
+        servers_per_tor: per,
+        link_speed: speed,
+    })
+}
+
+/// FatClique sized for ≥ `target_servers`.
+pub fn fatclique_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    // 4-switch sub-cliques, 4 sub-cliques per clique (16 switches/clique).
+    let per_clique = 16 * usize::from(SERVER_PORTS);
+    let cliques = target_servers.div_ceil(per_clique).max(2);
+    TopologySpec::FatClique(FatCliqueParams {
+        subclique_size: 4,
+        subcliques_per_clique: 4,
+        cliques,
+        inter_clique_links: 16,
+        servers_per_tor: SERVER_PORTS,
+        link_speed: speed,
+    })
+}
+
+/// Direct-connect (spineless OCS fabric) sized for ≥ `target_servers`.
+pub fn direct_connect_near(target_servers: usize, speed: Gbps) -> TopologySpec {
+    // Blocks of 4 ToRs × 16 servers = 64 servers per block.
+    let per_block = 4 * 16;
+    let blocks = target_servers.div_ceil(per_block).max(2);
+    TopologySpec::DirectConnect(DirectConnectParams {
+        blocks,
+        tors_per_block: 4,
+        mids_per_block: 4,
+        uplinks_per_mid: (blocks - 1).div_ceil(4).max(4),
+        servers_per_tor: 16,
+        link_speed: speed,
+    })
+}
+
+/// All families at one target size, in presentation order.
+pub fn all_families(target_servers: usize, speed: Gbps, seed: u64) -> Vec<(String, TopologySpec)> {
+    vec![
+        ("fat-tree".into(), fat_tree_near(target_servers, speed)),
+        ("folded-clos".into(), folded_clos_near(target_servers, speed)),
+        ("leaf-spine".into(), leaf_spine_near(target_servers, speed)),
+        ("jellyfish".into(), jellyfish_near(target_servers, speed, seed)),
+        ("xpander".into(), xpander_near(target_servers, speed, seed)),
+        ("slimfly".into(), slimfly_near(target_servers, speed)),
+        (
+            "flat-bf".into(),
+            flattened_butterfly_near(target_servers, speed),
+        ),
+        ("fatclique".into(), fatclique_near(target_servers, speed)),
+        (
+            "direct-connect".into(),
+            direct_connect_near(target_servers, speed),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEED: Gbps = Gbps(100.0);
+
+    #[test]
+    fn all_families_build_near_target() {
+        let target = 500;
+        for (name, spec) in all_families(target, SPEED, 7) {
+            let net = spec.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let servers = net.server_count() as usize;
+            assert!(
+                servers >= target,
+                "{name}: {servers} < target {target}"
+            );
+            assert!(
+                servers <= target * 3,
+                "{name}: {servers} wildly over target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn granularity_respected_at_small_scale() {
+        for (name, spec) in all_families(100, SPEED, 7) {
+            let net = spec.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(net.server_count() >= 100, "{name}");
+            assert!(net.is_connected(), "{name}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_size_steps() {
+        // k=8 hosts 128, k=10 hosts 250.
+        let TopologySpec::FatTree { k, .. } = fat_tree_near(129, SPEED) else {
+            panic!()
+        };
+        assert_eq!(k, 10);
+    }
+
+    #[test]
+    fn slimfly_picks_minimal_q() {
+        let TopologySpec::SlimFly(p) = slimfly_near(400, SPEED) else {
+            panic!()
+        };
+        assert_eq!(p.q, 5, "2·25 switches × 16 = 800 ≥ 400");
+        let TopologySpec::SlimFly(p) = slimfly_near(2000, SPEED) else {
+            panic!()
+        };
+        assert_eq!(p.q, 13);
+    }
+}

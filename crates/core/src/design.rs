@@ -1,0 +1,239 @@
+//! Declarative design specifications.
+//!
+//! A [`DesignSpec`] is everything the pipeline needs to evaluate a design,
+//! as plain data: the topology family and parameters, the hall, how to
+//! place and cable it, and which lifecycle probes to run. Experiments
+//! construct specs, sweep fields, and hand them to
+//! [`crate::pipeline::evaluate`].
+
+use pd_cabling::CablingPolicy;
+use pd_costing::{ScheduleParams, YieldParams};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{HallSpec, PlacementStrategy};
+use pd_topology::gen::{
+    self, ClosParams, FatCliqueParams, FlattenedButterflyParams, GenError, JellyfishParams,
+    SlimFlyParams, XpanderParams,
+};
+use pd_topology::Network;
+
+/// Which topology family to build, with its parameters.
+#[derive(Debug, Clone)]
+pub enum TopologySpec {
+    /// Canonical k-ary fat-tree.
+    FatTree {
+        /// Pod/radix parameter (even).
+        k: usize,
+        /// Port speed.
+        speed: pd_geometry::Gbps,
+    },
+    /// Parameterized folded Clos.
+    FoldedClos(ClosParams),
+    /// Two-tier leaf-spine.
+    LeafSpine {
+        /// Leaf count.
+        leaves: usize,
+        /// Spine count.
+        spines: usize,
+        /// Server downlinks per leaf.
+        servers_per_leaf: u16,
+        /// Parallel cables per leaf-spine adjacency.
+        trunking: u16,
+        /// Port speed.
+        speed: pd_geometry::Gbps,
+    },
+    /// Jellyfish random regular graph.
+    Jellyfish(JellyfishParams),
+    /// Xpander k-lift.
+    Xpander(XpanderParams),
+    /// Slim Fly MMS graph.
+    SlimFly(SlimFlyParams),
+    /// 2D flattened butterfly.
+    FlattenedButterfly(FlattenedButterflyParams),
+    /// FatClique hierarchical cliques.
+    FatClique(FatCliqueParams),
+    /// Direct-connect blocks over an OCS layer.
+    DirectConnect(gen::DirectConnectParams),
+    /// A pre-built network (escape hatch for custom experiments).
+    Custom(Network),
+}
+
+impl TopologySpec {
+    /// Generates the network.
+    pub fn build(&self) -> Result<Network, GenError> {
+        match self {
+            TopologySpec::FatTree { k, speed } => gen::fat_tree(*k, *speed),
+            TopologySpec::FoldedClos(p) => gen::folded_clos(p),
+            TopologySpec::LeafSpine {
+                leaves,
+                spines,
+                servers_per_leaf,
+                trunking,
+                speed,
+            } => gen::leaf_spine(*leaves, *spines, *servers_per_leaf, *trunking, *speed),
+            TopologySpec::Jellyfish(p) => gen::jellyfish(p),
+            TopologySpec::Xpander(p) => gen::xpander(p),
+            TopologySpec::SlimFly(p) => gen::slimfly(p),
+            TopologySpec::FlattenedButterfly(p) => gen::flattened_butterfly(p),
+            TopologySpec::FatClique(p) => gen::fatclique(p),
+            TopologySpec::DirectConnect(p) => gen::direct_connect(p).map(|f| f.network),
+            TopologySpec::Custom(n) => Ok(n.clone()),
+        }
+    }
+
+    /// Short family name for reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::FatTree { .. } => "fat-tree",
+            TopologySpec::FoldedClos(_) => "folded-clos",
+            TopologySpec::LeafSpine { .. } => "leaf-spine",
+            TopologySpec::Jellyfish(_) => "jellyfish",
+            TopologySpec::Xpander(_) => "xpander",
+            TopologySpec::SlimFly(_) => "slimfly",
+            TopologySpec::FlattenedButterfly(_) => "flat-bf",
+            TopologySpec::FatClique(_) => "fatclique",
+            TopologySpec::DirectConnect(_) => "direct-connect",
+            TopologySpec::Custom(_) => "custom",
+        }
+    }
+}
+
+/// Which expansion experiment the pipeline should probe for this design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpansionProbe {
+    /// No expansion probe.
+    None,
+    /// Clos pod growth from the design's pod count to `to_pods`.
+    ClosPods {
+        /// Target pod count.
+        to_pods: usize,
+        /// Indirection assumed for the rewiring.
+        indirection: pd_lifecycle::expansion::IndirectionLevel,
+    },
+    /// Add `count` ToRs one at a time (Jellyfish/Xpander style).
+    FlatTors {
+        /// ToRs to add.
+        count: usize,
+        /// Seed for the random splices.
+        seed: u64,
+    },
+}
+
+/// The full design specification.
+#[derive(Debug, Clone)]
+pub struct DesignSpec {
+    /// Display name.
+    pub name: String,
+    /// Topology family + parameters.
+    pub topology: TopologySpec,
+    /// The hall to deploy into.
+    pub hall: HallSpec,
+    /// Rack/slot assignment strategy.
+    pub placement: PlacementStrategy,
+    /// Placement local-search iterations (0 = none).
+    pub placement_improvement: usize,
+    /// Equipment physicalization profile.
+    pub equipment: EquipmentProfile,
+    /// Cabling policy (catalog, loss model, indirection hardware).
+    pub cabling: CablingPolicy,
+    /// Minimum group size that counts as a manufacturable bundle.
+    pub min_bundle_size: usize,
+    /// Whether deployment uses pre-built bundles.
+    pub use_bundles: bool,
+    /// Technician pool and labor calibration.
+    pub schedule: ScheduleParams,
+    /// Yield-simulation settings.
+    pub yields: YieldParams,
+    /// Expansion probe to run.
+    pub expansion: ExpansionProbe,
+    /// Repair-simulation settings.
+    pub repair: pd_lifecycle::RepairSimParams,
+    /// Failure-resilience probe: samples of random-failure throughput
+    /// retention at 10% link loss (0 = skip the probe).
+    pub resilience_samples: usize,
+    /// Master seed for placement improvement and sampling.
+    pub seed: u64,
+}
+
+impl DesignSpec {
+    /// A spec with sensible defaults around a topology.
+    pub fn new(name: impl Into<String>, topology: TopologySpec) -> Self {
+        Self {
+            name: name.into(),
+            topology,
+            hall: HallSpec::default(),
+            placement: PlacementStrategy::BlockLocal,
+            placement_improvement: 0,
+            equipment: EquipmentProfile::default(),
+            cabling: CablingPolicy::default(),
+            min_bundle_size: 4,
+            use_bundles: true,
+            schedule: ScheduleParams::default(),
+            yields: YieldParams {
+                trials: 60,
+                ..YieldParams::default()
+            },
+            expansion: ExpansionProbe::None,
+            repair: pd_lifecycle::RepairSimParams {
+                trials: 20,
+                ..pd_lifecycle::RepairSimParams::default()
+            },
+            resilience_samples: 0,
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+
+    #[test]
+    fn every_family_builds() {
+        let specs = [
+            TopologySpec::FatTree {
+                k: 4,
+                speed: Gbps::new(100.0),
+            },
+            TopologySpec::FoldedClos(ClosParams::default()),
+            TopologySpec::LeafSpine {
+                leaves: 4,
+                spines: 2,
+                servers_per_leaf: 8,
+                trunking: 1,
+                speed: Gbps::new(100.0),
+            },
+            TopologySpec::Jellyfish(JellyfishParams::default()),
+            TopologySpec::Xpander(XpanderParams::default()),
+            TopologySpec::SlimFly(SlimFlyParams::default()),
+            TopologySpec::FlattenedButterfly(FlattenedButterflyParams::default()),
+            TopologySpec::FatClique(FatCliqueParams::default()),
+            TopologySpec::DirectConnect(gen::DirectConnectParams::default()),
+        ];
+        for s in specs {
+            let net = s.build().unwrap_or_else(|e| panic!("{}: {e}", s.family()));
+            assert!(net.switch_count() > 0, "{}", s.family());
+            assert!(!s.family().is_empty());
+        }
+    }
+
+    #[test]
+    fn custom_passthrough() {
+        let net = gen::fat_tree(4, Gbps::new(100.0)).unwrap();
+        let spec = TopologySpec::Custom(net.clone());
+        assert_eq!(spec.build().unwrap().switch_count(), net.switch_count());
+    }
+
+    #[test]
+    fn default_spec_is_reasonable() {
+        let spec = DesignSpec::new(
+            "t",
+            TopologySpec::FatTree {
+                k: 4,
+                speed: Gbps::new(100.0),
+            },
+        );
+        assert!(spec.use_bundles);
+        assert_eq!(spec.min_bundle_size, 4);
+    }
+}

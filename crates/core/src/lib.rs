@@ -1,0 +1,51 @@
+//! # pd-core — the physical-deployability evaluation framework
+//!
+//! This crate is the reproduction of the paper's central proposal: a way to
+//! judge a datacenter network design on **physical deployability** — "is a
+//! design feasible to deploy within the constraints of the physical
+//! environment in a datacenter, at scale and at reasonable cost?" (§1) —
+//! side by side with the traditional abstract-goodness metrics.
+//!
+//! * [`design`] — a declarative [`design::DesignSpec`]: topology family +
+//!   parameters, hall, placement strategy, cabling policy, and the
+//!   lifecycle probes to run.
+//! * [`pipeline`] — the end-to-end evaluation: generate → place → route →
+//!   bundle → cost → schedule → yield → lifecycle → twin-validate. Fully
+//!   deterministic given the spec's seeds.
+//! * [`report`] — [`report::DeployabilityReport`], the §5.4 metric suite
+//!   (time-to-deploy, cost-to-deploy, first-pass yield, rewiring steps,
+//!   links-per-panel, locality, diversity support, unit of repair,
+//!   envelope fit) plus plain-text/markdown rendering.
+//! * [`score`] — weighted scoring and Pareto fronts over report sets.
+//! * [`compare`] — constructors that normalize every topology family to a
+//!   comparable server count, for the paper's §4.2 question ("why aren't
+//!   expanders in wide use?") as experiment E6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod design;
+pub mod pipeline;
+pub mod report;
+pub mod score;
+
+pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
+pub use pipeline::{evaluate, Evaluation};
+pub use report::DeployabilityReport;
+pub use score::{pareto_front, weighted_score, Weights};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::compare;
+    pub use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
+    pub use crate::pipeline::{evaluate, Evaluation};
+    pub use crate::report::DeployabilityReport;
+    pub use crate::score::{pareto_front, weighted_score, Weights};
+    pub use pd_cabling::{CablingPolicy, IndirectionKind};
+    pub use pd_costing::{ScheduleParams, YieldParams};
+    pub use pd_geometry::{Dollars, Gbps, Hours, Meters};
+    pub use pd_physical::{HallSpec, PlacementStrategy};
+    pub use pd_topology::gen as topo_gen;
+    pub use pd_topology::{Network, TrafficMatrix};
+}

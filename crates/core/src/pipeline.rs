@@ -1,0 +1,430 @@
+//! The end-to-end evaluation pipeline.
+//!
+//! `evaluate()` runs the full stack on a [`DesignSpec`]:
+//!
+//! ```text
+//! generate topology → place into hall → route cables through trays →
+//! bundle → capex/labor/schedule/yield → expansion probe → repair sim →
+//! twin lowering + constraint check + envelope check → report
+//! ```
+//!
+//! Everything is deterministic given the spec's seeds; the returned
+//! [`Evaluation`] keeps every intermediate artifact so experiments can dig
+//! past the summary report.
+
+use crate::design::{DesignSpec, ExpansionProbe};
+use crate::report::DeployabilityReport;
+use pd_cabling::{BundlingReport, CablingPlan};
+use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
+use pd_geometry::{Hours, Watts};
+use pd_lifecycle::expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
+use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
+use pd_physical::{Hall, Placement};
+use pd_topology::metrics::{goodness, GoodnessParams};
+use pd_topology::{Network, SwitchRole};
+use pd_twin::{check_design, CapabilityEnvelope, DesignFacts, Severity};
+
+/// Everything the pipeline produced for one design.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The generated network (post-probe state for flat expansions).
+    pub network: Network,
+    /// The hall.
+    pub hall: Hall,
+    /// Rack placement.
+    pub placement: Placement,
+    /// The cabling plan.
+    pub cabling: CablingPlan,
+    /// Bundling analysis.
+    pub bundling: BundlingReport,
+    /// Task graph.
+    pub deployment: DeploymentPlan,
+    /// Executed schedule.
+    pub schedule: Schedule,
+    /// Yield simulation.
+    pub yields: YieldReport,
+    /// Capex bill of materials.
+    pub capex: CapexReport,
+    /// TCO aggregation.
+    pub tco: TcoReport,
+    /// Repair simulation.
+    pub repair: RepairSimReport,
+    /// Expansion complexity (if a probe ran).
+    pub expansion: Option<LifecycleComplexity>,
+    /// Twin constraint findings.
+    pub violations: Vec<pd_twin::Violation>,
+    /// Envelope findings.
+    pub envelope: Vec<pd_twin::EnvelopeCheck>,
+    /// The summary report.
+    pub report: DeployabilityReport,
+}
+
+/// Errors from evaluation.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Topology generation failed.
+    Generation(pd_topology::gen::GenError),
+    /// Placement failed (hall too small, budgets exceeded).
+    Placement(pd_physical::PlacementError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Generation(e) => write!(f, "generation: {e}"),
+            EvalError::Placement(e) => write!(f, "placement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Runs the full pipeline.
+pub fn evaluate(spec: &DesignSpec) -> Result<Evaluation, EvalError> {
+    // 1. Topology.
+    let mut net = spec.topology.build().map_err(EvalError::Generation)?;
+
+    // 2. Physical plant + placement.
+    let hall = Hall::new(spec.hall.clone());
+    let mut placement = Placement::place(&net, &hall, spec.placement, &spec.equipment)
+        .map_err(EvalError::Placement)?;
+    if spec.placement_improvement > 0 {
+        placement.improve(&net, &hall, spec.placement_improvement, spec.seed);
+    }
+
+    // 3. Cabling.
+    let cabling = CablingPlan::build(&net, &hall, &placement, &spec.cabling);
+    let bundling = BundlingReport::analyze(&cabling, spec.min_bundle_size);
+    let harness = pd_cabling::HarnessReport::analyze(&cabling, &net, spec.min_bundle_size);
+
+    // 4. Deployment, schedule, yield.
+    let deployment = DeploymentPlan::from_cabling(
+        &net,
+        &placement,
+        &cabling,
+        spec.use_bundles.then_some(&bundling),
+    );
+    let schedule = Schedule::run(&deployment, &hall, &spec.schedule);
+    let yields = YieldReport::simulate(&deployment, &spec.schedule.calib, &spec.yields);
+
+    // 5. Costs.
+    let capex = CapexReport::compute(&net, &placement, &cabling);
+    let switch_power: Watts = net
+        .switches()
+        .map(|s| spec.equipment.switch_shape(s.radix).2)
+        .sum();
+    let network_power = switch_power + cabling.total_end_power();
+    let components = net.switch_count() + cabling.runs.len();
+    let tco = TcoReport::build(
+        &capex,
+        &spec.schedule.calib,
+        &pd_costing::TcoParams::default(),
+        schedule.makespan,
+        deployment.total_work(&spec.schedule.calib),
+        network_power,
+        net.server_count(),
+        components,
+    );
+
+    // 6. Lifecycle probes.
+    let repair = RepairSimReport::simulate(
+        &net,
+        &hall,
+        &placement,
+        &cabling,
+        &spec.schedule.calib,
+        &spec.repair,
+    );
+    let expansion = run_expansion_probe(spec, &mut net, &hall, &placement);
+
+    // 7. Twin.
+    let violations = check_design(&net, &hall, &placement, &cabling);
+    let envelope = CapabilityEnvelope::default().check(&DesignFacts::extract(&net, &cabling));
+
+    // 8. Goodness (+ optional resilience probe).
+    let resilience = (spec.resilience_samples > 0).then(|| {
+        pd_topology::metrics::failure_resilience(&net, 0.10, spec.resilience_samples, spec.seed)
+            .mean_retention
+    });
+    let good = goodness(
+        &net,
+        &GoodnessParams {
+            seed: spec.seed,
+            ..GoodnessParams::default()
+        },
+    );
+
+    let twin_errors = violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .count();
+    let twin_warnings = violations.len() - twin_errors;
+
+    let max_radix = net.switches().map(|s| s.radix).max().unwrap_or(0);
+    let report = DeployabilityReport {
+        name: spec.name.clone(),
+        family: spec.topology.family().to_string(),
+        switches: net.switch_count(),
+        links: net.link_count(),
+        servers: net.server_count(),
+        racks: placement.rack_count() + cabling.sites.len(),
+        diameter: good.diameter,
+        mean_path: good.mean_server_distance,
+        bisection: good.bisection_per_server,
+        throughput_per_server: good.uniform_throughput_per_server,
+        path_diversity: good.min_edge_disjoint_paths,
+        spectral_gap: good.spectral_gap,
+        resilience,
+        capex: capex.total(),
+        cabling_fraction: capex.cabling_fraction(),
+        time_to_deploy: schedule.makespan,
+        labor: deployment.total_work(&spec.schedule.calib),
+        first_pass_yield: yields.first_pass_yield,
+        rework: yields.mean_rework,
+        day_one_cost: tco.day_one(),
+        lifetime_cost: tco.lifetime(),
+        cables: cabling.runs.len(),
+        cable_length: cabling.total_ordered_length(),
+        mean_cable_length: cabling.mean_routed_length(),
+        optical_fraction: cabling.optical_fraction(),
+        distinct_skus: cabling.distinct_skus(),
+        bundled_fraction: bundling.bundled_fraction(),
+        harness_fraction: harness.harness_fraction(),
+        bundle_skus: bundling.bundle_sku_count(),
+        max_tray_fill: cabling.max_tray_fill(),
+        unrealizable_links: cabling.failures.len(),
+        expansion_rewires: expansion.as_ref().map(|c| c.rewiring_steps),
+        expansion_new_cables: expansion.as_ref().map(|c| c.new_cables),
+        expansion_panels_touched: expansion.as_ref().map(|c| c.panels_touched),
+        expansion_labor: expansion.as_ref().map(|c| c.labor),
+        availability: repair.port_availability,
+        mttr: repair.mean_mttr,
+        unit_of_repair_ports: pd_lifecycle::repair::unit_of_repair_ports(
+            max_radix,
+            spec.repair.ports_per_linecard,
+        ),
+        distinct_radixes: net.distinct_radixes().len(),
+        distinct_speeds: net.distinct_speeds().len(),
+        twin_errors,
+        twin_warnings,
+        envelope_breaks: envelope.len(),
+    };
+
+    Ok(Evaluation {
+        network: net,
+        hall,
+        placement,
+        cabling,
+        bundling,
+        deployment,
+        schedule,
+        yields,
+        capex,
+        tco,
+        repair,
+        expansion,
+        violations,
+        envelope,
+        report,
+    })
+}
+
+fn run_expansion_probe(
+    spec: &DesignSpec,
+    net: &mut Network,
+    hall: &Hall,
+    placement: &Placement,
+) -> Option<LifecycleComplexity> {
+    let per_move = Hours::from_minutes(4.0);
+    let per_pull = spec
+        .schedule
+        .calib
+        .loose_cable_time(pd_geometry::Meters::new(20.0));
+    match &spec.expansion {
+        ExpansionProbe::None => None,
+        ExpansionProbe::ClosPods {
+            to_pods,
+            indirection,
+        } => {
+            // Derive current pod structure from blocks with aggregation
+            // switches.
+            let mut pods = 0usize;
+            let mut aggs_per_pod = 0usize;
+            let mut pod_slots = Vec::new();
+            for b in net.blocks() {
+                let members = net.block_members(b);
+                let aggs: Vec<_> = members
+                    .iter()
+                    .filter(|&&s| {
+                        net.switch(s)
+                            .map(|s| s.role == SwitchRole::Aggregation)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if !aggs.is_empty()
+                    && members.iter().any(|&s| {
+                        net.switch(s).map(|s| s.role == SwitchRole::Tor).unwrap_or(false)
+                    })
+                {
+                    pods += 1;
+                    aggs_per_pod = aggs.len();
+                    if let Some(slot) = placement.slot_of(*aggs[0]) {
+                        pod_slots.push(slot);
+                    }
+                }
+            }
+            let spines: Vec<_> = net
+                .switches()
+                .filter(|s| s.role == SwitchRole::Spine)
+                .collect();
+            if pods == 0 || spines.is_empty() || *to_pods <= pods {
+                return None;
+            }
+            let spine_ports = usize::from(spines[0].radix);
+            let spine_count = spines.len();
+            // Panel slots: centre slots (where the sites would be).
+            let panel_slots: Vec<_> = (0..spine_count.min(4))
+                .filter_map(|i| hall.slots().get(hall.slot_count() / 2 + i).map(|s| s.id))
+                .collect();
+            let new_pod_slots: Vec<_> = (0..(*to_pods - pods).max(1))
+                .filter_map(|i| {
+                    hall.slots()
+                        .get(hall.slot_count().saturating_sub(1 + i))
+                        .map(|s| s.id)
+                })
+                .collect();
+            let plan = clos_add_pods(&ClosExpansionParams {
+                old_pods: pods,
+                new_pods: *to_pods,
+                aggs_per_pod,
+                spines: spine_count,
+                spine_ports,
+                indirection: *indirection,
+                panel_slots,
+                pod_slots,
+                new_pod_slots,
+            });
+            Some(plan.complexity(hall, per_move, per_pull))
+        }
+        ExpansionProbe::FlatTors { count, seed } => {
+            let degree = net
+                .switches()
+                .find(|s| s.role == SwitchRole::FlatTor)
+                .map(|s| usize::from(s.radix - s.server_ports))?;
+            let servers = net
+                .switches()
+                .find(|s| s.role == SwitchRole::FlatTor)
+                .map(|s| s.server_ports)
+                .unwrap_or(0);
+            let mut total = pd_lifecycle::RewirePlan::default();
+            for i in 0..*count {
+                let (_, plan) = flat_add_tor(
+                    net,
+                    |s| placement.slot_of(s),
+                    &FlatExpansionParams {
+                        degree,
+                        seed: seed.wrapping_add(i as u64),
+                        servers_per_tor: servers,
+                    },
+                );
+                total.moves.extend(plan.moves);
+                total.new_cables += plan.new_cables;
+                total.abandoned_cables += plan.abandoned_cables;
+            }
+            Some(total.complexity(hall, per_move, per_pull))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::TopologySpec;
+    use pd_geometry::{Dollars, Gbps};
+    use pd_lifecycle::expansion::IndirectionLevel;
+    use pd_topology::gen::JellyfishParams;
+
+    fn fat_tree_spec() -> DesignSpec {
+        DesignSpec::new(
+            "ft4",
+            TopologySpec::FatTree {
+                k: 4,
+                speed: Gbps::new(100.0),
+            },
+        )
+    }
+
+    #[test]
+    fn fat_tree_end_to_end() {
+        let ev = evaluate(&fat_tree_spec()).unwrap();
+        let r = &ev.report;
+        assert_eq!(r.switches, 20);
+        assert_eq!(r.servers, 16);
+        assert!(r.capex > Dollars::new(10_000.0));
+        assert!(r.time_to_deploy > Hours::ZERO);
+        assert!(r.first_pass_yield > 0.9);
+        assert!(r.availability > 0.99);
+        assert!(r.deployable(), "violations: {:?}", ev.violations);
+        assert!(r.day_one_cost >= r.capex);
+        assert!(r.lifetime_cost >= r.day_one_cost);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = evaluate(&fat_tree_spec()).unwrap();
+        let b = evaluate(&fat_tree_spec()).unwrap();
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn clos_expansion_probe_produces_metrics() {
+        let mut spec = DesignSpec::new(
+            "clos",
+            TopologySpec::FoldedClos(pd_topology::gen::ClosParams {
+                // Spine provisioned for the 8-pod build-out (§3.5).
+                max_pods: Some(8),
+                ..pd_topology::gen::ClosParams::default()
+            }),
+        );
+        spec.expansion = ExpansionProbe::ClosPods {
+            to_pods: 8,
+            indirection: IndirectionLevel::PatchPanel,
+        };
+        let ev = evaluate(&spec).unwrap();
+        let r = &ev.report;
+        assert!(r.expansion_rewires.unwrap() > 0);
+        assert!(r.expansion_panels_touched.unwrap() > 0);
+        assert!(r.expansion_labor.unwrap() > Hours::ZERO);
+    }
+
+    #[test]
+    fn flat_expansion_probe_mutates_and_measures() {
+        let mut spec = DesignSpec::new(
+            "jf",
+            TopologySpec::Jellyfish(JellyfishParams {
+                tors: 24,
+                network_degree: 6,
+                servers_per_tor: 4,
+                link_speed: Gbps::new(100.0),
+                seed: 2,
+            }),
+        );
+        spec.expansion = ExpansionProbe::FlatTors { count: 2, seed: 5 };
+        let ev = evaluate(&spec).unwrap();
+        // 2 ToRs × d/2 = 3 splices each.
+        assert_eq!(ev.report.expansion_rewires, Some(6));
+        assert_eq!(ev.report.expansion_new_cables, Some(12));
+        assert_eq!(ev.network.switch_count(), 26);
+    }
+
+    #[test]
+    fn too_small_hall_is_a_placement_error() {
+        let mut spec = fat_tree_spec();
+        spec.hall.rows = 1;
+        spec.hall.slots_per_row = 2;
+        assert!(matches!(
+            evaluate(&spec),
+            Err(EvalError::Placement(_))
+        ));
+    }
+}

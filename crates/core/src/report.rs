@@ -1,0 +1,340 @@
+//! The deployability report: the paper's §5.4 metric suite as a struct.
+//!
+//! One report per evaluated design, fully serializable, with plain-text and
+//! markdown renderers for experiment output. The field groups mirror the
+//! paper's discussion: traditional goodness (§1), deployment cost and time
+//! and first-pass yield (§2), cabling physicality (§3.1), lifecycle
+//! complexity (§2.1, §5.4), and twin verdicts (§5.3).
+
+use pd_geometry::{Dollars, Hours, Meters};
+use serde::{Deserialize, Serialize};
+
+/// The full metric suite for one design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployabilityReport {
+    /// Design name.
+    pub name: String,
+    /// Topology family.
+    pub family: String,
+
+    // ── scale ────────────────────────────────────────────────────────
+    /// Switch count.
+    pub switches: usize,
+    /// Logical link count.
+    pub links: usize,
+    /// Server count (the normalizer for comparisons).
+    pub servers: u32,
+    /// Racks placed (including indirection sites).
+    pub racks: usize,
+
+    // ── traditional goodness (§1) ────────────────────────────────────
+    /// Hop diameter.
+    pub diameter: u16,
+    /// Mean server-to-server hop distance.
+    pub mean_path: f64,
+    /// Normalized sampled bisection (≥1 = full bisection).
+    pub bisection: f64,
+    /// Per-server uniform-traffic throughput proxy (Gbps).
+    pub throughput_per_server: f64,
+    /// Minimum sampled edge-disjoint paths.
+    pub path_diversity: usize,
+    /// Spectral gap if regular.
+    pub spectral_gap: Option<f64>,
+    /// Mean throughput retention at 10% random link failures (None = probe
+    /// not run).
+    pub resilience: Option<f64>,
+
+    // ── deployment (§2) ──────────────────────────────────────────────
+    /// Total capital cost.
+    pub capex: Dollars,
+    /// Cabling's share of capex.
+    pub cabling_fraction: f64,
+    /// Time-to-deploy: scheduled makespan with the spec's tech pool.
+    pub time_to_deploy: Hours,
+    /// Serial labor hours.
+    pub labor: Hours,
+    /// Expected first-pass yield (fraction of links passing).
+    pub first_pass_yield: f64,
+    /// Expected rework hours.
+    pub rework: Hours,
+    /// Day-1 total (capex + labor + stranded capital).
+    pub day_one_cost: Dollars,
+    /// Lifetime total over the TCO horizon.
+    pub lifetime_cost: Dollars,
+
+    // ── cabling physicality (§3.1) ───────────────────────────────────
+    /// Physical cables.
+    pub cables: usize,
+    /// Total ordered cable length.
+    pub cable_length: Meters,
+    /// Mean routed length.
+    pub mean_cable_length: Meters,
+    /// Fraction of cables that are optical.
+    pub optical_fraction: f64,
+    /// Distinct cable SKUs to procure.
+    pub distinct_skus: usize,
+    /// Fraction of cables shipped in manufacturable bundles (same slots,
+    /// same length).
+    pub bundled_fraction: f64,
+    /// Fraction of cables coverable by block-pair harnesses (mixed lengths
+    /// allowed) — the Xpander/FatClique-style bundleability of §4.2.
+    pub harness_fraction: f64,
+    /// Distinct bundle SKUs.
+    pub bundle_skus: usize,
+    /// Worst tray fill fraction.
+    pub max_tray_fill: f64,
+    /// Links that could not be physically realized.
+    pub unrealizable_links: usize,
+
+    // ── lifecycle (§2.1, §3.3, §5.4) ─────────────────────────────────
+    /// Rewiring steps for the spec's expansion probe (None = no probe).
+    pub expansion_rewires: Option<usize>,
+    /// New cables pulled for the expansion.
+    pub expansion_new_cables: Option<usize>,
+    /// Hand-touched panels during expansion.
+    pub expansion_panels_touched: Option<usize>,
+    /// Expansion labor hours.
+    pub expansion_labor: Option<Hours>,
+    /// Port availability from the repair simulation.
+    pub availability: f64,
+    /// Mean time to repair.
+    pub mttr: Hours,
+    /// Ports drained when one port fails (unit of repair).
+    pub unit_of_repair_ports: u32,
+    /// Distinct radixes present (diversity support).
+    pub distinct_radixes: usize,
+    /// Distinct link speeds present.
+    pub distinct_speeds: usize,
+
+    // ── twin verdicts (§5.2, §5.3) ───────────────────────────────────
+    /// Constraint errors.
+    pub twin_errors: usize,
+    /// Constraint warnings.
+    pub twin_warnings: usize,
+    /// Out-of-envelope dimensions.
+    pub envelope_breaks: usize,
+}
+
+impl DeployabilityReport {
+    /// Cost per server (day-1).
+    pub fn day_one_per_server(&self) -> Dollars {
+        if self.servers == 0 {
+            Dollars::ZERO
+        } else {
+            self.day_one_cost / f64::from(self.servers)
+        }
+    }
+
+    /// Cable meters per server — the paper's cabling-burden intuition.
+    pub fn cable_per_server(&self) -> Meters {
+        if self.servers == 0 {
+            Meters::ZERO
+        } else {
+            self.cable_length / f64::from(self.servers)
+        }
+    }
+
+    /// True if the design deploys at all (no hard twin errors and no
+    /// unrealizable links).
+    pub fn deployable(&self) -> bool {
+        self.twin_errors == 0 && self.unrealizable_links == 0
+    }
+
+    /// Renders a markdown comparison table for a set of reports, one
+    /// column per design (the E6 output shape).
+    pub fn comparison_table(reports: &[&DeployabilityReport]) -> String {
+        let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+        let mut row = |label: &str, f: &dyn Fn(&DeployabilityReport) -> String| {
+            rows.push((label.to_string(), reports.iter().map(|r| f(r)).collect()));
+        };
+        row("family", &|r| r.family.clone());
+        row("switches", &|r| r.switches.to_string());
+        row("servers", &|r| r.servers.to_string());
+        row("racks", &|r| r.racks.to_string());
+        row("— goodness —", &|_| String::new());
+        row("diameter", &|r| r.diameter.to_string());
+        row("mean path", &|r| format!("{:.2}", r.mean_path));
+        row("bisection", &|r| format!("{:.2}", r.bisection));
+        row("tput/server (G)", &|r| {
+            format!("{:.0}", r.throughput_per_server)
+        });
+        row("path diversity", &|r| r.path_diversity.to_string());
+        row("resilience@10%", &|r| {
+            r.resilience
+                .map(|v| format!("{:.0}%", v * 100.0))
+                .unwrap_or_else(|| "-".into())
+        });
+        row("— deployment —", &|_| String::new());
+        row("capex ($k)", &|r| format!("{:.0}", r.capex.value() / 1e3));
+        row("cabling share", &|r| {
+            format!("{:.0}%", r.cabling_fraction * 100.0)
+        });
+        row("deploy time (h)", &|r| {
+            format!("{:.0}", r.time_to_deploy.value())
+        });
+        row("labor (h)", &|r| format!("{:.0}", r.labor.value()));
+        row("first-pass yield", &|r| {
+            format!("{:.1}%", r.first_pass_yield * 100.0)
+        });
+        row("day-1 ($k)", &|r| {
+            format!("{:.0}", r.day_one_cost.value() / 1e3)
+        });
+        row("— cabling —", &|_| String::new());
+        row("cables", &|r| r.cables.to_string());
+        row("cable km", &|r| {
+            format!("{:.2}", r.cable_length.value() / 1000.0)
+        });
+        row("optical", &|r| {
+            format!("{:.0}%", r.optical_fraction * 100.0)
+        });
+        row("distinct SKUs", &|r| r.distinct_skus.to_string());
+        row("bundled", &|r| {
+            format!("{:.0}%", r.bundled_fraction * 100.0)
+        });
+        row("harnessable", &|r| {
+            format!("{:.0}%", r.harness_fraction * 100.0)
+        });
+        row("max tray fill", &|r| {
+            format!("{:.0}%", r.max_tray_fill * 100.0)
+        });
+        row("— lifecycle —", &|_| String::new());
+        row("exp. rewires", &|r| {
+            r.expansion_rewires
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        });
+        row("exp. labor (h)", &|r| {
+            r.expansion_labor
+                .map(|v| format!("{:.1}", v.value()))
+                .unwrap_or_else(|| "-".into())
+        });
+        row("availability", &|r| format!("{:.5}", r.availability));
+        row("unit of repair", &|r| r.unit_of_repair_ports.to_string());
+        row("— twin —", &|_| String::new());
+        row("errors", &|r| r.twin_errors.to_string());
+        row("warnings", &|r| r.twin_warnings.to_string());
+        row("deployable", &|r| {
+            if r.deployable() { "yes" } else { "NO" }.into()
+        });
+
+        let mut out = String::new();
+        out.push_str("| metric |");
+        for r in reports {
+            out.push_str(&format!(" {} |", r.name));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in reports {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, cells) in rows {
+            out.push_str(&format!("| {label} |"));
+            for c in cells {
+                out.push_str(&format!(" {c} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Test fixtures shared across the crate's unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    pub(crate) fn dummy(name: &str) -> DeployabilityReport {
+        DeployabilityReport {
+            name: name.into(),
+            family: "fat-tree".into(),
+            switches: 20,
+            links: 32,
+            servers: 16,
+            racks: 13,
+            diameter: 4,
+            mean_path: 3.4,
+            bisection: 1.0,
+            throughput_per_server: 100.0,
+            path_diversity: 2,
+            spectral_gap: None,
+            resilience: Some(0.9),
+            capex: Dollars::new(500_000.0),
+            cabling_fraction: 0.1,
+            time_to_deploy: Hours::new(40.0),
+            labor: Hours::new(120.0),
+            first_pass_yield: 0.99,
+            rework: Hours::new(2.0),
+            day_one_cost: Dollars::new(520_000.0),
+            lifetime_cost: Dollars::new(700_000.0),
+            cables: 32,
+            cable_length: Meters::new(800.0),
+            mean_cable_length: Meters::new(20.0),
+            optical_fraction: 0.4,
+            distinct_skus: 6,
+            bundled_fraction: 0.8,
+            harness_fraction: 0.9,
+            bundle_skus: 10,
+            max_tray_fill: 0.2,
+            unrealizable_links: 0,
+            expansion_rewires: Some(128),
+            expansion_new_cables: Some(64),
+            expansion_panels_touched: Some(4),
+            expansion_labor: Some(Hours::new(30.0)),
+            availability: 0.99995,
+            mttr: Hours::new(2.5),
+            unit_of_repair_ports: 16,
+            distinct_radixes: 1,
+            distinct_speeds: 1,
+            twin_errors: 0,
+            twin_warnings: 3,
+            envelope_breaks: 0,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::dummy;
+    use super::*;
+
+    #[test]
+    fn per_server_metrics() {
+        let r = dummy("a");
+        assert_eq!(r.day_one_per_server(), Dollars::new(32_500.0));
+        assert_eq!(r.cable_per_server(), Meters::new(50.0));
+        assert!(r.deployable());
+    }
+
+    #[test]
+    fn undeployable_detection() {
+        let mut r = dummy("a");
+        r.twin_errors = 1;
+        assert!(!r.deployable());
+        let mut r2 = dummy("b");
+        r2.unrealizable_links = 3;
+        assert!(!r2.deployable());
+    }
+
+    #[test]
+    fn table_renders_all_designs() {
+        let a = dummy("alpha");
+        let b = dummy("beta");
+        let t = DeployabilityReport::comparison_table(&[&a, &b]);
+        assert!(t.contains("| metric | alpha | beta |"));
+        assert!(t.contains("first-pass yield"));
+        assert!(t.contains("99.0%"));
+        // Every row has the same column count.
+        let cols: Vec<usize> = t.lines().map(|l| l.matches('|').count()).collect();
+        assert!(cols.windows(2).all(|w| w[0] == w[1]), "{cols:?}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = dummy("x");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DeployabilityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

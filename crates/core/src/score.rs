@@ -1,0 +1,181 @@
+//! Scoring and Pareto comparison of designs.
+//!
+//! §5.4: well-defined metrics "might reduce fears about adopting novel
+//! designs". A single weighted score is a blunt instrument — the paper is
+//! explicit that no closed metric set exists — so alongside
+//! [`weighted_score`] we provide [`pareto_front`] over (goodness,
+//! deployability) pairs, which is how E6 presents the tradeoff without
+//! pretending to a total order.
+
+use crate::report::DeployabilityReport;
+use serde::{Deserialize, Serialize};
+
+/// Weights for the scalar score. Each component is normalized against the
+/// best value in the compared set, so weights are unitless preferences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Weight on per-server throughput (higher better).
+    pub throughput: f64,
+    /// Weight on mean path length (lower better).
+    pub latency: f64,
+    /// Weight on day-1 cost per server (lower better).
+    pub cost: f64,
+    /// Weight on time-to-deploy (lower better).
+    pub deploy_time: f64,
+    /// Weight on first-pass yield (higher better).
+    pub yield_: f64,
+    /// Weight on expansion labor (lower better; designs without a probe
+    /// get the worst value in the set).
+    pub expansion: f64,
+    /// Weight on availability (higher better).
+    pub availability: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self {
+            throughput: 1.0,
+            latency: 0.5,
+            cost: 1.0,
+            deploy_time: 1.0,
+            yield_: 0.5,
+            expansion: 1.0,
+            availability: 0.5,
+        }
+    }
+}
+
+/// Scores every report in `set` under `weights`; higher is better. Scores
+/// are comparable only within one call (normalization is per-set).
+pub fn weighted_score(set: &[&DeployabilityReport], weights: &Weights) -> Vec<f64> {
+    if set.is_empty() {
+        return Vec::new();
+    }
+    let max = |f: &dyn Fn(&DeployabilityReport) -> f64| {
+        set.iter().map(|r| f(r)).fold(f64::MIN, f64::max)
+    };
+    let min = |f: &dyn Fn(&DeployabilityReport) -> f64| {
+        set.iter().map(|r| f(r)).fold(f64::MAX, f64::min)
+    };
+    let tput = &|r: &DeployabilityReport| r.throughput_per_server;
+    let path = &|r: &DeployabilityReport| r.mean_path;
+    let cost = &|r: &DeployabilityReport| r.day_one_per_server().value();
+    let time = &|r: &DeployabilityReport| r.time_to_deploy.value();
+    let fy = &|r: &DeployabilityReport| r.first_pass_yield;
+    let avail = &|r: &DeployabilityReport| r.availability;
+    let worst_exp = set
+        .iter()
+        .map(|r| r.expansion_labor.map(|h| h.value()).unwrap_or(f64::NAN))
+        .fold(0.0f64, |a, b| if b.is_nan() { a } else { a.max(b) });
+    let exp = move |r: &DeployabilityReport| {
+        r.expansion_labor
+            .map(|h| h.value())
+            .unwrap_or(worst_exp.max(1.0))
+    };
+
+    // Higher-better: value / max. Lower-better: min / value.
+    let hi = |v: f64, m: f64| if m <= 0.0 { 0.0 } else { v / m };
+    let lo = |v: f64, m: f64| if v <= 0.0 { 1.0 } else { m / v };
+
+    set.iter()
+        .map(|r| {
+            let mut s = 0.0;
+            s += weights.throughput * hi(tput(r), max(tput));
+            s += weights.latency * lo(path(r), min(path));
+            s += weights.cost * lo(cost(r), min(cost));
+            s += weights.deploy_time * lo(time(r), min(time));
+            s += weights.yield_ * hi(fy(r), max(fy));
+            s += weights.expansion * lo(exp(r), set.iter().map(|x| exp(x)).fold(f64::MAX, f64::min));
+            s += weights.availability * hi(avail(r), max(avail));
+            if !r.deployable() {
+                // An undeployable design's score is meaningless; sink it.
+                s = 0.0;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Indices of the Pareto-optimal reports under (goodness = per-server
+/// throughput ↑, deployability = day-1 cost per server ↓ and deploy time ↓).
+/// A report is dominated if another is at least as good on all three and
+/// strictly better on one.
+pub fn pareto_front(set: &[&DeployabilityReport]) -> Vec<usize> {
+    let dominates = |a: &DeployabilityReport, b: &DeployabilityReport| {
+        let ge = a.throughput_per_server >= b.throughput_per_server
+            && a.day_one_per_server() <= b.day_one_per_server()
+            && a.time_to_deploy <= b.time_to_deploy;
+        let gt = a.throughput_per_server > b.throughput_per_server
+            || a.day_one_per_server() < b.day_one_per_server()
+            || a.time_to_deploy < b.time_to_deploy;
+        ge && gt
+    };
+    (0..set.len())
+        .filter(|&i| {
+            set[i].deployable()
+                && !(0..set.len()).any(|j| j != i && set[j].deployable() && dominates(set[j], set[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::{Dollars, Hours};
+
+    fn base(name: &str) -> DeployabilityReport {
+        // Reuse the report test fixture via a local copy (keeps the score
+        // tests independent of pipeline wiring).
+        crate::report::tests_support::dummy(name)
+    }
+
+    #[test]
+    fn cheaper_faster_design_scores_higher() {
+        let good = base("good");
+        let mut bad = base("bad");
+        bad.day_one_cost = Dollars::new(2_000_000.0);
+        bad.time_to_deploy = Hours::new(400.0);
+        let scores = weighted_score(&[&good, &bad], &Weights::default());
+        assert!(scores[0] > scores[1], "{scores:?}");
+    }
+
+    #[test]
+    fn undeployable_scores_zero() {
+        let good = base("good");
+        let mut broken = base("broken");
+        broken.twin_errors = 2;
+        let scores = weighted_score(&[&good, &broken], &Weights::default());
+        assert_eq!(scores[1], 0.0);
+        assert!(scores[0] > 0.0);
+    }
+
+    #[test]
+    fn pareto_front_excludes_dominated() {
+        let a = base("a"); // baseline
+        let mut b = base("b"); // strictly worse on cost, same elsewhere
+        b.day_one_cost = a.day_one_cost * 2.0;
+        let mut c = base("c"); // better throughput, worse cost: incomparable
+        c.throughput_per_server = a.throughput_per_server * 2.0;
+        c.day_one_cost = a.day_one_cost * 3.0;
+        let front = pareto_front(&[&a, &b, &c]);
+        assert!(front.contains(&0));
+        assert!(!front.contains(&1), "b is dominated by a");
+        assert!(front.contains(&2), "c trades cost for throughput");
+    }
+
+    #[test]
+    fn pareto_front_skips_undeployable() {
+        let a = base("a");
+        let mut b = base("b");
+        b.throughput_per_server *= 10.0;
+        b.twin_errors = 1;
+        let front = pareto_front(&[&a, &b]);
+        assert_eq!(front, vec![0]);
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(weighted_score(&[], &Weights::default()).is_empty());
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for scoring and Pareto comparison.
+
+use pd_core::report::DeployabilityReport;
+use pd_core::{pareto_front, weighted_score, Weights};
+use pd_geometry::{Dollars, Hours, Meters};
+use proptest::prelude::*;
+
+fn report(
+    name: String,
+    tput: f64,
+    cost: f64,
+    time: f64,
+    yield_: f64,
+    deployable: bool,
+) -> DeployabilityReport {
+    DeployabilityReport {
+        name,
+        family: "test".into(),
+        switches: 10,
+        links: 20,
+        servers: 100,
+        racks: 10,
+        diameter: 3,
+        mean_path: 2.5,
+        bisection: 1.0,
+        throughput_per_server: tput,
+        path_diversity: 2,
+        spectral_gap: None,
+        resilience: None,
+        capex: Dollars::new(cost * 0.8),
+        cabling_fraction: 0.2,
+        time_to_deploy: Hours::new(time),
+        labor: Hours::new(time * 4.0),
+        first_pass_yield: yield_,
+        rework: Hours::new(1.0),
+        day_one_cost: Dollars::new(cost),
+        lifetime_cost: Dollars::new(cost * 1.4),
+        cables: 20,
+        cable_length: Meters::new(400.0),
+        mean_cable_length: Meters::new(20.0),
+        optical_fraction: 0.5,
+        distinct_skus: 4,
+        bundled_fraction: 0.5,
+        harness_fraction: 0.5,
+        bundle_skus: 3,
+        max_tray_fill: 0.1,
+        unrealizable_links: if deployable { 0 } else { 1 },
+        expansion_rewires: None,
+        expansion_new_cables: None,
+        expansion_panels_touched: None,
+        expansion_labor: None,
+        availability: 0.9999,
+        mttr: Hours::new(2.0),
+        unit_of_repair_ports: 16,
+        distinct_radixes: 1,
+        distinct_speeds: 1,
+        twin_errors: 0,
+        twin_warnings: 0,
+        envelope_breaks: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A report that is at least as good on every scored dimension and
+    /// strictly better on one never scores lower.
+    #[test]
+    fn dominance_respected_by_score(
+        tput in 10.0f64..200.0,
+        cost in 1e4f64..1e6,
+        time in 5.0f64..200.0,
+        y in 0.9f64..1.0,
+        boost in 1.01f64..3.0,
+    ) {
+        let worse = report("worse".into(), tput, cost, time, y, true);
+        let better = report("better".into(), tput * boost, cost / boost, time / boost, y, true);
+        let scores = weighted_score(&[&better, &worse], &Weights::default());
+        prop_assert!(scores[0] >= scores[1], "{scores:?}");
+    }
+
+    /// Pareto front: never empty when a deployable report exists; members
+    /// are mutually non-dominating; dominated entries are excluded.
+    #[test]
+    fn pareto_front_laws(entries in prop::collection::vec((10.0f64..200.0, 1e4f64..1e6, 5.0f64..200.0), 1..8)) {
+        let reports: Vec<DeployabilityReport> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (t, c, d))| report(format!("r{i}"), *t, *c, *d, 0.99, true))
+            .collect();
+        let refs: Vec<&DeployabilityReport> = reports.iter().collect();
+        let front = pareto_front(&refs);
+        prop_assert!(!front.is_empty());
+        // No front member dominates another front member.
+        for &i in &front {
+            for &j in &front {
+                if i == j { continue; }
+                let a = refs[i];
+                let b = refs[j];
+                let dominates = a.throughput_per_server >= b.throughput_per_server
+                    && a.day_one_per_server() <= b.day_one_per_server()
+                    && a.time_to_deploy <= b.time_to_deploy
+                    && (a.throughput_per_server > b.throughput_per_server
+                        || a.day_one_per_server() < b.day_one_per_server()
+                        || a.time_to_deploy < b.time_to_deploy);
+                prop_assert!(!dominates, "front member {i} dominates {j}");
+            }
+        }
+    }
+
+    /// Undeployable reports never make the front and always score zero.
+    #[test]
+    fn undeployable_excluded(tput in 100.0f64..1e4) {
+        let broken = report("broken".into(), tput, 1.0, 1.0, 1.0, false);
+        let ok = report("ok".into(), 10.0, 1e6, 500.0, 0.9, true);
+        let refs = [&broken, &ok];
+        let front = pareto_front(&refs);
+        prop_assert_eq!(front, vec![1]);
+        let scores = weighted_score(&refs, &Weights::default());
+        prop_assert_eq!(scores[0], 0.0);
+        prop_assert!(scores[1] > 0.0);
+    }
+
+    /// Scores are scale-invariant in the set: doubling every cost leaves
+    /// the ranking unchanged.
+    #[test]
+    fn ranking_scale_invariant(c1 in 1e4f64..1e6, c2 in 1e4f64..1e6) {
+        prop_assume!((c1 - c2).abs() > 1.0);
+        let a1 = report("a".into(), 50.0, c1, 20.0, 0.99, true);
+        let b1 = report("b".into(), 50.0, c2, 20.0, 0.99, true);
+        let a2 = report("a".into(), 50.0, c1 * 2.0, 20.0, 0.99, true);
+        let b2 = report("b".into(), 50.0, c2 * 2.0, 20.0, 0.99, true);
+        let s1 = weighted_score(&[&a1, &b1], &Weights::default());
+        let s2 = weighted_score(&[&a2, &b2], &Weights::default());
+        prop_assert_eq!(s1[0] > s1[1], s2[0] > s2[1]);
+    }
+}

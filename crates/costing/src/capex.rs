@@ -1,0 +1,136 @@
+//! Capital-expenditure model: switches, cables, optics, indirection sites.
+//!
+//! Switch prices follow a standard per-port cost curve (cost grows slightly
+//! super-linearly with radix at a given speed, and roughly linearly with
+//! speed); indirection gear uses public list-price magnitudes (a 1008-port
+//! robotic OCS is a ~$250k device; a passive panel is ~$2k). As with the
+//! cable catalog, experiments depend on the relative structure.
+
+use pd_cabling::{CablingPlan, IndirectionKind};
+use pd_geometry::{Dollars, Gbps};
+use pd_physical::Placement;
+use pd_topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// List price of a switch with `radix` ports at `speed` per port.
+///
+/// Model: $90 per 100G-equivalent port, with a 1.15 radix exponent to
+/// reflect the chassis/fabric premium of very high-radix boxes.
+pub fn switch_cost(radix: u16, speed: Gbps) -> Dollars {
+    let per_port_100g = 90.0;
+    let speed_factor = speed.value() / 100.0;
+    Dollars::new(per_port_100g * speed_factor * f64::from(radix).powf(1.15))
+}
+
+/// Price of one indirection site (panel rack or OCS).
+pub fn indirection_site_cost(kind: IndirectionKind) -> Dollars {
+    match kind {
+        // A rack of passive panels (enclosures + trays + MPO cassettes).
+        IndirectionKind::PatchPanel => Dollars::new(18_000.0),
+        // Telescent-class robotic OCS, ~1008 duplex ports.
+        IndirectionKind::Ocs => Dollars::new(250_000.0),
+    }
+}
+
+/// The capital bill of materials for a physicalized design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapexReport {
+    /// All switches.
+    pub switches: Dollars,
+    /// All cables including transceivers/ends.
+    pub cables: Dollars,
+    /// Patch-panel / OCS sites.
+    pub indirection: Dollars,
+    /// Rack hardware (one per placed rack).
+    pub racks: Dollars,
+}
+
+impl CapexReport {
+    /// Per-rack hardware cost (enclosure, PDU pair, cable management).
+    pub const RACK_COST: Dollars = Dollars(3_500.0);
+
+    /// Computes the BOM for a (network, placement, cabling) triple.
+    pub fn compute(net: &Network, placement: &Placement, plan: &CablingPlan) -> Self {
+        let switches = net
+            .switches()
+            .map(|s| switch_cost(s.radix, s.port_speed))
+            .sum();
+        let cables = plan.total_cable_cost();
+        let indirection = plan
+            .sites
+            .iter()
+            .map(|s| indirection_site_cost(s.kind))
+            .sum();
+        let racks = Self::RACK_COST * placement.rack_count() as f64;
+        Self {
+            switches,
+            cables,
+            indirection,
+            racks,
+        }
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> Dollars {
+        self.switches + self.cables + self.indirection + self.racks
+    }
+
+    /// Cabling's share of total capex — Popa et al. \[38\] and §3.1 argue
+    /// this is the number abstract comparisons ignore.
+    pub fn cabling_fraction(&self) -> f64 {
+        let t = self.total();
+        if t.value() <= 0.0 {
+            0.0
+        } else {
+            self.cables.ratio(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{Hall, HallSpec, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    #[test]
+    fn switch_cost_scales_with_radix_and_speed() {
+        let small = switch_cost(32, Gbps::new(100.0));
+        let big = switch_cost(64, Gbps::new(100.0));
+        let fast = switch_cost(32, Gbps::new(400.0));
+        assert!(big > small * 2.0, "radix premium expected");
+        assert!((fast.value() / small.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocs_costs_more_than_panels() {
+        assert!(
+            indirection_site_cost(IndirectionKind::Ocs)
+                > indirection_site_cost(IndirectionKind::PatchPanel) * 10.0
+        );
+    }
+
+    #[test]
+    fn bom_totals_add_up() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let capex = CapexReport::compute(&net, &placement, &plan);
+        let sum = capex.switches + capex.cables + capex.indirection + capex.racks;
+        assert_eq!(capex.total(), sum);
+        assert!(capex.switches > Dollars::ZERO);
+        assert!(capex.cables > Dollars::ZERO);
+        assert_eq!(capex.indirection, Dollars::ZERO); // no via_ocs links
+        assert!(capex.cabling_fraction() > 0.0 && capex.cabling_fraction() < 1.0);
+    }
+}

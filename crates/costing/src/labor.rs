@@ -1,0 +1,137 @@
+//! The labor task vocabulary.
+//!
+//! Physical deployment decomposes into tasks a technician performs at a
+//! location. This module defines the vocabulary; [`crate::deploy`] lowers a
+//! cabling plan into a task graph; [`crate::schedule`] executes it against
+//! a technician pool. Durations come from [`crate::calib`].
+
+use crate::calib::LaborCalibration;
+use pd_geometry::{Hours, Meters};
+use pd_physical::SlotId;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of physical work the scheduler knows about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// Stand up and power a rack.
+    InstallRack,
+    /// Install one switch into an already-standing rack.
+    InstallSwitch,
+    /// Pull one loose cable along a tray route of the given length and
+    /// terminate both ends.
+    PullLooseCable {
+        /// Routed length.
+        length: Meters,
+    },
+    /// Install a pre-built bundle and terminate all members.
+    InstallBundle {
+        /// Member cables.
+        members: usize,
+        /// Common length.
+        length: Meters,
+    },
+    /// Link-light / BER test of one link.
+    TestLink,
+    /// Diagnose + fix one failed first-pass connection.
+    Rework,
+    /// Move fibers at an OCS/panel rack during a conversion (per-fiber
+    /// move; used by the lifecycle crate's conversion planner).
+    MoveFiber,
+}
+
+impl WorkKind {
+    /// Duration of this task under a calibration.
+    pub fn duration(&self, calib: &LaborCalibration) -> Hours {
+        match self {
+            WorkKind::InstallRack => calib.install_rack,
+            WorkKind::InstallSwitch => calib.install_switch,
+            WorkKind::PullLooseCable { length } => calib.loose_cable_time(*length),
+            WorkKind::InstallBundle { members, length } => calib.bundle_time(*members, *length),
+            WorkKind::TestLink => calib.test_link,
+            WorkKind::Rework => calib.rework_connection,
+            // A careful fiber move at a dense panel: locate, unlatch,
+            // re-route, latch, verify — comparable to two connect-ends.
+            WorkKind::MoveFiber => calib.connect_end * 2.0,
+        }
+    }
+
+    /// First-pass error probability of this task (0 for non-connecting
+    /// tasks).
+    pub fn error_rate(&self, calib: &LaborCalibration) -> f64 {
+        match self {
+            WorkKind::PullLooseCable { .. } => calib.loose_error_rate,
+            WorkKind::InstallBundle { members, .. } => {
+                // Each member connection can independently fail; expected
+                // errors = members × rate. We expose the *per-task* expected
+                // error count here, capped at 1 for probability use.
+                (calib.bundle_error_rate * *members as f64).min(1.0)
+            }
+            WorkKind::MoveFiber => calib.loose_error_rate,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of individual connections this task makes (for yield math).
+    pub fn connections(&self) -> usize {
+        match self {
+            WorkKind::PullLooseCable { .. } => 2,
+            WorkKind::InstallBundle { members, .. } => members * 2,
+            WorkKind::MoveFiber => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Where a task happens (for walking-time and rack-exclusion purposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkSite(pub SlotId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_positive_and_ordered() {
+        let c = LaborCalibration::default();
+        let pull = WorkKind::PullLooseCable {
+            length: Meters::new(20.0),
+        }
+        .duration(&c);
+        let test = WorkKind::TestLink.duration(&c);
+        assert!(pull > test);
+        assert!(WorkKind::InstallRack.duration(&c) > WorkKind::InstallSwitch.duration(&c));
+        assert!(WorkKind::Rework.duration(&c) > test);
+    }
+
+    #[test]
+    fn longer_pulls_take_longer() {
+        let c = LaborCalibration::default();
+        let short = WorkKind::PullLooseCable {
+            length: Meters::new(5.0),
+        }
+        .duration(&c);
+        let long = WorkKind::PullLooseCable {
+            length: Meters::new(50.0),
+        }
+        .duration(&c);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn error_rates_and_connections() {
+        let c = LaborCalibration::default();
+        let pull = WorkKind::PullLooseCable {
+            length: Meters::new(5.0),
+        };
+        assert_eq!(pull.connections(), 2);
+        assert!(pull.error_rate(&c) > 0.0);
+        let bundle = WorkKind::InstallBundle {
+            members: 16,
+            length: Meters::new(5.0),
+        };
+        assert_eq!(bundle.connections(), 32);
+        assert!(bundle.error_rate(&c) > pull.error_rate(&c) / 2.0);
+        assert_eq!(WorkKind::TestLink.connections(), 0);
+        assert_eq!(WorkKind::TestLink.error_rate(&c), 0.0);
+    }
+}

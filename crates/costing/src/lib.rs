@@ -1,0 +1,39 @@
+//! # pd-costing — capex, labor, scheduling, yield, and TCO
+//!
+//! The paper's internal metrics (§2) are "time to deploy (hours of effort),
+//! cost to deploy, and first-pass yield". This crate computes all three for
+//! any cabling plan, plus the §2.3 stranded-capital cost of slow deployment
+//! and the §3.5/§5.4 day-1-versus-lifetime tradeoff:
+//!
+//! * [`calib`] — every labor/cost constant, with its provenance.
+//! * [`capex`] — switch, cable, transceiver, and indirection-site BOM costs.
+//! * [`labor`] — the task model: what a technician physically does, how
+//!   long each task takes, and the per-task error rates.
+//! * [`deploy`] — lowers a cabling plan into a precedence-ordered task
+//!   graph (rack installs → switch installs → cable pulls/bundles →
+//!   connect → test).
+//! * [`schedule`] — a k-technician list scheduler with walking time and
+//!   one-tech-per-rack exclusion (§3.2); makespan = **time-to-deploy**.
+//! * [`yield_model`] — Monte-Carlo first-pass yield with rework.
+//! * [`supply`] — §2.2/§3.3 fungibility audits and vendor-outage impact.
+//! * [`tco`] — day-1 vs lifetime cost aggregation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod capex;
+pub mod deploy;
+pub mod labor;
+pub mod schedule;
+pub mod supply;
+pub mod tco;
+pub mod yield_model;
+
+pub use calib::LaborCalibration;
+pub use capex::{switch_cost, CapexReport};
+pub use deploy::{DeploymentPlan, TaskId, TaskKind, WorkTask};
+pub use schedule::{Schedule, ScheduleParams};
+pub use supply::{fungibility_audit, FungibilityReport, OutageImpact, Substitution, VendorOutage};
+pub use tco::{TcoParams, TcoReport};
+pub use yield_model::{YieldParams, YieldReport};

@@ -1,0 +1,276 @@
+//! Supply-chain fungibility: §2.2 and §3.3.
+//!
+//! "If the network design … supports fungible hardware (the ability to
+//! replace one part with another, without other consequences), then a
+//! supply-chain problem at one vendor can be resolved by buying compatible
+//! parts from another. … Fungibility implies a need to design a network
+//! without depending on the best available parts, but rather the
+//! second-best. This could, for example, reduce the allowable length for a
+//! cable."
+//!
+//! Two instruments here:
+//!
+//! * [`fungibility_audit`] — re-selects every cable in a plan under a
+//!   *second-best-vendor* catalog (derated reach). Cables with no feasible
+//!   substitute are the design's single-source exposure; the audit also
+//!   prices the substitution premium for those that do substitute.
+//! * [`VendorOutage::deployment_delay`] — the schedule impact of a vendor
+//!   outage on the exposed portion of the BOM: single-sourced parts wait
+//!   out the outage (stranding capital, §2.3); dual-sourced parts pay only
+//!   the second vendor's lead-time difference.
+
+use crate::calib::LaborCalibration;
+use pd_cabling::{CableCatalog, CablingPlan, MediaClass};
+use pd_geometry::{Dollars, Hours};
+use serde::{Deserialize, Serialize};
+
+/// One cable's fungibility verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Substitution {
+    /// A second-best part covers the run at this extra cost (possibly a
+    /// different media class).
+    Substitutable {
+        /// Cost delta of the substitute (may be negative if the substitute
+        /// is cheaper — rare but possible across classes).
+        premium: Dollars,
+        /// True if the substitute changed media class (operational churn:
+        /// new sparing, new optics handling).
+        changes_class: bool,
+    },
+    /// No second-best part can cover the run: hard single-source exposure.
+    SingleSource,
+}
+
+/// Whole-plan fungibility audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FungibilityReport {
+    /// Per-run verdicts (index-aligned with the plan's runs).
+    pub verdicts: Vec<Substitution>,
+    /// Fraction of cables with a feasible second-best substitute.
+    pub fungible_fraction: f64,
+    /// Total substitution premium if the entire BOM had to switch.
+    pub total_premium: Dollars,
+    /// Cables that changed media class under substitution.
+    pub class_changes: usize,
+    /// The derating used for the second-best catalog.
+    pub reach_derating: f64,
+}
+
+/// Audits a plan against a second-best-vendor catalog built from `catalog`
+/// with `derating` applied to every reach limit (§3.3's "second-best"
+/// rule).
+pub fn fungibility_audit(
+    plan: &CablingPlan,
+    catalog: &CableCatalog,
+    derating: f64,
+) -> FungibilityReport {
+    let second_best = CableCatalog {
+        reach_derating: catalog.reach_derating * derating,
+        ..catalog.clone()
+    };
+    let mut verdicts = Vec::with_capacity(plan.runs.len());
+    let mut fungible = 0usize;
+    let mut premium = Dollars::ZERO;
+    let mut class_changes = 0usize;
+    for run in &plan.runs {
+        // Mediated halves carry their site's element budget; approximate
+        // with one OCS traversal when a site is involved.
+        let (panels, ocs) = if run.via_site.is_some() { (0, 1) } else { (0, 0) };
+        match second_best.choose(run.choice.sku.speed, run.routed_length, panels, ocs) {
+            Some(sub) => {
+                fungible += 1;
+                premium += sub.cost - run.choice.cost;
+                if sub.sku.class != run.choice.sku.class {
+                    class_changes += 1;
+                }
+                verdicts.push(Substitution::Substitutable {
+                    premium: sub.cost - run.choice.cost,
+                    changes_class: sub.sku.class != run.choice.sku.class,
+                });
+            }
+            None => verdicts.push(Substitution::SingleSource),
+        }
+    }
+    let n = plan.runs.len().max(1);
+    FungibilityReport {
+        verdicts,
+        fungible_fraction: fungible as f64 / n as f64,
+        total_premium: premium,
+        class_changes,
+        reach_derating: derating,
+    }
+}
+
+/// A vendor outage affecting one media class during deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VendorOutage {
+    /// The media class whose primary vendor cannot deliver.
+    pub class: MediaClass,
+    /// How long the primary vendor is out.
+    pub outage: Hours,
+    /// Lead time to spin up the secondary vendor for dual-sourced parts.
+    pub secondary_lead: Hours,
+}
+
+/// The deployment impact of a vendor outage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageImpact {
+    /// Cables affected (the outage class's share of the BOM).
+    pub affected_cables: usize,
+    /// Of those, cables with no substitute (they wait out the outage).
+    pub single_sourced: usize,
+    /// Added calendar delay to the deployment.
+    pub delay: Hours,
+    /// Stranded-capital cost of the delay.
+    pub stranded: Dollars,
+}
+
+impl VendorOutage {
+    /// Computes the impact on a plan given the fungibility audit.
+    ///
+    /// Dual-sourced cables incur the secondary vendor's lead time; cables
+    /// with no substitute wait the full outage. The deployment is gated by
+    /// the worst affected part (cabling is on the critical path of rack
+    /// turn-up), so the delay is the max, and `servers` idle for it.
+    pub fn deployment_delay(
+        &self,
+        plan: &CablingPlan,
+        audit: &FungibilityReport,
+        calib: &LaborCalibration,
+        servers: u32,
+    ) -> OutageImpact {
+        let mut affected = 0usize;
+        let mut single = 0usize;
+        for (run, verdict) in plan.runs.iter().zip(&audit.verdicts) {
+            if run.choice.sku.class != self.class {
+                continue;
+            }
+            affected += 1;
+            if matches!(verdict, Substitution::SingleSource) {
+                single += 1;
+            }
+        }
+        let delay = if affected == 0 {
+            Hours::ZERO
+        } else if single > 0 {
+            self.outage
+        } else {
+            self.secondary_lead.min(self.outage)
+        };
+        OutageImpact {
+            affected_cables: affected,
+            single_sourced: single,
+            delay,
+            stranded: Dollars::new(
+                f64::from(servers) * delay.value() * calib.stranded_usd_per_server_hour,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    fn plan() -> (CablingPlan, CableCatalog) {
+        let net = fat_tree(6, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let policy = CablingPolicy::default();
+        (
+            CablingPlan::build(&net, &hall, &placement, &policy),
+            policy.catalog,
+        )
+    }
+
+    #[test]
+    fn mild_derating_keeps_most_cables_fungible() {
+        let (plan, catalog) = plan();
+        let audit = fungibility_audit(&plan, &catalog, 0.9);
+        assert!(
+            audit.fungible_fraction > 0.95,
+            "fraction {}",
+            audit.fungible_fraction
+        );
+        assert_eq!(audit.verdicts.len(), plan.runs.len());
+    }
+
+    #[test]
+    fn harsh_derating_exposes_single_sourcing_or_premiums() {
+        let (plan, catalog) = plan();
+        let mild = fungibility_audit(&plan, &catalog, 0.95);
+        let harsh = fungibility_audit(&plan, &catalog, 0.5);
+        assert!(harsh.fungible_fraction <= mild.fungible_fraction);
+        // Harsher derating forces marginal copper onto pricier media.
+        assert!(harsh.total_premium >= mild.total_premium);
+        assert!(harsh.class_changes >= mild.class_changes);
+    }
+
+    #[test]
+    fn outage_delay_depends_on_sourcing() {
+        let (plan, catalog) = plan();
+        let calib = LaborCalibration::default();
+        // Target the plan's most common media class so the outage bites.
+        let common = *plan
+            .media_histogram()
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .unwrap()
+            .0;
+        let outage = VendorOutage {
+            class: common,
+            outage: Hours::new(6.0 * 168.0), // six weeks
+            secondary_lead: Hours::new(168.0), // one week
+        };
+        // Dual-sourced world: only the secondary lead bites.
+        let dual = fungibility_audit(&plan, &catalog, 0.9);
+        let i_dual = outage.deployment_delay(&plan, &dual, &calib, 100);
+        assert!(i_dual.affected_cables > 0);
+        assert_eq!(i_dual.single_sourced, 0);
+        assert_eq!(i_dual.delay, Hours::new(168.0));
+        // Single-sourced world (catalog with no slack at all): wait it out.
+        let single = FungibilityReport {
+            verdicts: plan
+                .runs
+                .iter()
+                .map(|_| Substitution::SingleSource)
+                .collect(),
+            fungible_fraction: 0.0,
+            total_premium: Dollars::ZERO,
+            class_changes: 0,
+            reach_derating: 0.0,
+        };
+        let i_single = outage.deployment_delay(&plan, &single, &calib, 100);
+        assert_eq!(i_single.delay, Hours::new(6.0 * 168.0));
+        assert!(i_single.stranded > i_dual.stranded);
+    }
+
+    #[test]
+    fn outage_on_unused_class_is_free() {
+        let (plan, catalog) = plan();
+        let audit = fungibility_audit(&plan, &catalog, 0.9);
+        let outage = VendorOutage {
+            class: MediaClass::ActiveElectrical,
+            outage: Hours::new(1000.0),
+            secondary_lead: Hours::new(100.0),
+        };
+        // The 100G fat-tree plan uses DAC/MMF, not AEC.
+        let impact =
+            outage.deployment_delay(&plan, &audit, &LaborCalibration::default(), 100);
+        if impact.affected_cables == 0 {
+            assert_eq!(impact.delay, Hours::ZERO);
+            assert_eq!(impact.stranded, Dollars::ZERO);
+        }
+    }
+}

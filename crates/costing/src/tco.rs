@@ -1,0 +1,188 @@
+//! Day-1 versus lifetime cost: the §3.5 / §5.4 tradeoff.
+//!
+//! "We also need to represent the tradeoff between day-1 costs and
+//! longer-term costs, since a hard-to-evolve design might be sufficiently
+//! cheaper up-front to merit its use." [`TcoReport`] aggregates:
+//!
+//! * **day 1**: capex + deployment labor + the stranded-capital cost of
+//!   servers waiting for their network (§2.3);
+//! * **annual**: network power (switch + transceiver, at PUE-inflated
+//!   energy price) and repair labor from component failure rates;
+//! * **lifetime**: day 1 + years × annual (+ any expansion costs the caller
+//!   adds from the lifecycle crate).
+
+use crate::calib::LaborCalibration;
+use crate::capex::CapexReport;
+use pd_geometry::{Dollars, Hours, Watts};
+use serde::{Deserialize, Serialize};
+
+/// TCO aggregation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcoParams {
+    /// Evaluation horizon.
+    pub years: f64,
+    /// Energy price.
+    pub usd_per_kwh: f64,
+    /// Power usage effectiveness multiplier (cooling overhead).
+    pub pue: f64,
+    /// Expected annual repair labor hours per 1000 components (switches +
+    /// cables); a proxy for the FIT-derived rate when the caller has not
+    /// run the repair simulator.
+    pub repair_hours_per_kilo_component_year: f64,
+}
+
+impl Default for TcoParams {
+    fn default() -> Self {
+        Self {
+            years: 5.0,
+            usd_per_kwh: 0.08,
+            pue: 1.2,
+            repair_hours_per_kilo_component_year: 120.0,
+        }
+    }
+}
+
+/// The aggregated cost report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcoReport {
+    /// Capital bill of materials.
+    pub capex: Dollars,
+    /// Deployment labor cost (serial work hours × rate).
+    pub deploy_labor: Dollars,
+    /// Stranded-capital cost of servers idle during deployment.
+    pub stranded: Dollars,
+    /// Power cost per year.
+    pub annual_power: Dollars,
+    /// Repair labor per year.
+    pub annual_repair: Dollars,
+    /// Evaluation horizon in years.
+    pub years: f64,
+}
+
+impl TcoReport {
+    /// Builds the report.
+    ///
+    /// `makespan` is the scheduled time-to-deploy; `work` the serial labor
+    /// hours; `network_power` the steady-state draw (switches +
+    /// transceivers); `servers` the server count idled until deployment
+    /// completes; `components` the count of failable components.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        capex: &CapexReport,
+        calib: &LaborCalibration,
+        params: &TcoParams,
+        makespan: Hours,
+        work: Hours,
+        network_power: Watts,
+        servers: u32,
+        components: usize,
+    ) -> Self {
+        let deploy_labor = Dollars::new(work.value() * calib.tech_hourly_usd);
+        let stranded = Dollars::new(
+            f64::from(servers) * makespan.value() * calib.stranded_usd_per_server_hour,
+        );
+        let hours_per_year = 24.0 * 365.0;
+        let annual_power = (network_power * params.pue)
+            .energy_cost(Hours::new(hours_per_year), params.usd_per_kwh);
+        let annual_repair = Dollars::new(
+            components as f64 / 1000.0
+                * params.repair_hours_per_kilo_component_year
+                * calib.tech_hourly_usd,
+        );
+        Self {
+            capex: capex.total(),
+            deploy_labor,
+            stranded,
+            annual_power,
+            annual_repair,
+            years: params.years,
+        }
+    }
+
+    /// Everything paid before the network carries traffic.
+    pub fn day_one(&self) -> Dollars {
+        self.capex + self.deploy_labor + self.stranded
+    }
+
+    /// Recurring cost per year.
+    pub fn annual(&self) -> Dollars {
+        self.annual_power + self.annual_repair
+    }
+
+    /// Total over the horizon.
+    pub fn lifetime(&self) -> Dollars {
+        self.day_one() + self.annual() * self.years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capex() -> CapexReport {
+        CapexReport {
+            switches: Dollars::new(100_000.0),
+            cables: Dollars::new(30_000.0),
+            indirection: Dollars::ZERO,
+            racks: Dollars::new(10_000.0),
+        }
+    }
+
+    #[test]
+    fn components_add_up() {
+        let rep = TcoReport::build(
+            &capex(),
+            &LaborCalibration::default(),
+            &TcoParams::default(),
+            Hours::new(100.0),
+            Hours::new(500.0),
+            Watts::new(10_000.0),
+            1000,
+            500,
+        );
+        assert_eq!(rep.capex, Dollars::new(140_000.0));
+        assert_eq!(rep.deploy_labor, Dollars::new(500.0 * 95.0));
+        assert_eq!(rep.stranded, Dollars::new(1000.0 * 100.0 * 0.9));
+        let lt = rep.lifetime();
+        assert!((lt - (rep.day_one() + rep.annual() * 5.0)).abs() < Dollars::new(1e-6));
+    }
+
+    #[test]
+    fn faster_deploy_strands_less() {
+        let mk = |makespan: f64| {
+            TcoReport::build(
+                &capex(),
+                &LaborCalibration::default(),
+                &TcoParams::default(),
+                Hours::new(makespan),
+                Hours::new(500.0),
+                Watts::new(10_000.0),
+                1000,
+                500,
+            )
+            .stranded
+        };
+        assert!(mk(50.0) < mk(200.0));
+    }
+
+    #[test]
+    fn power_cost_reflects_pue() {
+        let base = TcoParams::default();
+        let hot = TcoParams { pue: 2.0, ..base.clone() };
+        let mk = |p: &TcoParams| {
+            TcoReport::build(
+                &capex(),
+                &LaborCalibration::default(),
+                p,
+                Hours::new(10.0),
+                Hours::new(10.0),
+                Watts::new(10_000.0),
+                10,
+                10,
+            )
+            .annual_power
+        };
+        let r = mk(&hot).ratio(mk(&base));
+        assert!((r - 2.0 / 1.2).abs() < 1e-9);
+    }
+}

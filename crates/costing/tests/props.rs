@@ -1,0 +1,125 @@
+//! Property-based tests for the costing substrate.
+
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy};
+use pd_costing::calib::LaborCalibration;
+use pd_costing::{DeploymentPlan, Schedule, ScheduleParams, YieldParams, YieldReport};
+use pd_geometry::{Gbps, Hours, Meters};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy};
+use pd_topology::gen::{jellyfish, JellyfishParams};
+use proptest::prelude::*;
+
+fn build(seed: u64, tors: usize, bundled: bool) -> (Hall, DeploymentPlan) {
+    let net = jellyfish(&JellyfishParams {
+        tors,
+        network_degree: 4,
+        servers_per_tor: 4,
+        link_speed: Gbps::new(100.0),
+        seed,
+    })
+    .unwrap();
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .unwrap();
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let rep = BundlingReport::analyze(&plan, 4);
+    let dp = DeploymentPlan::from_cabling(&net, &placement, &plan, bundled.then_some(&rep));
+    (hall, dp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scheduler invariants hold across random networks and pool sizes:
+    /// makespan ≥ critical path, precedence respected, utilization ≤ 1.
+    #[test]
+    fn scheduler_invariants(seed in 0u64..40, tors in 8usize..24, techs in 1usize..12) {
+        prop_assume!(tors * 4 % 2 == 0);
+        let (hall, dp) = build(seed, tors, seed % 2 == 0);
+        let params = ScheduleParams {
+            technicians: techs,
+            ..ScheduleParams::default()
+        };
+        let sched = Schedule::run(&dp, &hall, &params);
+        let cp = dp.critical_path(&params.calib);
+        prop_assert!(sched.makespan + Hours::new(1e-9) >= cp);
+        for t in &dp.tasks {
+            for p in &t.preds {
+                prop_assert!(
+                    sched.start[t.id.0 as usize] + Hours::new(1e-9)
+                        >= sched.finish[p.0 as usize]
+                );
+            }
+        }
+        let u = sched.utilization();
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u}");
+    }
+
+    /// More technicians never makes the makespan dramatically worse
+    /// (greedy list scheduling anomaly bound: allow 15% slack).
+    #[test]
+    fn more_techs_roughly_monotone(seed in 0u64..20) {
+        let (hall, dp) = build(seed, 16, true);
+        let mk = |n: usize| {
+            Schedule::run(&dp, &hall, &ScheduleParams {
+                technicians: n,
+                ..ScheduleParams::default()
+            })
+            .makespan
+        };
+        let few = mk(2);
+        let many = mk(12);
+        prop_assert!(many <= few * 1.15, "few {few} many {many}");
+    }
+
+    /// Yield decreases (weakly) as the error rate grows, and rework scales
+    /// with errors.
+    #[test]
+    fn yield_monotone_in_error_rate(seed in 0u64..20, rate_bump in 1.0f64..20.0) {
+        let (_, dp) = build(seed, 16, false);
+        let base = LaborCalibration::default();
+        let noisy = LaborCalibration {
+            loose_error_rate: (base.loose_error_rate * rate_bump).min(0.5),
+            ..base.clone()
+        };
+        let p = YieldParams { trials: 40, seed, threads: 2 };
+        let a = YieldReport::simulate(&dp, &base, &p);
+        let b = YieldReport::simulate(&dp, &noisy, &p);
+        prop_assert!(b.first_pass_yield <= a.first_pass_yield + 1e-9);
+        prop_assert!(b.mean_errors + 1e-9 >= a.mean_errors);
+        prop_assert!(a.worst_yield <= a.first_pass_yield);
+    }
+
+    /// Person-hour accounting: total work equals the sum over tasks of
+    /// duration × crew, and crews never exceed 2 in the default profile.
+    #[test]
+    fn person_hour_accounting(seed in 0u64..20) {
+        let (_, dp) = build(seed, 12, true);
+        let calib = LaborCalibration::default();
+        let manual: Hours = dp
+            .tasks
+            .iter()
+            .map(|t| t.kind.duration(&calib) * t.techs_required as f64)
+            .sum();
+        prop_assert!((dp.total_work(&calib) - manual).abs() < Hours::new(1e-9));
+        prop_assert!(dp.tasks.iter().all(|t| (1..=2).contains(&t.techs_required)));
+    }
+
+    /// Labor helpers behave dimensionally: longer cables cost more time,
+    /// bundles of n cost less than n loose pulls for n ≥ 8 at 20 m.
+    #[test]
+    fn labor_helper_properties(len in 1.0f64..80.0, n in 8usize..64) {
+        let c = LaborCalibration::default();
+        let l1 = c.loose_cable_time(Meters::new(len));
+        let l2 = c.loose_cable_time(Meters::new(len + 1.0));
+        prop_assert!(l2 > l1);
+        let bundle = c.bundle_time(n, Meters::new(20.0));
+        let loose = c.loose_cable_time(Meters::new(20.0)) * n as f64;
+        prop_assert!(bundle < loose, "n={n} bundle {bundle} loose {loose}");
+    }
+}

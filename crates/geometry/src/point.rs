@@ -1,0 +1,224 @@
+//! 2D and 3D points in datacenter-floor coordinates.
+//!
+//! Convention: `x` runs along rows, `y` across rows (aisle direction), `z` is
+//! height above the raised floor. All coordinates are in [`Meters`].
+//!
+//! Two metrics matter here. *Euclidean* distance models line-of-sight spans
+//! (free-space optics, or the theoretical minimum cable length). *Manhattan*
+//! distance models how cables actually travel: along a rack row to a tray
+//! drop, along the tray, down into the destination rack — rectilinear by
+//! construction.
+
+use crate::units::Meters;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the 2D datacenter floor plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Coordinate along rack rows.
+    pub x: Meters,
+    /// Coordinate across rows (down the aisles).
+    pub y: Meters,
+}
+
+impl Point2 {
+    /// The origin.
+    pub const ORIGIN: Self = Self {
+        x: Meters::ZERO,
+        y: Meters::ZERO,
+    };
+
+    /// Creates a point from raw meter values.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self {
+            x: Meters::new(x),
+            y: Meters::new(y),
+        }
+    }
+
+    /// Straight-line distance to `other`.
+    pub fn euclidean(self, other: Self) -> Meters {
+        let dx = (self.x - other.x).value();
+        let dy = (self.y - other.y).value();
+        Meters::new(dx.hypot(dy))
+    }
+
+    /// Rectilinear (L1) distance to `other` — how cable actually routes.
+    pub fn manhattan(self, other: Self) -> Meters {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Lifts this floor point to a 3D point at height `z`.
+    pub fn at_height(self, z: Meters) -> Point3 {
+        Point3 {
+            x: self.x,
+            y: self.y,
+            z,
+        }
+    }
+
+    /// Component-wise midpoint.
+    pub fn midpoint(self, other: Self) -> Self {
+        Self {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+        }
+    }
+
+    /// Shortest distance from this point to the segment `a`–`b` — the
+    /// obstruction test for line-of-sight (free-space optics) paths.
+    pub fn distance_to_segment(self, a: Self, b: Self) -> Meters {
+        let (ax, ay) = (a.x.value(), a.y.value());
+        let (bx, by) = (b.x.value(), b.y.value());
+        let (px, py) = (self.x.value(), self.y.value());
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        if len2 <= 0.0 {
+            return self.euclidean(a);
+        }
+        let t = (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0);
+        let proj = Point2::new(ax + t * dx, ay + t * dy);
+        self.euclidean(proj)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x.value(), self.y.value())
+    }
+}
+
+/// A point in 3D datacenter space (floor plan plus height).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Coordinate along rack rows.
+    pub x: Meters,
+    /// Coordinate across rows.
+    pub y: Meters,
+    /// Height above the raised floor.
+    pub z: Meters,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Self = Self {
+        x: Meters::ZERO,
+        y: Meters::ZERO,
+        z: Meters::ZERO,
+    };
+
+    /// Creates a point from raw meter values.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self {
+            x: Meters::new(x),
+            y: Meters::new(y),
+            z: Meters::new(z),
+        }
+    }
+
+    /// Straight-line distance to `other`.
+    pub fn euclidean(self, other: Self) -> Meters {
+        let dx = (self.x - other.x).value();
+        let dy = (self.y - other.y).value();
+        let dz = (self.z - other.z).value();
+        Meters::new((dx * dx + dy * dy + dz * dz).sqrt())
+    }
+
+    /// Rectilinear (L1) distance to `other`.
+    pub fn manhattan(self, other: Self) -> Meters {
+        (self.x - other.x).abs() + (self.y - other.y).abs() + (self.z - other.z).abs()
+    }
+
+    /// Drops the height coordinate.
+    pub fn floor(self) -> Point2 {
+        Point2 {
+            x: self.x,
+            y: self.y,
+        }
+    }
+
+    /// The vector difference `self - other` as raw meter components.
+    pub fn delta(self, other: Self) -> [f64; 3] {
+        [
+            (self.x - other.x).value(),
+            (self.y - other.y).value(),
+            (self.z - other.z).value(),
+        ]
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.2}, {:.2}, {:.2})",
+            self.x.value(),
+            self.y.value(),
+            self.z.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345_triangle() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.euclidean(b), Meters::new(5.0));
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean_2d() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, -2.0);
+        assert!(a.manhattan(b) >= a.euclidean(b));
+        assert_eq!(a.manhattan(b), Meters::new(7.0));
+    }
+
+    #[test]
+    fn point3_euclidean() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 3.0, 6.0);
+        assert_eq!(a.euclidean(b), Meters::new(7.0));
+    }
+
+    #[test]
+    fn at_height_and_floor_round_trip() {
+        let p = Point2::new(5.0, 6.0);
+        let q = p.at_height(Meters::new(2.5));
+        assert_eq!(q.z, Meters::new(2.5));
+        assert_eq!(q.floor(), p);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point2::new(0.0, 0.0).midpoint(Point2::new(4.0, 6.0));
+        assert_eq!(m, Point2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn distance_to_segment_cases() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert_eq!(Point2::new(5.0, 3.0).distance_to_segment(a, b), Meters::new(3.0));
+        // Beyond an endpoint: distance to the endpoint.
+        assert_eq!(Point2::new(13.0, 4.0).distance_to_segment(a, b), Meters::new(5.0));
+        // On the segment: zero.
+        assert_eq!(Point2::new(2.0, 0.0).distance_to_segment(a, b), Meters::ZERO);
+        // Degenerate segment: plain distance.
+        assert_eq!(Point2::new(3.0, 4.0).distance_to_segment(a, a), Meters::new(5.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point3::new(1.0, -2.0, 3.0);
+        let b = Point3::new(-4.0, 5.0, 0.5);
+        assert_eq!(a.euclidean(b), b.euclidean(a));
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+}

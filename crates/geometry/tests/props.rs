@@ -1,0 +1,137 @@
+//! Property-based tests for the geometry substrate.
+
+use pd_geometry::{CapacityRouter, Meters, Millimeters, Point2, Point3, Polyline, SquareMillimeters};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+fn point2() -> impl Strategy<Value = Point2> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn point3() -> impl Strategy<Value = Point3> {
+    (finite_coord(), finite_coord(), 0.0..10.0f64).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    /// Triangle inequality for the Euclidean metric.
+    #[test]
+    fn euclidean_triangle_inequality(a in point2(), b in point2(), c in point2()) {
+        let lhs = a.euclidean(c).value();
+        let rhs = a.euclidean(b).value() + b.euclidean(c).value();
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    /// Manhattan distance always dominates Euclidean distance.
+    #[test]
+    fn manhattan_dominates_euclidean(a in point3(), b in point3()) {
+        prop_assert!(a.manhattan(b).value() + 1e-9 >= a.euclidean(b).value());
+    }
+
+    /// Unit arithmetic: (a + b) - b == a up to float error.
+    #[test]
+    fn unit_add_sub_inverse(a in -1e6..1e6f64, b in -1e6..1e6f64) {
+        let r = (Meters::new(a) + Meters::new(b)) - Meters::new(b);
+        prop_assert!((r.value() - a).abs() <= 1e-6 * (1.0 + a.abs() + b.abs()));
+    }
+
+    /// Polyline length is invariant under vertex-order reversal.
+    #[test]
+    fn polyline_length_reversal_invariant(pts in prop::collection::vec(point3(), 1..12)) {
+        let fwd = Polyline::new(pts.clone()).length();
+        let mut rev = pts;
+        rev.reverse();
+        let bwd = Polyline::new(rev).length();
+        prop_assert!((fwd - bwd).abs() <= Meters::new(1e-9));
+    }
+
+    /// Polyline length is at least the straight-line distance between its
+    /// endpoints (path inequality).
+    #[test]
+    fn polyline_length_at_least_chord(pts in prop::collection::vec(point3(), 2..12)) {
+        let p = Polyline::new(pts);
+        prop_assert!(p.length().value() + 1e-9 >= p.start().euclidean(p.end()).value());
+    }
+
+    /// Inserting a collinear midpoint never changes length or adds a bend.
+    #[test]
+    fn collinear_subdivision_is_invisible(a in point3(), b in point3(), t in 0.01..0.99f64) {
+        let mid = Point3::new(
+            a.x.value() + (b.x.value() - a.x.value()) * t,
+            a.y.value() + (b.y.value() - a.y.value()) * t,
+            a.z.value() + (b.z.value() - a.z.value()) * t,
+        );
+        let direct = Polyline::new(vec![a, b]);
+        let split = Polyline::new(vec![a, mid, b]);
+        prop_assert!((direct.length() - split.length()).abs() <= Meters::new(1e-6));
+        // Bend threshold comfortably above numeric noise.
+        prop_assert!(split.bends(1e-3).is_empty());
+    }
+
+    /// A bigger minimum bend radius never yields fewer violations.
+    #[test]
+    fn bend_violations_monotone_in_radius(pts in prop::collection::vec(point3(), 3..10), r in 1.0..500.0f64) {
+        let p = Polyline::new(pts);
+        let small = p.check_bend_radius(Millimeters::new(r)).len();
+        let large = p.check_bend_radius(Millimeters::new(r * 2.0)).len();
+        prop_assert!(large >= small);
+    }
+}
+
+/// Builds a random grid-ish routing graph and checks router invariants.
+fn grid_router(n: usize) -> (CapacityRouter, Vec<pd_geometry::RouteNodeId>) {
+    let mut g = CapacityRouter::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            ids.push(g.add_node(Point3::new(i as f64, j as f64, 0.0)));
+        }
+    }
+    let cap = SquareMillimeters::new(1000.0);
+    for i in 0..n {
+        for j in 0..n {
+            let at = |a: usize, b: usize| ids[a * n + b];
+            if i + 1 < n {
+                g.add_edge_auto(at(i, j), at(i + 1, j), cap);
+            }
+            if j + 1 < n {
+                g.add_edge_auto(at(i, j), at(i, j + 1), cap);
+            }
+        }
+    }
+    (g, ids)
+}
+
+proptest! {
+    /// Routed path length on a unit grid equals Manhattan distance (Dijkstra
+    /// optimality oracle), and the path is well-formed.
+    #[test]
+    fn grid_route_is_optimal(n in 2usize..6, si in 0usize..25, di in 0usize..25) {
+        let (g, ids) = grid_router(n);
+        let s = ids[si % ids.len()];
+        let d = ids[di % ids.len()];
+        let p = g.route(s, d, SquareMillimeters::new(1.0)).unwrap();
+        let expect = g.position(s).manhattan(g.position(d));
+        prop_assert!((p.length - expect).abs() <= Meters::new(1e-9));
+        prop_assert_eq!(p.nodes.first().copied(), Some(s));
+        prop_assert_eq!(p.nodes.last().copied(), Some(d));
+        prop_assert_eq!(p.edges.len() + 1, p.nodes.len());
+    }
+
+    /// Commit then release restores every edge's residual capacity exactly.
+    #[test]
+    fn commit_release_restores_residuals(n in 2usize..5, si in 0usize..16, di in 0usize..16, demand in 1.0..500.0f64) {
+        let (mut g, ids) = grid_router(n);
+        let s = ids[si % ids.len()];
+        let d = ids[di % ids.len()];
+        let before: Vec<_> = g.edge_ids().map(|e| g.residual(e)).collect();
+        if let Ok(p) = g.route(s, d, SquareMillimeters::new(demand)) {
+            g.commit(&p, SquareMillimeters::new(demand));
+            g.release(&p, SquareMillimeters::new(demand));
+        }
+        let after: Vec<_> = g.edge_ids().map(|e| g.residual(e)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

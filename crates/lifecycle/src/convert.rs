@@ -1,0 +1,252 @@
+//! Live design conversion: the paper's §4.3 case study.
+//!
+//! Google converted deployed Jupiter fabrics from fat-trees to the
+//! direct-connect design by re-patching fibers at the OCS layer: "we
+//! temporarily drain traffic from each OCS rack, then technicians perform
+//! the complex task of moving a lot of fibers …, and then we un-drain the
+//! rack. This process takes multiple hours of human labor per rack, across
+//! many racks."
+//!
+//! [`ConversionPlan::plan`] reproduces that process against a cabling plan
+//! whose spine links run through indirection sites: one drained window per
+//! site, fiber moves counted from the actual cables landed on that site,
+//! and the §4.3 lesson quantified — *because* the fabric was built with an
+//! indirection layer, the conversion never touches a switch rack or pulls
+//! a new cable.
+
+use crate::metrics::{RewirePlan, RewireSite};
+use pd_cabling::CablingPlan;
+use pd_costing::calib::LaborCalibration;
+use pd_geometry::Hours;
+use pd_physical::SlotId;
+use serde::{Deserialize, Serialize};
+
+/// Conversion parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionParams {
+    /// Sites whose windows may be drained concurrently (1 = fully serial,
+    /// the conservative §4.3 process).
+    pub concurrent_windows: usize,
+    /// Per-window fixed overhead: drain, coordination, validation, undrain.
+    pub window_overhead: Hours,
+    /// Fraction of each site's fibers that must move (converting fat-tree
+    /// to direct-connect re-homes the spine-facing half of each circuit;
+    /// 0.5 is the §4.3 geometry).
+    pub move_fraction: f64,
+}
+
+impl Default for ConversionParams {
+    fn default() -> Self {
+        Self {
+            concurrent_windows: 1,
+            window_overhead: Hours::new(1.0),
+            move_fraction: 0.5,
+        }
+    }
+}
+
+/// One drained maintenance window at one indirection site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionWindow {
+    /// Which site (index into the cabling plan's sites).
+    pub site: usize,
+    /// The site's rack slot.
+    pub slot: SlotId,
+    /// Fibers moved during the window.
+    pub fibers_moved: usize,
+    /// Window duration (overhead + moves).
+    pub duration: Hours,
+    /// Fraction of OCS-layer capacity offline during the window.
+    pub capacity_offline: f64,
+}
+
+/// The complete conversion plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversionPlan {
+    /// Every window, in execution order.
+    pub windows: Vec<ConversionWindow>,
+    /// The equivalent rewire plan (for lifecycle-complexity metrics).
+    pub rewires: RewirePlan,
+    /// Total hands-on technician hours.
+    pub tech_hours: Hours,
+    /// Wall-clock duration given the concurrency limit.
+    pub wall_clock: Hours,
+}
+
+impl ConversionPlan {
+    /// Plans the fat-tree → direct-connect conversion for a cabling plan
+    /// with indirection sites.
+    ///
+    /// Returns `None` if the plan has no indirection sites — a network
+    /// cabled switch-to-switch cannot be converted this way at all, which
+    /// is the §4.3 lesson ("indirection made it much easier to 'redesign'
+    /// a live network"): the caller should surface that as *infeasible
+    /// without a full re-cable*.
+    pub fn plan(
+        plan: &CablingPlan,
+        calib: &LaborCalibration,
+        params: &ConversionParams,
+    ) -> Option<Self> {
+        if plan.sites.is_empty() {
+            return None;
+        }
+        // Count cables landed on each site (half-runs with via_site).
+        let mut per_site = vec![0usize; plan.sites.len()];
+        for run in &plan.runs {
+            if let Some(s) = run.via_site {
+                if run.half == 0 {
+                    per_site[s] += 1;
+                }
+            }
+        }
+        let move_time = crate::repair_move_fiber_time(calib);
+        let mut windows = Vec::new();
+        let mut rewires = RewirePlan::default();
+        let total_sites = plan.sites.len().max(1);
+        for (i, site) in plan.sites.iter().enumerate() {
+            let fibers = (per_site[i] as f64 * params.move_fraction).ceil() as usize;
+            if fibers == 0 {
+                continue;
+            }
+            let duration = params.window_overhead + move_time * fibers as f64;
+            windows.push(ConversionWindow {
+                site: i,
+                slot: site.slot,
+                fibers_moved: fibers,
+                duration,
+                capacity_offline: 1.0 / total_sites as f64,
+            });
+            for k in 0..fibers {
+                rewires.push(
+                    RewireSite::Panel {
+                        slot: site.slot,
+                        software_only: false,
+                    },
+                    format!("site {i}: re-patch fiber {k} from spine to aggregation"),
+                );
+            }
+        }
+        let tech_hours: Hours = windows.iter().map(|w| w.duration).sum();
+        // Wall clock: windows scheduled round-robin over the concurrency
+        // budget (equal-length bins approximation: serial chains of
+        // ceil(n/k) windows).
+        let k = params.concurrent_windows.max(1);
+        let mut lanes = vec![Hours::ZERO; k];
+        for w in &windows {
+            // Assign to the least-loaded lane.
+            let lane = lanes
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            lanes[lane] += w.duration;
+        }
+        let wall_clock = lanes.into_iter().fold(Hours::ZERO, Hours::max);
+        Some(Self {
+            windows,
+            rewires,
+            tech_hours,
+            wall_clock,
+        })
+    }
+
+    /// Worst capacity loss at any instant (with serial windows: one site's
+    /// share; with k concurrent: k sites' share).
+    pub fn peak_capacity_loss(&self, concurrent: usize) -> f64 {
+        let per = self
+            .windows
+            .first()
+            .map(|w| w.capacity_offline)
+            .unwrap_or(0.0);
+        (per * concurrent.max(1) as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy};
+    use pd_topology::gen::{folded_clos, ClosParams};
+
+    fn ocs_plan() -> CablingPlan {
+        let p = ClosParams {
+            spine_via_panels: true,
+            ..ClosParams::default()
+        };
+        let net = folded_clos(&p).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default())
+    }
+
+    #[test]
+    fn conversion_plans_one_window_per_site() {
+        let plan = ocs_plan();
+        let conv =
+            ConversionPlan::plan(&plan, &LaborCalibration::default(), &ConversionParams::default())
+                .unwrap();
+        assert_eq!(conv.windows.len(), plan.sites.len());
+        // 128 mediated links land on the site; half must move.
+        let moved: usize = conv.windows.iter().map(|w| w.fibers_moved).sum();
+        assert_eq!(moved, 64);
+        // The paper's observation: multiple hours of labor per rack.
+        for w in &conv.windows {
+            assert!(w.duration > Hours::new(2.0), "window {}", w.duration);
+        }
+        assert_eq!(conv.rewires.len(), moved);
+        assert_eq!(conv.rewires.new_cables, 0, "no new cables — that's the point");
+    }
+
+    #[test]
+    fn concurrency_shortens_wall_clock_not_labor() {
+        let plan = ocs_plan();
+        let c = LaborCalibration::default();
+        let serial =
+            ConversionPlan::plan(&plan, &c, &ConversionParams::default()).unwrap();
+        let parallel = ConversionPlan::plan(
+            &plan,
+            &c,
+            &ConversionParams {
+                concurrent_windows: 4,
+                ..ConversionParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.tech_hours, parallel.tech_hours);
+        assert!(parallel.wall_clock <= serial.wall_clock);
+        assert!(
+            parallel.peak_capacity_loss(4) >= serial.peak_capacity_loss(1),
+            "parallelism trades capacity for speed"
+        );
+    }
+
+    #[test]
+    fn direct_cabled_network_cannot_convert() {
+        let p = ClosParams::default(); // spine_via_panels = false
+        let net = folded_clos(&p).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        assert!(ConversionPlan::plan(
+            &plan,
+            &LaborCalibration::default(),
+            &ConversionParams::default()
+        )
+        .is_none());
+    }
+}

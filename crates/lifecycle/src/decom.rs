@@ -1,0 +1,228 @@
+//! Decommissioning safety: "it can be hard to know for sure what cannot be
+//! removed" (§2.1).
+//!
+//! The checker keeps per-port service state — in service, drained, or
+//! planned for future service — and enforces the paper's rule verbatim:
+//! "we can only remove a cable bundle once none of the affected ports are
+//! still in service, and none are planned to be in service soon."
+//!
+//! [`DecomChecker::naive_removal_outages`] quantifies what happens without
+//! the rule: how many removals in a random decom order would have cut
+//! live or planned-live ports.
+
+use pd_topology::{LinkId, Network, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Service state of one switch's ports on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortState {
+    /// Carrying (or ready to carry) traffic.
+    InService,
+    /// Drained: traffic moved away, hardware still connected.
+    Drained,
+    /// Not in service now, but a pending work order will use it.
+    Planned,
+    /// Free: no current or planned use.
+    Free,
+}
+
+/// Why a removal was refused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecomError {
+    /// A port on the link is in service.
+    PortInService {
+        /// The switch whose port blocks removal.
+        switch: SwitchId,
+    },
+    /// A port on the link is planned for service.
+    PortPlanned {
+        /// The switch whose planned port blocks removal.
+        switch: SwitchId,
+    },
+    /// Unknown link.
+    UnknownLink(LinkId),
+}
+
+impl std::fmt::Display for DecomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomError::PortInService { switch } => {
+                write!(f, "port on {switch} still in service")
+            }
+            DecomError::PortPlanned { switch } => {
+                write!(f, "port on {switch} planned for service")
+            }
+            DecomError::UnknownLink(l) => write!(f, "unknown link {l}"),
+        }
+    }
+}
+
+impl std::error::Error for DecomError {}
+
+/// Tracks per-(link, end) service state and authorizes removals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecomChecker {
+    /// State per (link, endpoint switch).
+    states: HashMap<(LinkId, SwitchId), PortState>,
+    /// Links already removed.
+    removed: Vec<LinkId>,
+}
+
+impl DecomChecker {
+    /// Initializes with every link end in service.
+    pub fn all_in_service(net: &Network) -> Self {
+        let mut states = HashMap::new();
+        for l in net.links() {
+            states.insert((l.id, l.a), PortState::InService);
+            states.insert((l.id, l.b), PortState::InService);
+        }
+        Self {
+            states,
+            removed: Vec::new(),
+        }
+    }
+
+    /// Sets the state of one link end.
+    pub fn set_state(&mut self, link: LinkId, end: SwitchId, state: PortState) {
+        self.states.insert((link, end), state);
+    }
+
+    /// Drains both ends of a link.
+    pub fn drain_link(&mut self, net: &Network, link: LinkId) {
+        if let Some(l) = net.link(link) {
+            self.set_state(link, l.a, PortState::Drained);
+            self.set_state(link, l.b, PortState::Drained);
+        }
+    }
+
+    /// Marks both ends of a link as planned-for-service (a pending work
+    /// order — the §2.1 subtlety naive tooling misses).
+    pub fn plan_link(&mut self, net: &Network, link: LinkId) {
+        if let Some(l) = net.link(link) {
+            self.set_state(link, l.a, PortState::Planned);
+            self.set_state(link, l.b, PortState::Planned);
+        }
+    }
+
+    /// The paper's removal rule. `Ok(())` iff **no** affected port is in
+    /// service or planned.
+    pub fn can_remove(&self, net: &Network, link: LinkId) -> Result<(), DecomError> {
+        let l = net.link(link).ok_or(DecomError::UnknownLink(link))?;
+        for end in [l.a, l.b] {
+            match self.states.get(&(link, end)).copied().unwrap_or(PortState::Free) {
+                PortState::InService => return Err(DecomError::PortInService { switch: end }),
+                PortState::Planned => return Err(DecomError::PortPlanned { switch: end }),
+                PortState::Drained | PortState::Free => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked removal: verifies the rule, then removes from the network.
+    pub fn remove(&mut self, net: &mut Network, link: LinkId) -> Result<(), DecomError> {
+        self.can_remove(net, link)?;
+        net.remove_link(link).map_err(|_| DecomError::UnknownLink(link))?;
+        self.removed.push(link);
+        Ok(())
+    }
+
+    /// Links removed so far.
+    pub fn removed(&self) -> &[LinkId] {
+        &self.removed
+    }
+
+    /// Counts how many of `order`'s removals would have cut an in-service
+    /// or planned port if executed blindly — the outage count a naive decom
+    /// procedure risks.
+    pub fn naive_removal_outages(&self, net: &Network, order: &[LinkId]) -> usize {
+        order
+            .iter()
+            .filter(|&&l| self.can_remove(net, l).is_err())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+    use pd_topology::gen::leaf_spine;
+
+    fn net() -> Network {
+        leaf_spine(3, 2, 4, 1, Gbps::new(100.0)).unwrap()
+    }
+
+    #[test]
+    fn in_service_links_refuse_removal() {
+        let mut n = net();
+        let mut checker = DecomChecker::all_in_service(&n);
+        let link = n.links().next().unwrap().id;
+        assert!(matches!(
+            checker.can_remove(&n, link),
+            Err(DecomError::PortInService { .. })
+        ));
+        assert!(checker.remove(&mut n, link).is_err());
+        assert_eq!(n.link_count(), 6);
+    }
+
+    #[test]
+    fn drained_links_can_be_removed() {
+        let mut n = net();
+        let mut checker = DecomChecker::all_in_service(&n);
+        let link = n.links().next().unwrap().id;
+        checker.drain_link(&n, link);
+        assert!(checker.remove(&mut n, link).is_ok());
+        assert_eq!(n.link_count(), 5);
+        assert_eq!(checker.removed(), &[link]);
+    }
+
+    #[test]
+    fn planned_ports_block_removal() {
+        let n = net();
+        let mut checker = DecomChecker::all_in_service(&n);
+        let link = n.links().next().unwrap().id;
+        checker.drain_link(&n, link);
+        checker.plan_link(&n, link); // a pending work order re-uses it
+        assert!(matches!(
+            checker.can_remove(&n, link),
+            Err(DecomError::PortPlanned { .. })
+        ));
+    }
+
+    #[test]
+    fn one_drained_end_is_not_enough() {
+        let n = net();
+        let mut checker = DecomChecker::all_in_service(&n);
+        let l = n.links().next().unwrap().clone();
+        checker.set_state(l.id, l.a, PortState::Drained);
+        // l.b still in service.
+        assert!(matches!(
+            checker.can_remove(&n, l.id),
+            Err(DecomError::PortInService { switch }) if switch == l.b
+        ));
+    }
+
+    #[test]
+    fn naive_order_counts_outages() {
+        let n = net();
+        let mut checker = DecomChecker::all_in_service(&n);
+        let links: Vec<LinkId> = n.links().map(|l| l.id).collect();
+        // Drain half of them.
+        for l in links.iter().take(3) {
+            checker.drain_link(&n, *l);
+        }
+        let outages = checker.naive_removal_outages(&n, &links);
+        assert_eq!(outages, 3, "the 3 undrained links would have caused outages");
+    }
+
+    #[test]
+    fn unknown_link_error() {
+        let n = net();
+        let checker = DecomChecker::all_in_service(&n);
+        assert_eq!(
+            checker.can_remove(&n, LinkId(999)),
+            Err(DecomError::UnknownLink(LinkId(999)))
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Drain planning: the capacity cost of taking things out of service.
+//!
+//! Every repair, expansion step, or conversion window (§4.3) begins by
+//! draining traffic away from the hardware about to be touched. The drain
+//! planner answers two questions the paper's SDN-coordination discussion
+//! raises: *how much capacity does draining X cost right now*, and *how
+//! many drains can proceed concurrently before the network can no longer
+//! carry its traffic*.
+
+use pd_topology::routing::{AllPairs, EcmpLoads};
+use pd_topology::{Network, SwitchId, TrafficMatrix};
+use serde::{Deserialize, Serialize};
+
+/// The capacity impact of a drain set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainImpact {
+    /// ECMP throughput scale (α) before the drain.
+    pub scale_before: f64,
+    /// Throughput scale with the drained switches' links removed.
+    pub scale_after: f64,
+    /// True if some demand became entirely unroutable.
+    pub disconnected: bool,
+}
+
+impl DrainImpact {
+    /// Fractional capacity lost, in `[0, 1]`.
+    pub fn capacity_loss(&self) -> f64 {
+        if self.disconnected {
+            return 1.0;
+        }
+        if !self.scale_before.is_finite() || self.scale_before <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.scale_after / self.scale_before).max(0.0)
+    }
+
+    /// True if the drained network still carries the full matrix at α ≥ 1.
+    pub fn still_feasible(&self) -> bool {
+        !self.disconnected && self.scale_after >= 1.0
+    }
+}
+
+/// Computes the throughput impact of draining `drained` switches under
+/// traffic matrix `tm`. The drained switches' links are removed; demands
+/// sourced at or destined to a drained host switch are dropped (their
+/// servers are being serviced too).
+pub fn capacity_after_drain(
+    net: &Network,
+    tm: &TrafficMatrix,
+    drained: &[SwitchId],
+) -> DrainImpact {
+    let ap0 = AllPairs::compute(net);
+    let loads0 = EcmpLoads::compute(net, &ap0, tm);
+    let scale_before = loads0.throughput_scale(net);
+
+    let mut copy = net.clone();
+    for &s in drained {
+        // Remove links but keep the switch (it is drained, not decommed).
+        for l in copy.incident_links(s).to_vec() {
+            let _ = copy.remove_link(l);
+        }
+    }
+    let drained_set: std::collections::HashSet<SwitchId> = drained.iter().copied().collect();
+    let demands: Vec<_> = tm
+        .demands()
+        .iter()
+        .filter(|d| !drained_set.contains(&d.src) && !drained_set.contains(&d.dst))
+        .copied()
+        .collect();
+    let tm2 = TrafficMatrix::from_demands(demands);
+
+    let ap = AllPairs::compute(&copy);
+    // Disconnection check: any surviving demand with no path.
+    let disconnected = tm2
+        .demands()
+        .iter()
+        .any(|d| ap.distance(d.src, d.dst).is_none());
+    let loads = EcmpLoads::compute(&copy, &ap, &tm2);
+    let scale_after = if disconnected {
+        0.0
+    } else {
+        loads.throughput_scale(&copy)
+    };
+    DrainImpact {
+        scale_before,
+        scale_after,
+        disconnected,
+    }
+}
+
+/// Largest `k` such that draining the first `k` groups of `groups`
+/// concurrently keeps the network feasible (α ≥ `min_scale`). Groups model
+/// §4.3's "manual operations segmented into low-impact chunks" — e.g. one
+/// OCS rack's switches per group.
+pub fn max_safe_concurrent_drains(
+    net: &Network,
+    tm: &TrafficMatrix,
+    groups: &[Vec<SwitchId>],
+    min_scale: f64,
+) -> usize {
+    let mut best = 0;
+    for k in 1..=groups.len() {
+        let drained: Vec<SwitchId> = groups[..k].iter().flatten().copied().collect();
+        let impact = capacity_after_drain(net, tm, &drained);
+        if !impact.disconnected && impact.scale_after >= min_scale {
+            best = k;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+    use pd_topology::gen::{fat_tree, leaf_spine};
+    use pd_topology::SwitchRole;
+
+    #[test]
+    fn draining_one_spine_costs_capacity_but_not_connectivity() {
+        let net = leaf_spine(4, 4, 8, 1, Gbps::new(100.0)).unwrap();
+        let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+        let spine = net
+            .switches()
+            .find(|s| s.role == SwitchRole::Spine)
+            .unwrap()
+            .id;
+        let impact = capacity_after_drain(&net, &tm, &[spine]);
+        assert!(!impact.disconnected);
+        // Losing 1 of 4 spines costs ~25% of capacity.
+        let loss = impact.capacity_loss();
+        assert!((loss - 0.25).abs() < 0.05, "loss {loss}");
+    }
+
+    #[test]
+    fn draining_all_spines_disconnects() {
+        let net = leaf_spine(4, 2, 8, 1, Gbps::new(100.0)).unwrap();
+        let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+        let spines: Vec<_> = net
+            .switches()
+            .filter(|s| s.role == SwitchRole::Spine)
+            .map(|s| s.id)
+            .collect();
+        let impact = capacity_after_drain(&net, &tm, &spines);
+        assert!(impact.disconnected);
+        assert_eq!(impact.capacity_loss(), 1.0);
+        assert!(!impact.still_feasible());
+    }
+
+    #[test]
+    fn draining_a_host_switch_drops_its_demands() {
+        let net = leaf_spine(4, 4, 8, 1, Gbps::new(100.0)).unwrap();
+        let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+        let leaf = net
+            .switches()
+            .find(|s| s.role == SwitchRole::Tor)
+            .unwrap()
+            .id;
+        let impact = capacity_after_drain(&net, &tm, &[leaf]);
+        assert!(!impact.disconnected);
+        // Remaining 3 leaves now share 4 spines: more headroom per demand,
+        // so the drained network is still feasible.
+        assert!(impact.scale_after > 0.0);
+    }
+
+    #[test]
+    fn concurrent_drain_budget_monotone() {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(10.0));
+        // Groups: one core switch each.
+        let groups: Vec<Vec<SwitchId>> = net
+            .switches()
+            .filter(|s| s.role == SwitchRole::Spine)
+            .map(|s| vec![s.id])
+            .collect();
+        let strict = max_safe_concurrent_drains(&net, &tm, &groups, 1.0);
+        let lax = max_safe_concurrent_drains(&net, &tm, &groups, 0.1);
+        assert!(lax >= strict);
+        // Draining all 4 cores disconnects pods; can never be all groups.
+        assert!(lax < groups.len());
+    }
+}

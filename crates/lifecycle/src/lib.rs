@@ -1,0 +1,52 @@
+//! # pd-lifecycle — expansion, repair, drain, decommissioning, conversion
+//!
+//! The paper's §2.1 names the processes "closely tied to physical
+//! deployments": repairs, expansion, and decom; §4.3 adds in-place design
+//! conversion of a live network. This crate simulates all four against the
+//! physical substrate:
+//!
+//! * [`expansion`] — incremental growth planners: Clos pod addition with
+//!   and without a patch-panel/OCS indirection layer (Zhao et al. \[56\]),
+//!   and Jellyfish/Xpander random-graph ToR addition with its d/2 rewires
+//!   (§4.2), all reporting Zhang-style lifecycle-complexity metrics \[55\].
+//! * [`metrics`] — the shared [`metrics::RewirePlan`] /
+//!   [`metrics::LifecycleComplexity`] vocabulary: rewiring steps, links
+//!   per panel, panels/racks touched, walking distance, labor hours.
+//! * [`drain`] — capacity impact of taking racks/switches out of service,
+//!   and the largest safe concurrent drain (§4.3's low-impact chunks).
+//! * [`repair`] — Monte-Carlo failure/repair simulation: FIT-driven
+//!   failures, detect → dispatch → drain → replace → validate → undrain,
+//!   MTTR and capacity-availability, and the §3.3 unit-of-repair analysis
+//!   (one bad port drains a whole linecard).
+//! * [`decom`] — the §2.1 decom safety rule: a cable/bundle may be removed
+//!   only when no affected port is in service or planned for service.
+//! * [`phased`] — §3.5 incremental build-out under forecast error: idle
+//!   capital vs stranded demand, and how deployment lead time hurts.
+//! * [`convert`] — the §4.3 case study: converting a live spine Clos to
+//!   the direct-connect design by moving fibers at OCS racks in drained
+//!   windows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod decom;
+pub mod drain;
+pub mod expansion;
+pub mod metrics;
+pub mod phased;
+pub mod repair;
+
+pub use convert::{ConversionParams, ConversionPlan};
+pub use decom::{DecomChecker, DecomError, PortState};
+pub use drain::{capacity_after_drain, max_safe_concurrent_drains, DrainImpact};
+pub use expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
+pub use metrics::{LifecycleComplexity, RewireMove, RewirePlan, RewireSite};
+pub use phased::{simulate as simulate_phased, BuildStrategy, PhasedOutcome, PhasedParams};
+pub use repair::{ConcurrencyStats, RepairSimParams, RepairSimReport};
+
+/// Hands-on time for one careful fiber move at a dense panel/OCS shelf
+/// (shared by the conversion planner and work-order vocabulary).
+pub fn repair_move_fiber_time(calib: &pd_costing::calib::LaborCalibration) -> pd_geometry::Hours {
+    pd_costing::labor::WorkKind::MoveFiber.duration(calib)
+}

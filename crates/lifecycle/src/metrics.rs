@@ -1,0 +1,244 @@
+//! Lifecycle-complexity vocabulary: rewire plans and their metrics.
+//!
+//! Zhang et al. \[55\] defined "lifecycle management complexity" metrics —
+//! number of re-wiring steps, re-wired links per patch panel — and the
+//! paper (§5.4) proposes adding locality metrics (panels touched, and we
+//! add racks touched and technician walking distance). A [`RewirePlan`] is
+//! the common output of every expansion/conversion planner; its
+//! [`LifecycleComplexity`] summary is what the deployability report quotes.
+
+use pd_geometry::{Hours, Meters};
+use pd_physical::{Hall, SlotId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Where a single rewiring action physically happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewireSite {
+    /// At a patch panel / OCS rack: disconnect and reconnect a jumper in
+    /// one place (or, for an OCS, a software reconfiguration).
+    Panel {
+        /// The panel's rack slot.
+        slot: SlotId,
+        /// True if the "move" is purely an OCS reconfiguration (no touch).
+        software_only: bool,
+    },
+    /// At switch racks: the cable itself must be removed and a new one run
+    /// between two (possibly distant) racks.
+    SwitchRacks {
+        /// One end.
+        a: SlotId,
+        /// Other end.
+        b: SlotId,
+    },
+}
+
+/// One rewiring action: move a link's endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewireMove {
+    /// Where the action happens.
+    pub site: RewireSite,
+    /// Human-readable description (for work orders).
+    pub what: String,
+}
+
+/// A complete rewiring plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RewirePlan {
+    /// The moves, in execution order.
+    pub moves: Vec<RewireMove>,
+    /// New cables that must be pulled (additions beyond moves).
+    pub new_cables: usize,
+    /// Cables abandoned in place (the §2.1 "we seldom remove old ones").
+    pub abandoned_cables: usize,
+}
+
+/// Summary metrics of a rewire plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleComplexity {
+    /// Total rewiring steps (each move = one step).
+    pub rewiring_steps: usize,
+    /// Steps that are software-only OCS reconfigurations.
+    pub software_steps: usize,
+    /// Distinct patch panels touched by hand.
+    pub panels_touched: usize,
+    /// Maximum hand-moves at any single panel.
+    pub max_links_per_panel: usize,
+    /// Distinct switch racks touched.
+    pub racks_touched: usize,
+    /// New cables pulled.
+    pub new_cables: usize,
+    /// Technician walking distance to visit every touched location once,
+    /// nearest-neighbor order (a locality proxy).
+    pub walking: Meters,
+    /// Estimated hands-on labor (moves × per-move time + pulls).
+    pub labor: Hours,
+}
+
+impl RewirePlan {
+    /// Appends a move.
+    pub fn push(&mut self, site: RewireSite, what: impl Into<String>) {
+        self.moves.push(RewireMove {
+            site,
+            what: what.into(),
+        });
+    }
+
+    /// Computes the complexity summary.
+    ///
+    /// `per_move` is the hands-on time for one physical move (panel jumper
+    /// or cable re-termination); `per_pull` the time to pull one new cable.
+    pub fn complexity(
+        &self,
+        hall: &Hall,
+        per_move: Hours,
+        per_pull: Hours,
+    ) -> LifecycleComplexity {
+        let mut panels: std::collections::BTreeMap<SlotId, usize> = Default::default();
+        let mut racks: BTreeSet<SlotId> = Default::default();
+        let mut software = 0usize;
+        for m in &self.moves {
+            match m.site {
+                RewireSite::Panel {
+                    slot,
+                    software_only,
+                } => {
+                    if software_only {
+                        software += 1;
+                    } else {
+                        *panels.entry(slot).or_insert(0) += 1;
+                    }
+                }
+                RewireSite::SwitchRacks { a, b } => {
+                    racks.insert(a);
+                    racks.insert(b);
+                }
+            }
+        }
+        // Walking: nearest-neighbor tour over every hand-touched location,
+        // starting from slot 0 (the floor entrance).
+        let mut to_visit: Vec<SlotId> = panels
+            .keys()
+            .copied()
+            .chain(racks.iter().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut walking = Meters::ZERO;
+        let mut here = SlotId(0);
+        while !to_visit.is_empty() {
+            let (idx, dist) = to_visit
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i, hall.slot_distance(here, s).unwrap_or(Meters::ZERO)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            walking += dist;
+            here = to_visit.swap_remove(idx);
+        }
+
+        let hand_moves = self.moves.len() - software;
+        LifecycleComplexity {
+            rewiring_steps: self.moves.len(),
+            software_steps: software,
+            panels_touched: panels.len(),
+            max_links_per_panel: panels.values().copied().max().unwrap_or(0),
+            racks_touched: racks.len(),
+            new_cables: self.new_cables,
+            walking,
+            labor: per_move * hand_moves as f64 + per_pull * self.new_cables as f64,
+        }
+    }
+
+    /// Total moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// True if the plan does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.new_cables == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_physical::HallSpec;
+
+    fn hall() -> Hall {
+        Hall::new(HallSpec::small())
+    }
+
+    #[test]
+    fn complexity_counts_sites() {
+        let mut plan = RewirePlan::default();
+        plan.push(
+            RewireSite::Panel {
+                slot: SlotId(3),
+                software_only: false,
+            },
+            "move jumper 1",
+        );
+        plan.push(
+            RewireSite::Panel {
+                slot: SlotId(3),
+                software_only: false,
+            },
+            "move jumper 2",
+        );
+        plan.push(
+            RewireSite::Panel {
+                slot: SlotId(4),
+                software_only: true,
+            },
+            "ocs reconfig",
+        );
+        plan.push(
+            RewireSite::SwitchRacks {
+                a: SlotId(0),
+                b: SlotId(9),
+            },
+            "re-run cable",
+        );
+        plan.new_cables = 2;
+        let c = plan.complexity(&hall(), Hours::new(0.1), Hours::new(0.5));
+        assert_eq!(c.rewiring_steps, 4);
+        assert_eq!(c.software_steps, 1);
+        assert_eq!(c.panels_touched, 1);
+        assert_eq!(c.max_links_per_panel, 2);
+        assert_eq!(c.racks_touched, 2);
+        assert_eq!(c.new_cables, 2);
+        // Labor: 3 hand moves × 0.1 + 2 pulls × 0.5 = 1.3 h.
+        assert!((c.labor - Hours::new(1.3)).abs() < Hours::new(1e-9));
+        assert!(c.walking > Meters::ZERO);
+    }
+
+    #[test]
+    fn software_only_plan_has_no_walking() {
+        let mut plan = RewirePlan::default();
+        for i in 0..10 {
+            plan.push(
+                RewireSite::Panel {
+                    slot: SlotId(i),
+                    software_only: true,
+                },
+                "reconfig",
+            );
+        }
+        let c = plan.complexity(&hall(), Hours::new(0.1), Hours::new(0.5));
+        assert_eq!(c.software_steps, 10);
+        assert_eq!(c.panels_touched, 0);
+        assert_eq!(c.walking, Meters::ZERO);
+        assert_eq!(c.labor, Hours::ZERO);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = RewirePlan::default();
+        assert!(plan.is_empty());
+        let c = plan.complexity(&hall(), Hours::new(0.1), Hours::new(0.5));
+        assert_eq!(c.rewiring_steps, 0);
+        assert_eq!(c.walking, Meters::ZERO);
+    }
+}

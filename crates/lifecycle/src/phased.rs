@@ -1,0 +1,276 @@
+//! Phased (incremental) deployment under demand uncertainty.
+//!
+//! §3.5: "One result is the desire to deploy the network incrementally, to
+//! avoid paying depreciation on unused capital equipment, to defer
+//! decisions about how much capacity is needed, and to allow that capacity
+//! demand to be fulfilled by faster, cheaper technology as it becomes
+//! available." And §2.3: "Slow deployment also makes network capacity
+//! planning harder, because demand forecasts become inaccurate over
+//! relatively short timescales. If we install too little capacity, machines
+//! are stranded; if we install too much, it wastes money."
+//!
+//! The planner simulates a multi-period build-out: each period, actual
+//! demand deviates from the forecast by a seeded noise term; the operator
+//! chooses how much capacity to have ready (pre-building `lead_periods`
+//! ahead, because deployment takes time). Costs accrue on both sides of
+//! the miss: idle capacity depreciates; shortfall strands would-be revenue.
+
+use pd_geometry::Dollars;
+use pd_topology::gen::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Build-out strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuildStrategy {
+    /// Build everything on day 1 (classic full pre-build).
+    AllUpFront,
+    /// Each period, build to the forecast `lead` periods ahead plus a
+    /// fixed headroom fraction (in percent).
+    ChaseForecast {
+        /// Headroom percentage on top of the forecast.
+        headroom_pct: u8,
+    },
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedParams {
+    /// Planning periods (e.g. quarters).
+    pub periods: usize,
+    /// Demand at period 0, in capacity units (e.g. server slots).
+    pub initial_demand: f64,
+    /// Forecast demand growth per period (fractional, e.g. 0.15).
+    pub growth: f64,
+    /// Standard-deviation-like forecast error per period (fraction of
+    /// demand; realized as seeded uniform ±2×).
+    pub forecast_error: f64,
+    /// Deployment lead time in periods (capacity ordered now arrives then).
+    pub lead_periods: usize,
+    /// Capital cost per capacity unit.
+    pub unit_capex: Dollars,
+    /// Depreciation per idle unit per period (wasted money, §2.3).
+    pub idle_cost_per_period: Dollars,
+    /// Lost value per unit of unserved demand per period (stranded
+    /// machines waiting for network).
+    pub shortfall_cost_per_period: Dollars,
+    /// Price decline of capacity per period (§3.5: deferring lets demand
+    /// "be fulfilled by faster, cheaper technology"), as a fraction.
+    pub price_decline: f64,
+    /// RNG seed for demand noise.
+    pub seed: u64,
+}
+
+impl Default for PhasedParams {
+    fn default() -> Self {
+        Self {
+            periods: 12,
+            initial_demand: 1_000.0,
+            growth: 0.12,
+            forecast_error: 0.10,
+            lead_periods: 2,
+            unit_capex: Dollars::new(500.0),
+            idle_cost_per_period: Dollars::new(12.0),
+            shortfall_cost_per_period: Dollars::new(45.0),
+            price_decline: 0.04,
+            seed: 1,
+        }
+    }
+}
+
+/// One period's ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodOutcome {
+    /// Realized demand.
+    pub demand: f64,
+    /// Installed capacity.
+    pub capacity: f64,
+    /// Idle units (capacity − demand, ≥0).
+    pub idle: f64,
+    /// Unserved demand (demand − capacity, ≥0).
+    pub shortfall: f64,
+    /// Capex spent this period.
+    pub capex: Dollars,
+}
+
+/// The simulated build-out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedOutcome {
+    /// Per-period ledger.
+    pub periods: Vec<PeriodOutcome>,
+    /// Total capital spent.
+    pub total_capex: Dollars,
+    /// Total idle-capacity cost.
+    pub total_idle_cost: Dollars,
+    /// Total shortfall cost.
+    pub total_shortfall_cost: Dollars,
+}
+
+impl PhasedOutcome {
+    /// Grand total cost.
+    pub fn total(&self) -> Dollars {
+        self.total_capex + self.total_idle_cost + self.total_shortfall_cost
+    }
+}
+
+/// Simulates a strategy against one demand trajectory.
+pub fn simulate(params: &PhasedParams, strategy: BuildStrategy) -> PhasedOutcome {
+    let mut rng = SplitMix64::new(params.seed);
+    // Realized demand trajectory (shared noise stream for fair strategy
+    // comparison under the same seed).
+    let mut demands = Vec::with_capacity(params.periods);
+    let mut d = params.initial_demand;
+    for _ in 0..params.periods {
+        let noise = (rng.next_u64() as f64 / u64::MAX as f64 - 0.5) * 4.0; // ±2
+        let realized = d * (1.0 + params.forecast_error * noise);
+        demands.push(realized.max(0.0));
+        d *= 1.0 + params.growth;
+    }
+    // Final forecast demand (what AllUpFront builds for).
+    let final_forecast = params.initial_demand * (1.0 + params.growth).powi(params.periods as i32);
+
+    let mut capacity = 0.0f64;
+    // Orders in flight: arrives_at_period -> units.
+    let mut pipeline: Vec<(usize, f64)> = Vec::new();
+    let mut periods = Vec::with_capacity(params.periods);
+    let mut total_capex = Dollars::ZERO;
+    let mut total_idle = Dollars::ZERO;
+    let mut total_short = Dollars::ZERO;
+
+    for t in 0..params.periods {
+        // Arrivals.
+        capacity += pipeline
+            .iter()
+            .filter(|(at, _)| *at == t)
+            .map(|(_, u)| *u)
+            .sum::<f64>();
+        pipeline.retain(|(at, _)| *at != t);
+
+        // Ordering decision.
+        let unit_price = params.unit_capex * (1.0 - params.price_decline).powi(t as i32);
+        let mut capex = Dollars::ZERO;
+        match strategy {
+            BuildStrategy::AllUpFront => {
+                if t == 0 {
+                    // Everything lands immediately (built before service).
+                    capacity = final_forecast;
+                    capex = params.unit_capex * final_forecast;
+                }
+            }
+            BuildStrategy::ChaseForecast { headroom_pct } => {
+                let horizon = t + params.lead_periods;
+                let forecast = params.initial_demand
+                    * (1.0 + params.growth).powi(horizon as i32)
+                    * (1.0 + f64::from(headroom_pct) / 100.0);
+                let committed: f64 = capacity + pipeline.iter().map(|(_, u)| *u).sum::<f64>();
+                let order = (forecast - committed).max(0.0);
+                if order > 0.0 {
+                    pipeline.push((t + params.lead_periods, order));
+                    capex = unit_price * order;
+                }
+            }
+        }
+        total_capex += capex;
+
+        let demand = demands[t];
+        let idle = (capacity - demand).max(0.0);
+        let shortfall = (demand - capacity).max(0.0);
+        total_idle += params.idle_cost_per_period * idle;
+        total_short += params.shortfall_cost_per_period * shortfall;
+        periods.push(PeriodOutcome {
+            demand,
+            capacity,
+            idle,
+            shortfall,
+            capex,
+        });
+    }
+
+    PhasedOutcome {
+        periods,
+        total_capex,
+        total_idle_cost: total_idle,
+        total_shortfall_cost: total_short,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_up_front_never_shorts_but_idles_heavily() {
+        let p = PhasedParams::default();
+        let out = simulate(&p, BuildStrategy::AllUpFront);
+        assert_eq!(out.total_shortfall_cost, Dollars::ZERO);
+        assert!(out.total_idle_cost.value() > 0.0);
+        // Capacity is flat at the final forecast.
+        let caps: Vec<f64> = out.periods.iter().map(|q| q.capacity).collect();
+        assert!(caps.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+
+    #[test]
+    fn chasing_cuts_idle_at_some_shortfall_risk() {
+        let p = PhasedParams::default();
+        let upfront = simulate(&p, BuildStrategy::AllUpFront);
+        let chase = simulate(&p, BuildStrategy::ChaseForecast { headroom_pct: 10 });
+        assert!(chase.total_idle_cost < upfront.total_idle_cost);
+        // All-in, deferral wins: the idle savings plus the price decline
+        // outweigh the headroom premium (§3.5's argument for incremental
+        // deployment).
+        assert!(
+            chase.total() < upfront.total(),
+            "chase {} upfront {}",
+            chase.total(),
+            upfront.total()
+        );
+    }
+
+    #[test]
+    fn headroom_trades_idle_for_shortfall() {
+        let p = PhasedParams {
+            forecast_error: 0.25,
+            ..PhasedParams::default()
+        };
+        let tight = simulate(&p, BuildStrategy::ChaseForecast { headroom_pct: 0 });
+        let padded = simulate(&p, BuildStrategy::ChaseForecast { headroom_pct: 30 });
+        assert!(padded.total_shortfall_cost <= tight.total_shortfall_cost);
+        assert!(padded.total_idle_cost >= tight.total_idle_cost);
+    }
+
+    #[test]
+    fn longer_lead_times_hurt_chasers() {
+        // §2.3: slow deployment makes planning harder. More lead = ordering
+        // against an older forecast = more combined miss cost.
+        let fast = simulate(
+            &PhasedParams {
+                lead_periods: 1,
+                forecast_error: 0.2,
+                ..PhasedParams::default()
+            },
+            BuildStrategy::ChaseForecast { headroom_pct: 10 },
+        );
+        let slow = simulate(
+            &PhasedParams {
+                lead_periods: 4,
+                forecast_error: 0.2,
+                ..PhasedParams::default()
+            },
+            BuildStrategy::ChaseForecast { headroom_pct: 10 },
+        );
+        let miss = |o: &PhasedOutcome| o.total_idle_cost + o.total_shortfall_cost;
+        assert!(
+            miss(&slow) > miss(&fast),
+            "slow {} fast {}",
+            miss(&slow),
+            miss(&fast)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PhasedParams::default();
+        let a = simulate(&p, BuildStrategy::ChaseForecast { headroom_pct: 10 });
+        let b = simulate(&p, BuildStrategy::ChaseForecast { headroom_pct: 10 });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,529 @@
+//! Monte-Carlo repair simulation: MTTR, availability, unit-of-repair.
+//!
+//! §3.3: "network availability depends on mean time to repair (MTTR), an
+//! inherently physical problem." The simulator builds the failable
+//! component population (switch chassis, linecards, transceiver ends,
+//! cables) from the physicalized design, samples failures from FIT rates
+//! over a horizon, and walks each failure through the paper's repair
+//! pipeline: detect → dispatch (a technician physically walks there) →
+//! drain → replace → validate → undrain.
+//!
+//! The **unit of repair** is modeled directly: a failed port/transceiver
+//! on a multi-port linecard drains the whole card ("the whole card needs
+//! to be replaced, requiring all of the other ports on the card to be
+//! drained", §2.1); a failed chassis drains the whole switch.
+
+use pd_cabling::CablingPlan;
+use pd_costing::calib::LaborCalibration;
+use pd_geometry::Hours;
+use pd_physical::{Hall, Placement, SlotId};
+use pd_topology::gen::SplitMix64;
+use pd_topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// Component classes in the failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComponentClass {
+    /// Switch chassis (PSU, fans, fabric).
+    SwitchChassis,
+    /// One linecard.
+    Linecard,
+    /// One transceiver/cable-end (optical or active-electrical end).
+    Transceiver,
+    /// One cable assembly.
+    Cable,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairSimParams {
+    /// Simulated horizon (default: one year).
+    pub horizon: Hours,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ports per linecard (the unit-of-repair knob; fixed-config 1-RU
+    /// boxes are modeled as one card holding every port).
+    pub ports_per_linecard: u16,
+    /// FIT of a switch chassis.
+    pub chassis_fit: f64,
+    /// FIT of one linecard.
+    pub linecard_fit: f64,
+    /// Detection latency before dispatch.
+    pub detect: Hours,
+    /// Drain + undrain overhead per repair.
+    pub drain_overhead: Hours,
+    /// Replacement hands-on time per class (chassis, linecard,
+    /// transceiver, cable-fixed; cable adds per-meter pull time).
+    pub replace_chassis: Hours,
+    /// Linecard swap time.
+    pub replace_linecard: Hours,
+    /// Transceiver swap time.
+    pub replace_transceiver: Hours,
+    /// Validation + firmware + undrain checks.
+    pub validate: Hours,
+}
+
+impl Default for RepairSimParams {
+    fn default() -> Self {
+        Self {
+            horizon: Hours::new(24.0 * 365.0),
+            trials: 50,
+            seed: 1,
+            ports_per_linecard: 16,
+            chassis_fit: 3_000.0,
+            linecard_fit: 1_500.0,
+            detect: Hours::new(0.1),
+            drain_overhead: Hours::new(0.5),
+            replace_chassis: Hours::new(2.0),
+            replace_linecard: Hours::new(1.0),
+            replace_transceiver: Hours::new(0.25),
+            validate: Hours::new(0.5),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    class: ComponentClass,
+    slot: SlotId,
+    /// Ports taken out of service while this component is repaired — the
+    /// unit of repair.
+    drained_ports: u32,
+    fit: f64,
+    /// Cable length for pull-time computation (cables only).
+    cable_length: pd_geometry::Meters,
+}
+
+/// Aggregated simulation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairSimReport {
+    /// Mean repairs per trial (≈ per horizon).
+    pub repairs_per_horizon: f64,
+    /// Mean time to repair across all repairs.
+    pub mean_mttr: Hours,
+    /// Mean technician hands-on hours per horizon.
+    pub tech_hours_per_horizon: f64,
+    /// Mean drained port-hours per horizon.
+    pub drained_port_hours: f64,
+    /// Port availability: 1 − drained-port-hours / total port-hours.
+    pub port_availability: f64,
+    /// Repairs per horizon by class.
+    pub by_class: Vec<(ComponentClass, f64)>,
+    /// Total components simulated.
+    pub components: usize,
+}
+
+/// The §3.3 unit-of-repair figure: ports drained when one port fails, as a
+/// function of switch radix and linecard size.
+pub fn unit_of_repair_ports(radix: u16, ports_per_linecard: u16) -> u32 {
+    u32::from(ports_per_linecard.min(radix).max(1))
+}
+
+/// Concurrent-failure statistics: §3.3 warns that "mitigation techniques
+/// generally cannot tolerate large numbers of concurrent failures", which
+/// makes the *overlap* of repair windows — not just their count — a design
+/// metric. Longer MTTRs widen every window and superlinearly increase the
+/// chance that `k` failures are open at once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrencyStats {
+    /// Mean number of simultaneously-open repairs, time-averaged.
+    pub mean_open_repairs: f64,
+    /// Fraction of the horizon with ≥1 repair open.
+    pub frac_time_ge1: f64,
+    /// Fraction of the horizon with ≥2 repairs open concurrently.
+    pub frac_time_ge2: f64,
+    /// Maximum overlap observed across all trials.
+    pub max_concurrent: usize,
+    /// Probability (over trials) that the horizon sees ≥2 concurrent
+    /// repairs at least once.
+    pub p_any_double: f64,
+}
+
+impl ConcurrencyStats {
+    /// Runs a dedicated Monte Carlo over the same component population as
+    /// [`RepairSimReport::simulate`], tracking repair-window overlap.
+    /// `mttr` is the (deterministic) repair duration applied to every
+    /// failure; callers typically pass `RepairSimReport::mean_mttr`.
+    pub fn simulate(
+        net: &Network,
+        plan: &CablingPlan,
+        params: &RepairSimParams,
+        mttr: Hours,
+    ) -> Self {
+        // Component FIT population (matching the main simulator's classes,
+        // minus per-slot detail — only failure times matter here).
+        let mut fits: Vec<f64> = Vec::new();
+        for s in net.switches() {
+            fits.push(params.chassis_fit);
+            let cards =
+                u32::from(s.radix).div_ceil(u32::from(params.ports_per_linecard.max(1)));
+            for _ in 0..cards {
+                fits.push(params.linecard_fit);
+            }
+        }
+        for run in &plan.runs {
+            fits.push(run.choice.sku.fit);
+            if run.choice.sku.ends_power.value() > 1.0 {
+                fits.push(800.0);
+                fits.push(800.0);
+            }
+        }
+
+        let horizon = params.horizon.value();
+        let window = mttr.value().max(1e-6);
+        let trials = params.trials.max(1);
+
+        let mut overlap_time_sum = 0.0; // ∫ open(t) dt, summed over trials
+        let mut ge1_time = 0.0;
+        let mut ge2_time = 0.0;
+        let mut max_concurrent = 0usize;
+        let mut doubles = 0usize;
+
+        for trial in 0..trials {
+            let mut rng = SplitMix64::new(
+                params.seed ^ 0xC0FFEE ^ (trial as u64).wrapping_mul(0x2545F4914F6CDD1D),
+            );
+            // Sample failure instants.
+            let mut events: Vec<f64> = Vec::new();
+            for &fit in &fits {
+                let lambda = fit / 1e9;
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let u = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+                let t = -u.ln() / lambda;
+                if t < horizon {
+                    events.push(t);
+                }
+            }
+            events.sort_by(f64::total_cmp);
+            // Sweep: +1 at t, −1 at t+window.
+            let mut boundary: Vec<(f64, i32)> = Vec::with_capacity(events.len() * 2);
+            for &t in &events {
+                boundary.push((t, 1));
+                boundary.push((t + window, -1));
+            }
+            boundary.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+            let mut open = 0i32;
+            let mut last_t = 0.0f64;
+            let mut saw_double = false;
+            for (t, d) in boundary {
+                let span = (t.min(horizon) - last_t).max(0.0);
+                overlap_time_sum += span * f64::from(open);
+                if open >= 1 {
+                    ge1_time += span;
+                }
+                if open >= 2 {
+                    ge2_time += span;
+                    saw_double = true;
+                }
+                open += d;
+                max_concurrent = max_concurrent.max(open.max(0) as usize);
+                last_t = t.min(horizon);
+                if last_t >= horizon {
+                    break;
+                }
+            }
+            if saw_double {
+                doubles += 1;
+            }
+        }
+
+        let t = trials as f64;
+        Self {
+            mean_open_repairs: overlap_time_sum / (t * horizon),
+            frac_time_ge1: ge1_time / (t * horizon),
+            frac_time_ge2: ge2_time / (t * horizon),
+            max_concurrent,
+            p_any_double: doubles as f64 / t,
+        }
+    }
+}
+
+impl RepairSimReport {
+    /// Runs the simulation for a physicalized design.
+    pub fn simulate(
+        net: &Network,
+        hall: &Hall,
+        placement: &Placement,
+        plan: &CablingPlan,
+        calib: &LaborCalibration,
+        params: &RepairSimParams,
+    ) -> Self {
+        // Build the component population.
+        let mut comps: Vec<Component> = Vec::new();
+        for s in net.switches() {
+            let slot = placement.slot_of(s.id).unwrap_or(SlotId(0));
+            comps.push(Component {
+                class: ComponentClass::SwitchChassis,
+                slot,
+                drained_ports: u32::from(s.radix),
+                fit: params.chassis_fit,
+                cable_length: pd_geometry::Meters::ZERO,
+            });
+            let cards = u32::from(s.radix).div_ceil(u32::from(params.ports_per_linecard.max(1)));
+            for _ in 0..cards {
+                comps.push(Component {
+                    class: ComponentClass::Linecard,
+                    slot,
+                    drained_ports: unit_of_repair_ports(s.radix, params.ports_per_linecard),
+                    fit: params.linecard_fit,
+                    cable_length: pd_geometry::Meters::ZERO,
+                });
+            }
+        }
+        for run in &plan.runs {
+            comps.push(Component {
+                class: ComponentClass::Cable,
+                slot: run.from_slot,
+                drained_ports: 2,
+                fit: run.choice.sku.fit,
+                cable_length: run.routed_length,
+            });
+            // Two transceiver ends for powered media.
+            if run.choice.sku.ends_power.value() > 1.0 {
+                for slot in [run.from_slot, run.to_slot] {
+                    comps.push(Component {
+                        class: ComponentClass::Transceiver,
+                        slot,
+                        drained_ports: unit_of_repair_ports(
+                            net.link(run.link)
+                                .and_then(|l| net.switch(l.a))
+                                .map(|s| s.radix)
+                                .unwrap_or(32),
+                            params.ports_per_linecard,
+                        ),
+                        fit: 800.0, // optical transceiver FIT, vendor-datasheet magnitude
+                        cable_length: pd_geometry::Meters::ZERO,
+                    });
+                }
+            }
+        }
+
+        let total_ports: f64 = net.switches().map(|s| f64::from(s.radix)).sum();
+        let depot = SlotId(0);
+        let trials = params.trials.max(1);
+
+        let mut repairs_sum = 0.0;
+        let mut mttr_sum = Hours::ZERO;
+        let mut mttr_count = 0usize;
+        let mut tech_sum = 0.0;
+        let mut drained_sum = 0.0;
+        let mut by_class: std::collections::BTreeMap<ComponentClass, f64> = Default::default();
+
+        for trial in 0..trials {
+            let mut rng = SplitMix64::new(
+                params.seed ^ (trial as u64).wrapping_mul(0xA24BAED4963EE407),
+            );
+            for c in &comps {
+                // First-failure sampling (components are rare-failure; the
+                // chance of two failures of one part in a horizon is
+                // negligible at realistic FITs).
+                let lambda = c.fit / 1e9;
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let u = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+                let t_fail = -u.ln() / lambda;
+                if t_fail >= params.horizon.value() {
+                    continue;
+                }
+                // Repair pipeline.
+                let walk = calib.walk_time(
+                    hall.slot_distance(depot, c.slot)
+                        .unwrap_or(pd_geometry::Meters::ZERO),
+                );
+                let replace = match c.class {
+                    ComponentClass::SwitchChassis => params.replace_chassis,
+                    ComponentClass::Linecard => params.replace_linecard,
+                    ComponentClass::Transceiver => params.replace_transceiver,
+                    ComponentClass::Cable => calib.loose_cable_time(c.cable_length),
+                };
+                let mttr =
+                    params.detect + walk + params.drain_overhead + replace + params.validate;
+                repairs_sum += 1.0;
+                mttr_sum += mttr;
+                mttr_count += 1;
+                tech_sum += (walk + replace + params.validate).value();
+                drained_sum += mttr.value() * f64::from(c.drained_ports);
+                *by_class.entry(c.class).or_insert(0.0) += 1.0;
+            }
+        }
+
+        let t = trials as f64;
+        let drained_port_hours = drained_sum / t;
+        let total_port_hours = total_ports * params.horizon.value();
+        Self {
+            repairs_per_horizon: repairs_sum / t,
+            mean_mttr: if mttr_count == 0 {
+                Hours::ZERO
+            } else {
+                mttr_sum / mttr_count as f64
+            },
+            tech_hours_per_horizon: tech_sum / t,
+            drained_port_hours,
+            port_availability: if total_port_hours > 0.0 {
+                1.0 - drained_port_hours / total_port_hours
+            } else {
+                1.0
+            },
+            by_class: by_class.into_iter().map(|(k, v)| (k, v / t)).collect(),
+            components: comps.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    fn setup() -> (Network, Hall, Placement, CablingPlan) {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        (net, hall, placement, plan)
+    }
+
+    #[test]
+    fn unit_of_repair_math() {
+        assert_eq!(unit_of_repair_ports(64, 16), 16);
+        assert_eq!(unit_of_repair_ports(8, 16), 8);
+        assert_eq!(unit_of_repair_ports(64, 64), 64);
+        assert_eq!(unit_of_repair_ports(4, 0), 1);
+    }
+
+    #[test]
+    fn simulation_produces_sane_availability() {
+        let (net, hall, placement, plan) = setup();
+        let rep = RepairSimReport::simulate(
+            &net,
+            &hall,
+            &placement,
+            &plan,
+            &LaborCalibration::default(),
+            &RepairSimParams::default(),
+        );
+        assert!(rep.components > 0);
+        assert!(rep.repairs_per_horizon > 0.0, "a year should see failures");
+        assert!(rep.mean_mttr > Hours::new(0.5));
+        assert!(rep.mean_mttr < Hours::new(24.0));
+        assert!(rep.port_availability > 0.999, "{}", rep.port_availability);
+        assert!(rep.port_availability < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (net, hall, placement, plan) = setup();
+        let c = LaborCalibration::default();
+        let p = RepairSimParams {
+            trials: 10,
+            ..RepairSimParams::default()
+        };
+        let a = RepairSimReport::simulate(&net, &hall, &placement, &plan, &c, &p);
+        let b = RepairSimReport::simulate(&net, &hall, &placement, &plan, &c, &p);
+        assert_eq!(a.repairs_per_horizon, b.repairs_per_horizon);
+        assert_eq!(a.mean_mttr, b.mean_mttr);
+    }
+
+    #[test]
+    fn bigger_linecards_drain_more_ports() {
+        // Needs high-radix switches: on a radix-4 fat-tree the card size is
+        // capped at the radix and the comparison degenerates.
+        let net = pd_topology::gen::leaf_spine(8, 4, 44, 1, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let c = LaborCalibration::default();
+        let small = RepairSimParams {
+            ports_per_linecard: 4,
+            trials: 30,
+            ..RepairSimParams::default()
+        };
+        let big = RepairSimParams {
+            ports_per_linecard: 64,
+            trials: 30,
+            ..RepairSimParams::default()
+        };
+        let rs = RepairSimReport::simulate(&net, &hall, &placement, &plan, &c, &small);
+        let rb = RepairSimReport::simulate(&net, &hall, &placement, &plan, &c, &big);
+        // Same failure processes, but the unit of repair is larger, so more
+        // port-hours drain. (Fewer linecards partially offsets; transceiver
+        // repairs dominate the difference.)
+        assert!(
+            rb.drained_port_hours / rb.repairs_per_horizon
+                > rs.drained_port_hours / rs.repairs_per_horizon,
+            "per-repair drain must grow with card size"
+        );
+    }
+
+    #[test]
+    fn concurrency_grows_with_mttr() {
+        let (net, _, _, plan) = setup();
+        let p = RepairSimParams {
+            trials: 40,
+            ..RepairSimParams::default()
+        };
+        let short = ConcurrencyStats::simulate(&net, &plan, &p, Hours::new(2.0));
+        let long = ConcurrencyStats::simulate(&net, &plan, &p, Hours::new(48.0));
+        assert!(long.mean_open_repairs > short.mean_open_repairs);
+        assert!(long.frac_time_ge2 >= short.frac_time_ge2);
+        assert!(long.p_any_double >= short.p_any_double);
+        assert!(short.frac_time_ge1 >= short.frac_time_ge2);
+        assert!(short.mean_open_repairs >= 0.0);
+    }
+
+    #[test]
+    fn concurrency_deterministic() {
+        let (net, _, _, plan) = setup();
+        let p = RepairSimParams {
+            trials: 10,
+            ..RepairSimParams::default()
+        };
+        let a = ConcurrencyStats::simulate(&net, &plan, &p, Hours::new(4.0));
+        let b = ConcurrencyStats::simulate(&net, &plan, &p, Hours::new(4.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_fit_components_never_fail() {
+        let (net, hall, placement, plan) = setup();
+        let c = LaborCalibration::default();
+        let p = RepairSimParams {
+            chassis_fit: 0.0,
+            linecard_fit: 0.0,
+            trials: 5,
+            ..RepairSimParams::default()
+        };
+        let rep = RepairSimReport::simulate(&net, &hall, &placement, &plan, &c, &p);
+        // Only cable/transceiver failures remain.
+        for (class, rate) in &rep.by_class {
+            if matches!(
+                class,
+                ComponentClass::SwitchChassis | ComponentClass::Linecard
+            ) {
+                assert_eq!(*rate, 0.0);
+            }
+            let _ = rate;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for lifecycle planners.
+
+use pd_geometry::{Gbps, Hours};
+use pd_lifecycle::expansion::{
+    clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams, IndirectionLevel,
+};
+use pd_lifecycle::phased::{simulate, BuildStrategy, PhasedParams};
+use pd_lifecycle::{DecomChecker, PortState};
+use pd_physical::{Hall, HallSpec, SlotId};
+use pd_topology::gen::{jellyfish, JellyfishParams};
+use pd_topology::LinkId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Clos expansion move count matches the closed-form formula whenever
+    /// the expansion is feasible, and indirection never changes it.
+    #[test]
+    fn clos_expansion_formula(old in 2usize..6, extra in 1usize..6, aggs in 1usize..4, spines in 1usize..6) {
+        let new = old + extra;
+        let spine_ports = 64usize;
+        let params = |ind| ClosExpansionParams {
+            old_pods: old,
+            new_pods: new,
+            aggs_per_pod: aggs,
+            spines,
+            spine_ports,
+            indirection: ind,
+            panel_slots: (0..4).map(SlotId).collect(),
+            pod_slots: (10..30).map(SlotId).collect(),
+            new_pod_slots: (30..60).map(SlotId).collect(),
+        };
+        let t_old = spine_ports / (old * aggs);
+        let t_new = spine_ports / (new * aggs);
+        let plan = clos_add_pods(&params(IndirectionLevel::None));
+        if t_new == 0 {
+            prop_assert_eq!(plan.len(), 0);
+        } else {
+            let expect = spines * old * aggs * (t_old - t_new);
+            prop_assert_eq!(plan.len(), expect);
+            let panel = clos_add_pods(&params(IndirectionLevel::PatchPanel));
+            let ocs = clos_add_pods(&params(IndirectionLevel::Ocs));
+            prop_assert_eq!(panel.len(), expect);
+            prop_assert_eq!(ocs.len(), expect);
+            prop_assert_eq!(plan.new_cables, extra * aggs * spines * t_new);
+        }
+    }
+
+    /// Repeated flat ToR additions always preserve network validity and
+    /// connectivity, and each addition rewires exactly ⌈d/2⌉ links.
+    #[test]
+    fn flat_growth_preserves_invariants(seed in 0u64..30, adds in 1usize..6) {
+        let degree = 6usize;
+        let mut net = jellyfish(&JellyfishParams {
+            tors: 20,
+            network_degree: degree,
+            servers_per_tor: 4,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        for i in 0..adds {
+            let (tor, plan) = flat_add_tor(
+                &mut net,
+                |_| Some(SlotId(0)),
+                &FlatExpansionParams {
+                    degree,
+                    seed: seed.wrapping_add(i as u64 + 1),
+                    servers_per_tor: 4,
+                },
+            );
+            prop_assert_eq!(plan.len(), degree.div_ceil(2));
+            prop_assert_eq!(net.degree(tor), degree);
+            prop_assert!(net.validate().is_ok());
+            prop_assert!(net.is_connected());
+        }
+        prop_assert_eq!(net.switch_count(), 20 + adds);
+    }
+
+    /// Decom safety: a checked removal sequence never removes a link that
+    /// was in service or planned at removal time.
+    #[test]
+    fn decom_never_cuts_live_links(seed in 0u64..30, drain_n in 0usize..20) {
+        let mut net = jellyfish(&JellyfishParams {
+            tors: 14,
+            network_degree: 4,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        let links: Vec<LinkId> = net.links().map(|l| l.id).collect();
+        let mut checker = DecomChecker::all_in_service(&net);
+        for l in links.iter().take(drain_n.min(links.len())) {
+            checker.drain_link(&net, *l);
+        }
+        let mut removed = 0usize;
+        for &l in &links {
+            if checker.remove(&mut net, l).is_ok() {
+                removed += 1;
+            }
+        }
+        prop_assert_eq!(removed, drain_n.min(links.len()));
+        prop_assert_eq!(checker.removed().len(), removed);
+    }
+
+    /// Port-state transitions: planning after draining blocks removal;
+    /// freeing re-allows it.
+    #[test]
+    fn decom_state_machine(seed in 0u64..20) {
+        let mut net = jellyfish(&JellyfishParams {
+            tors: 10,
+            network_degree: 4,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        let l = net.links().next().unwrap().clone();
+        let mut checker = DecomChecker::all_in_service(&net);
+        checker.drain_link(&net, l.id);
+        prop_assert!(checker.can_remove(&net, l.id).is_ok());
+        checker.plan_link(&net, l.id);
+        prop_assert!(checker.can_remove(&net, l.id).is_err());
+        checker.set_state(l.id, l.a, PortState::Free);
+        checker.set_state(l.id, l.b, PortState::Free);
+        prop_assert!(checker.remove(&mut net, l.id).is_ok());
+    }
+
+    /// Phased deployment: cost components are nonnegative and the ledger is
+    /// internally consistent for any parameters.
+    #[test]
+    fn phased_ledger_consistent(seed in 0u64..50, growth in 0.0f64..0.3, err in 0.0f64..0.3, lead in 0usize..5) {
+        let p = PhasedParams {
+            growth,
+            forecast_error: err,
+            lead_periods: lead,
+            seed,
+            ..PhasedParams::default()
+        };
+        for strat in [BuildStrategy::AllUpFront, BuildStrategy::ChaseForecast { headroom_pct: 10 }] {
+            let o = simulate(&p, strat);
+            prop_assert_eq!(o.periods.len(), p.periods);
+            prop_assert!(o.total_capex.value() >= 0.0);
+            prop_assert!(o.total_idle_cost.value() >= 0.0);
+            prop_assert!(o.total_shortfall_cost.value() >= 0.0);
+            for q in &o.periods {
+                // Exactly one of idle/shortfall is nonzero (or both zero).
+                prop_assert!(q.idle == 0.0 || q.shortfall == 0.0);
+                prop_assert!((q.capacity - q.demand - q.idle + q.shortfall).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Rewire-plan complexity is consistent: steps = hand moves + software
+    /// moves, and labor is zero iff nothing is hand-touched.
+    #[test]
+    fn complexity_accounting(ind_kind in 0usize..3, moves in 1usize..40) {
+        use pd_lifecycle::{RewirePlan, RewireSite};
+        let hall = Hall::new(HallSpec::small());
+        let mut plan = RewirePlan::default();
+        let site = match ind_kind {
+            0 => RewireSite::SwitchRacks { a: SlotId(0), b: SlotId(5) },
+            1 => RewireSite::Panel { slot: SlotId(3), software_only: false },
+            _ => RewireSite::Panel { slot: SlotId(3), software_only: true },
+        };
+        for i in 0..moves {
+            plan.push(site, format!("move {i}"));
+        }
+        let c = plan.complexity(&hall, Hours::new(0.1), Hours::new(0.5));
+        prop_assert_eq!(c.rewiring_steps, moves);
+        if ind_kind == 2 {
+            prop_assert_eq!(c.software_steps, moves);
+            prop_assert_eq!(c.labor, Hours::ZERO);
+        } else {
+            prop_assert_eq!(c.software_steps, 0);
+            prop_assert!(c.labor > Hours::ZERO);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The instantiated hall: rack slots with floor coordinates.
+//!
+//! Coordinates: rows run along +x, consecutive rows stack along +y. Slot
+//! `(row r, index i)` has its center at
+//! `(i × slot_pitch + slot_pitch/2, r × row_pitch + row_pitch/2)`.
+
+use crate::spec::HallSpec;
+use pd_geometry::{Meters, Point2};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a rack slot (dense index: `row × slots_per_row + index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotId(pub usize);
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// A slot's location.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotRef {
+    /// The slot id.
+    pub id: SlotId,
+    /// Row index.
+    pub row: usize,
+    /// Position within the row.
+    pub index: usize,
+    /// Floor-plan center of the slot.
+    pub center: Point2,
+}
+
+/// An instantiated hall: the spec plus computed slot geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hall {
+    /// The specification this hall was built from.
+    pub spec: HallSpec,
+    slots: Vec<SlotRef>,
+}
+
+impl Hall {
+    /// Lays out a hall from a spec.
+    pub fn new(spec: HallSpec) -> Self {
+        let mut slots = Vec::with_capacity(spec.total_slots());
+        for row in 0..spec.rows {
+            for index in 0..spec.slots_per_row {
+                let id = SlotId(row * spec.slots_per_row + index);
+                let center = Point2 {
+                    x: spec.slot_pitch * (index as f64 + 0.5),
+                    y: spec.row_pitch * (row as f64 + 0.5),
+                };
+                slots.push(SlotRef {
+                    id,
+                    row,
+                    index,
+                    center,
+                });
+            }
+        }
+        Self { spec, slots }
+    }
+
+    /// All slots in id order.
+    pub fn slots(&self) -> &[SlotRef] {
+        &self.slots
+    }
+
+    /// A slot by id.
+    pub fn slot(&self, id: SlotId) -> Option<&SlotRef> {
+        self.slots.get(id.0)
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rectilinear floor distance between two slots — the walking distance
+    /// for a technician and the routing lower bound for a cable.
+    pub fn slot_distance(&self, a: SlotId, b: SlotId) -> Option<Meters> {
+        Some(self.slot(a)?.center.manhattan(self.slot(b)?.center))
+    }
+
+    /// The slot whose center is nearest to a point (ties → lowest id).
+    pub fn nearest_slot(&self, p: Point2) -> Option<SlotId> {
+        self.slots
+            .iter()
+            .min_by(|a, b| {
+                a.center
+                    .manhattan(p)
+                    .total_cmp(&b.center.manhattan(p))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+
+    /// Slots in the same row as `id`, nearest first (the candidate set for
+    /// conjoined-pair placement and for block-local growth).
+    pub fn row_neighbors(&self, id: SlotId) -> Vec<SlotId> {
+        let Some(s) = self.slot(id) else {
+            return Vec::new();
+        };
+        let mut same_row: Vec<&SlotRef> =
+            self.slots.iter().filter(|t| t.row == s.row && t.id != id).collect();
+        same_row.sort_by_key(|t| t.index.abs_diff(s.index));
+        same_row.into_iter().map(|t| t.id).collect()
+    }
+
+    /// Hall bounding dimensions (x extent, y extent).
+    pub fn extent(&self) -> (Meters, Meters) {
+        (
+            self.spec.slot_pitch * self.spec.slots_per_row as f64,
+            self.spec.row_pitch * self.spec.rows as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HallSpec;
+
+    fn hall() -> Hall {
+        Hall::new(HallSpec::small()) // 4 rows × 8 slots
+    }
+
+    #[test]
+    fn slot_layout() {
+        let h = hall();
+        assert_eq!(h.slot_count(), 32);
+        let s0 = h.slot(SlotId(0)).unwrap();
+        assert_eq!(s0.row, 0);
+        assert_eq!(s0.index, 0);
+        assert_eq!(s0.center, Point2::new(0.3, 1.2));
+        let s9 = h.slot(SlotId(9)).unwrap();
+        assert_eq!(s9.row, 1);
+        assert_eq!(s9.index, 1);
+    }
+
+    #[test]
+    fn slot_distance_manhattan() {
+        let h = hall();
+        // Slot 0 and slot 1: adjacent in a row, 0.6 m apart.
+        let d01 = h.slot_distance(SlotId(0), SlotId(1)).unwrap();
+        assert!((d01 - Meters::new(0.6)).abs() < Meters::new(1e-9), "{d01}");
+        // Slot 0 and slot 8: adjacent rows, 2.4 m apart.
+        let d08 = h.slot_distance(SlotId(0), SlotId(8)).unwrap();
+        assert!((d08 - Meters::new(2.4)).abs() < Meters::new(1e-9), "{d08}");
+    }
+
+    #[test]
+    fn nearest_slot_round_trip() {
+        let h = hall();
+        for s in h.slots() {
+            assert_eq!(h.nearest_slot(s.center), Some(s.id));
+        }
+    }
+
+    #[test]
+    fn row_neighbors_sorted_by_distance() {
+        let h = hall();
+        let n = h.row_neighbors(SlotId(3));
+        assert_eq!(n.len(), 7);
+        // First neighbors are index 2 or 4 (distance 1).
+        let first = h.slot(n[0]).unwrap();
+        assert_eq!(first.index.abs_diff(3), 1);
+        // All in row 0.
+        assert!(n.iter().all(|&id| h.slot(id).unwrap().row == 0));
+    }
+
+    #[test]
+    fn extent_matches_spec() {
+        let h = hall();
+        let (x, y) = h.extent();
+        assert_eq!(x, Meters::new(0.6 * 8.0));
+        assert_eq!(y, Meters::new(2.4 * 4.0));
+    }
+}

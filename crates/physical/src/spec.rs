@@ -1,0 +1,208 @@
+//! Hall, rack, and door specifications.
+//!
+//! Defaults are calibrated to ordinary datacenter practice (600 mm × 1200 mm
+//! racks on a 600 mm tile grid, 42 RU, hot/cold aisle pitch of ~2.4 m) so
+//! experiments get realistic distances without per-experiment tuning. Every
+//! field is public and plain so experiments can sweep it.
+
+use pd_geometry::{Kilograms, Meters, SquareMillimeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A door that equipment (and pre-cabled rack assemblies) must pass through.
+///
+/// The paper opens with the IBM-7090-through-the-doorway story and notes
+/// (§3.1) that "double-wide racks don't always fit through doors" — the
+/// constraint engine checks conjoined-rack assemblies against this.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DoorSpec {
+    /// Clear width of the door aperture.
+    pub width: Meters,
+    /// Clear height of the door aperture.
+    pub height: Meters,
+}
+
+impl Default for DoorSpec {
+    fn default() -> Self {
+        Self {
+            // A generous double door: 1.4 m wide, 2.4 m tall. Fits a single
+            // rack (0.6 m) and a conjoined pair (1.2 m), but not a triple.
+            width: Meters::new(1.4),
+            height: Meters::new(2.4),
+        }
+    }
+}
+
+/// Specification of one rack model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Footprint width (along the row).
+    pub width: Meters,
+    /// Footprint depth (across the row).
+    pub depth: Meters,
+    /// Overall height (for door checks when moved upright on a pallet the
+    /// relevant dimension is usually width × depth, but tall racks tipped
+    /// through short doors are a real failure mode).
+    pub height: Meters,
+    /// Usable rack units.
+    pub rack_units: u16,
+    /// Static weight budget, equipment only.
+    pub weight_limit: Kilograms,
+    /// Power budget per rack across both feeds.
+    pub power_limit: Watts,
+}
+
+impl Default for RackSpec {
+    fn default() -> Self {
+        Self {
+            width: Meters::new(0.6),
+            depth: Meters::new(1.2),
+            height: Meters::new(2.0),
+            rack_units: 42,
+            weight_limit: Kilograms::new(1360.0), // common 3000 lb static rating
+            power_limit: Watts::new(17_000.0),
+        }
+    }
+}
+
+impl RackSpec {
+    /// Whether one upright rack fits through `door` (width and depth both
+    /// checked against the aperture width; height against aperture height).
+    pub fn fits_through(&self, door: &DoorSpec) -> bool {
+        self.width.min(self.depth) <= door.width && self.height <= door.height
+    }
+
+    /// Whether an assembly of `n` conjoined racks (side by side) fits
+    /// through `door`. The assembly is `n × width` wide and cannot be
+    /// rotated to present its depth.
+    pub fn conjoined_fits_through(&self, n: usize, door: &DoorSpec) -> bool {
+        self.width * n as f64 <= door.width && self.height <= door.height
+    }
+}
+
+/// Specification of a datacenter hall.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HallSpec {
+    /// Number of rack rows.
+    pub rows: usize,
+    /// Rack slots per row.
+    pub slots_per_row: usize,
+    /// Rack model used throughout (heterogeneous racks are modeled as
+    /// equipment diversity within this footprint).
+    pub rack: RackSpec,
+    /// Center-to-center distance between adjacent rows (rack depth + aisle).
+    pub row_pitch: Meters,
+    /// Center-to-center distance between adjacent slots in a row.
+    pub slot_pitch: Meters,
+    /// Height of the overhead tray plane above the floor.
+    pub tray_height: Meters,
+    /// Usable cross-sectional area of one tray segment, per cable
+    /// generation.
+    pub tray_capacity_per_generation: SquareMillimeters,
+    /// How many technology generations the trays are provisioned for
+    /// (paper §2.1: "we provision enough space in cable trays for several
+    /// generations"). Installed capacity = per-generation × generations.
+    pub tray_generations: u8,
+    /// Cross-aisle tray connections: every `cross_tray_every` slots, a tray
+    /// runs perpendicular to the rows connecting all row trays.
+    pub cross_tray_every: usize,
+    /// The door everything enters through.
+    pub door: DoorSpec,
+    /// Number of independent power feeds (≥ 2 for redundancy).
+    pub power_feeds: usize,
+    /// Capacity of each power feed.
+    pub feed_capacity: Watts,
+    /// If true, rows must hold an odd number of *used* rack positions
+    /// (§3.1's floor-space constraint that conflicts with conjoined pairs).
+    pub odd_slots_per_row: bool,
+}
+
+impl Default for HallSpec {
+    fn default() -> Self {
+        Self {
+            rows: 10,
+            slots_per_row: 20,
+            rack: RackSpec::default(),
+            row_pitch: Meters::new(2.4),
+            slot_pitch: Meters::new(0.6),
+            tray_height: Meters::new(2.7),
+            // A 600 mm × 100 mm tray at 40 % usable fill ≈ 24 000 mm²;
+            // per-generation share with 3 generations ≈ 8 000 mm².
+            tray_capacity_per_generation: SquareMillimeters::new(8_000.0),
+            tray_generations: 3,
+            cross_tray_every: 5,
+            door: DoorSpec::default(),
+            power_feeds: 4,
+            feed_capacity: Watts::new(400_000.0),
+            odd_slots_per_row: false,
+        }
+    }
+}
+
+impl HallSpec {
+    /// Total rack slots.
+    pub fn total_slots(&self) -> usize {
+        self.rows * self.slots_per_row
+    }
+
+    /// Total installed tray capacity per segment.
+    pub fn tray_capacity(&self) -> SquareMillimeters {
+        self.tray_capacity_per_generation * f64::from(self.tray_generations)
+    }
+
+    /// A compact hall for small experiments.
+    pub fn small() -> Self {
+        Self {
+            rows: 4,
+            slots_per_row: 8,
+            ..Self::default()
+        }
+    }
+
+    /// A large hall for scale experiments.
+    pub fn large() -> Self {
+        Self {
+            rows: 20,
+            slots_per_row: 40,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rack_fits_default_door() {
+        let r = RackSpec::default();
+        let d = DoorSpec::default();
+        assert!(r.fits_through(&d));
+        assert!(r.conjoined_fits_through(2, &d));
+        assert!(!r.conjoined_fits_through(3, &d), "triple-wide must not fit");
+    }
+
+    #[test]
+    fn tall_rack_fails_short_door() {
+        let r = RackSpec {
+            height: Meters::new(2.5),
+            ..RackSpec::default()
+        };
+        assert!(!r.fits_through(&DoorSpec::default()));
+    }
+
+    #[test]
+    fn hall_slot_count_and_tray_capacity() {
+        let h = HallSpec::default();
+        assert_eq!(h.total_slots(), 200);
+        assert_eq!(
+            h.tray_capacity(),
+            SquareMillimeters::new(24_000.0)
+        );
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert!(HallSpec::small().total_slots() < HallSpec::default().total_slots());
+        assert!(HallSpec::large().total_slots() > HallSpec::default().total_slots());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the physical plant substrate.
+
+use pd_geometry::{Gbps, SquareMillimeters};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy, SlotId, TrayNetwork};
+use pd_topology::gen::{jellyfish, JellyfishParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Tray routing between any two slots is at least the Manhattan lower
+    /// bound and succeeds on an empty tray network.
+    #[test]
+    fn tray_route_at_least_lower_bound(rows in 2usize..6, cols in 2usize..10, a in 0usize..60, b in 0usize..60) {
+        let hall = Hall::new(HallSpec { rows, slots_per_row: cols, ..HallSpec::default() });
+        let mut tn = TrayNetwork::build(&hall);
+        let n = hall.slot_count();
+        let (sa, sb) = (SlotId(a % n), SlotId(b % n));
+        prop_assume!(sa != sb);
+        let p = tn.route_cable(sa, sb, SquareMillimeters::new(10.0)).unwrap();
+        let lb = tn.path_lower_bound(&hall, sa, sb).unwrap();
+        prop_assert!(p.length + pd_geometry::Meters::new(1e-9) >= lb);
+    }
+
+    /// Placement is total and injective on slots for every strategy.
+    #[test]
+    fn placement_total_and_slot_injective(seed in 0u64..100, tors in 8usize..40) {
+        prop_assume!(tors * 4 % 2 == 0 && tors > 4);
+        let net = jellyfish(&JellyfishParams {
+            tors,
+            network_degree: 4,
+            servers_per_tor: 4,
+            link_speed: Gbps::new(100.0),
+            seed,
+        }).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        for strat in [PlacementStrategy::BlockLocal, PlacementStrategy::Linear, PlacementStrategy::Scattered(seed)] {
+            let p = Placement::place(&net, &hall, strat, &EquipmentProfile::default()).unwrap();
+            prop_assert_eq!(p.rack_of_switch.len(), net.switch_count());
+            let mut slots = std::collections::HashSet::new();
+            for r in &p.racks {
+                prop_assert!(slots.insert(r.slot));
+            }
+        }
+    }
+
+    /// The local-search improver never increases the wiring bound.
+    #[test]
+    fn improver_monotone(seed in 0u64..50) {
+        let net = jellyfish(&JellyfishParams {
+            tors: 20,
+            network_degree: 4,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        }).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let mut p = Placement::place(&net, &hall, PlacementStrategy::Scattered(seed), &EquipmentProfile::default()).unwrap();
+        let before = p.wiring_lower_bound(&net, &hall);
+        let after = p.improve(&net, &hall, 200, seed);
+        prop_assert!(after <= before);
+    }
+}

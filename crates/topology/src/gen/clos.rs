@@ -1,0 +1,419 @@
+//! Hierarchical (indirect) topologies: fat-tree, folded Clos, leaf-spine, VL2.
+//!
+//! These are the designs the paper reports as what hyperscalers actually
+//! deploy (§4.1, \[44\]); the deployability experiments compare the flat and
+//! expander families against them.
+
+use super::{finish, invalid, GenError};
+use crate::network::{Network, SwitchId, SwitchRole};
+use pd_geometry::Gbps;
+
+/// Parameters for a parameterized three-tier folded Clos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosParams {
+    /// Number of pods (aggregation blocks).
+    pub pods: usize,
+    /// ToR switches per pod.
+    pub tors_per_pod: usize,
+    /// Aggregation switches per pod.
+    pub aggs_per_pod: usize,
+    /// Spine switches shared by all pods.
+    pub spines: usize,
+    /// Server downlinks per ToR.
+    pub servers_per_tor: u16,
+    /// Line rate of every port.
+    pub link_speed: Gbps,
+    /// Parallel cables per ToR→agg adjacency.
+    pub tor_agg_trunking: u16,
+    /// Parallel cables per agg→spine adjacency.
+    pub agg_spine_trunking: u16,
+    /// If true, agg→spine links are marked [`crate::network::Link::via_ocs`]
+    /// — physically mediated by a patch-panel or OCS layer (paper §4.1,
+    /// Zhao \[56\] / Poutievski \[39\]).
+    pub spine_via_panels: bool,
+    /// Spine radix is provisioned for this many pods (incremental
+    /// deployment, paper §3.5: install few pods day-1, spine sized for the
+    /// full build-out). Defaults to `pods`.
+    pub max_pods: Option<usize>,
+}
+
+impl Default for ClosParams {
+    fn default() -> Self {
+        Self {
+            pods: 4,
+            tors_per_pod: 4,
+            aggs_per_pod: 4,
+            spines: 8,
+            servers_per_tor: 16,
+            link_speed: Gbps::new(100.0),
+            tor_agg_trunking: 1,
+            agg_spine_trunking: 1,
+            spine_via_panels: false,
+            max_pods: None,
+        }
+    }
+}
+
+impl ClosParams {
+    /// Radix needed by each ToR under these parameters.
+    pub fn tor_radix(&self) -> u16 {
+        self.servers_per_tor + (self.aggs_per_pod as u16) * self.tor_agg_trunking
+    }
+
+    /// Radix needed by each aggregation switch.
+    pub fn agg_radix(&self) -> u16 {
+        (self.tors_per_pod as u16) * self.tor_agg_trunking
+            + (self.spines as u16) * self.agg_spine_trunking
+    }
+
+    /// Radix needed by each spine switch (provisioned for `max_pods`).
+    pub fn spine_radix(&self) -> u16 {
+        (self.max_pods.unwrap_or(self.pods).max(self.pods) * self.aggs_per_pod) as u16
+            * self.agg_spine_trunking
+    }
+}
+
+/// Builds a three-tier folded Clos: every ToR connects to every agg in its
+/// pod; every agg connects to every spine. Each pod is one [`crate::network::BlockId`];
+/// the spine layer is a separate block.
+pub fn folded_clos(p: &ClosParams) -> Result<Network, GenError> {
+    if p.pods == 0 || p.tors_per_pod == 0 || p.aggs_per_pod == 0 || p.spines == 0 {
+        return Err(invalid("pods/tors/aggs/spines", "all counts must be positive"));
+    }
+    let mut net = Network::new(format!(
+        "folded-clos(p={},t={},a={},s={})",
+        p.pods, p.tors_per_pod, p.aggs_per_pod, p.spines
+    ));
+
+    let spine_block = net.new_block();
+    let spines: Vec<SwitchId> = (0..p.spines)
+        .map(|s| {
+            net.add_switch(
+                format!("spine{s}"),
+                SwitchRole::Spine,
+                2,
+                p.spine_radix(),
+                p.link_speed,
+                0,
+                Some(spine_block),
+            )
+        })
+        .collect();
+
+    for pod in 0..p.pods {
+        let block = net.new_block();
+        let aggs: Vec<SwitchId> = (0..p.aggs_per_pod)
+            .map(|a| {
+                net.add_switch(
+                    format!("p{pod}-agg{a}"),
+                    SwitchRole::Aggregation,
+                    1,
+                    p.agg_radix(),
+                    p.link_speed,
+                    0,
+                    Some(block),
+                )
+            })
+            .collect();
+        for t in 0..p.tors_per_pod {
+            let tor = net.add_switch(
+                format!("p{pod}-tor{t}"),
+                SwitchRole::Tor,
+                0,
+                p.tor_radix(),
+                p.link_speed,
+                p.servers_per_tor,
+                Some(block),
+            );
+            for &agg in &aggs {
+                net.add_link(tor, agg, p.link_speed, p.tor_agg_trunking, false)
+                    .expect("endpoints exist");
+            }
+        }
+        for &agg in &aggs {
+            for &spine in &spines {
+                net.add_link(agg, spine, p.link_speed, p.agg_spine_trunking, p.spine_via_panels)
+                    .expect("endpoints exist");
+            }
+        }
+    }
+    finish(net)
+}
+
+/// Builds the canonical k-ary fat-tree: `k` pods of `k/2` ToRs and `k/2`
+/// aggs, `(k/2)²` cores, `k/2` servers per ToR, all switches radix `k`.
+pub fn fat_tree(k: usize, link_speed: Gbps) -> Result<Network, GenError> {
+    if k < 2 || k % 2 != 0 {
+        return Err(invalid("k", format!("must be even and ≥ 2, got {k}")));
+    }
+    let half = k / 2;
+    let mut net = Network::new(format!("fat-tree(k={k})"));
+
+    let core_block = net.new_block();
+    // Core switch (i, j) connects to the j-th uplink of agg i in every pod.
+    let cores: Vec<SwitchId> = (0..half * half)
+        .map(|c| {
+            net.add_switch(
+                format!("core{c}"),
+                SwitchRole::Spine,
+                2,
+                k as u16,
+                link_speed,
+                0,
+                Some(core_block),
+            )
+        })
+        .collect();
+
+    for pod in 0..k {
+        let block = net.new_block();
+        let aggs: Vec<SwitchId> = (0..half)
+            .map(|a| {
+                net.add_switch(
+                    format!("p{pod}-agg{a}"),
+                    SwitchRole::Aggregation,
+                    1,
+                    k as u16,
+                    link_speed,
+                    0,
+                    Some(block),
+                )
+            })
+            .collect();
+        for t in 0..half {
+            let tor = net.add_switch(
+                format!("p{pod}-tor{t}"),
+                SwitchRole::Tor,
+                0,
+                k as u16,
+                link_speed,
+                half as u16,
+                Some(block),
+            );
+            for &agg in &aggs {
+                net.add_link(tor, agg, link_speed, 1, false).expect("exists");
+            }
+        }
+        for (a, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let core = cores[a * half + j];
+                net.add_link(agg, core, link_speed, 1, false).expect("exists");
+            }
+        }
+    }
+    finish(net)
+}
+
+/// Builds a two-tier leaf-spine: every leaf connects to every spine with
+/// `trunking` parallel cables.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    servers_per_leaf: u16,
+    trunking: u16,
+    link_speed: Gbps,
+) -> Result<Network, GenError> {
+    if leaves == 0 || spines == 0 {
+        return Err(invalid("leaves/spines", "must be positive"));
+    }
+    if trunking == 0 {
+        return Err(invalid("trunking", "must be positive"));
+    }
+    let mut net = Network::new(format!("leaf-spine(l={leaves},s={spines})"));
+    let spine_block = net.new_block();
+    let leaf_radix = servers_per_leaf + spines as u16 * trunking;
+    let spine_radix = leaves as u16 * trunking;
+    let spine_ids: Vec<SwitchId> = (0..spines)
+        .map(|s| {
+            net.add_switch(
+                format!("spine{s}"),
+                SwitchRole::Spine,
+                1,
+                spine_radix,
+                link_speed,
+                0,
+                Some(spine_block),
+            )
+        })
+        .collect();
+    for l in 0..leaves {
+        let block = net.new_block();
+        let leaf = net.add_switch(
+            format!("leaf{l}"),
+            SwitchRole::Tor,
+            0,
+            leaf_radix,
+            link_speed,
+            servers_per_leaf,
+            Some(block),
+        );
+        for &s in &spine_ids {
+            net.add_link(leaf, s, link_speed, trunking, false).expect("exists");
+        }
+    }
+    finish(net)
+}
+
+/// Builds a VL2-style network \[20\]: each ToR connects to exactly two
+/// aggregation switches; aggregation and intermediate layers form a complete
+/// bipartite graph.
+///
+/// `d_a` is the aggregation-switch radix and `d_i` the intermediate-switch
+/// radix. Following the VL2 paper: there are `d_a/2` intermediates, `d_i`
+/// aggregation switches, and `d_a · d_i / 4` ToRs.
+pub fn vl2(d_a: usize, d_i: usize, servers_per_tor: u16, link_speed: Gbps) -> Result<Network, GenError> {
+    if d_a < 2 || d_a % 2 != 0 {
+        return Err(invalid("d_a", format!("must be even and ≥ 2, got {d_a}")));
+    }
+    if d_i == 0 {
+        return Err(invalid("d_i", "must be positive"));
+    }
+    let n_int = d_a / 2;
+    let n_agg = d_i;
+    let n_tor = d_a * d_i / 4;
+    let mut net = Network::new(format!("vl2(da={d_a},di={d_i})"));
+
+    let int_block = net.new_block();
+    let ints: Vec<SwitchId> = (0..n_int)
+        .map(|i| {
+            net.add_switch(
+                format!("int{i}"),
+                SwitchRole::Spine,
+                2,
+                d_i as u16,
+                link_speed,
+                0,
+                Some(int_block),
+            )
+        })
+        .collect();
+    let agg_block = net.new_block();
+    let aggs: Vec<SwitchId> = (0..n_agg)
+        .map(|a| {
+            net.add_switch(
+                format!("agg{a}"),
+                SwitchRole::Aggregation,
+                1,
+                d_a as u16,
+                link_speed,
+                0,
+                Some(agg_block),
+            )
+        })
+        .collect();
+    for (a, &agg) in aggs.iter().enumerate() {
+        for &int in &ints {
+            net.add_link(agg, int, link_speed, 1, false).expect("exists");
+        }
+        let _ = a;
+    }
+    // Each ToR picks two consecutive aggs (round-robin), as in VL2's
+    // two-uplink design.
+    for t in 0..n_tor {
+        let block = net.new_block();
+        let tor = net.add_switch(
+            format!("tor{t}"),
+            SwitchRole::Tor,
+            0,
+            servers_per_tor + 2,
+            link_speed,
+            servers_per_tor,
+            Some(block),
+        );
+        let a0 = t % n_agg;
+        let a1 = (t + 1) % n_agg;
+        net.add_link(tor, aggs[a0], link_speed, 1, false).expect("exists");
+        if a1 != a0 {
+            net.add_link(tor, aggs[a1], link_speed, 1, false).expect("exists");
+        }
+    }
+    finish(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_k4_structure() {
+        let n = fat_tree(4, Gbps::new(100.0)).unwrap();
+        // k=4: 4 cores, 4 pods × (2 agg + 2 tor) = 16 + 4 = 20 switches.
+        assert_eq!(n.switch_count(), 20);
+        // Links: tor-agg 4 per pod × 4 = 16; agg-core 4 per pod × 4 = 16.
+        assert_eq!(n.link_count(), 32);
+        // Servers: 8 ToRs × 2 = 16.
+        assert_eq!(n.server_count(), 16);
+        // Every switch uses exactly its radix worth of ports in a fat-tree.
+        for s in n.switches() {
+            assert_eq!(n.ports_used(s.id), u32::from(s.radix), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_k() {
+        assert!(fat_tree(5, Gbps::new(100.0)).is_err());
+        assert!(fat_tree(0, Gbps::new(100.0)).is_err());
+    }
+
+    #[test]
+    fn folded_clos_counts() {
+        let p = ClosParams::default();
+        let n = folded_clos(&p).unwrap();
+        assert_eq!(n.switch_count(), 8 + 4 * (4 + 4));
+        // tor-agg: 4 pods × 4 tors × 4 aggs = 64; agg-spine: 4×4×8 = 128.
+        assert_eq!(n.link_count(), 64 + 128);
+        assert_eq!(n.server_count(), 4 * 4 * 16);
+        assert!(n.is_connected());
+    }
+
+    #[test]
+    fn folded_clos_panel_flag_marks_spine_links() {
+        let p = ClosParams {
+            spine_via_panels: true,
+            ..ClosParams::default()
+        };
+        let n = folded_clos(&p).unwrap();
+        let (ocs, direct): (Vec<_>, Vec<_>) = n.links().partition(|l| l.via_ocs);
+        assert_eq!(ocs.len(), 128);
+        assert_eq!(direct.len(), 64);
+    }
+
+    #[test]
+    fn leaf_spine_structure() {
+        let n = leaf_spine(6, 4, 24, 2, Gbps::new(100.0)).unwrap();
+        assert_eq!(n.switch_count(), 10);
+        assert_eq!(n.link_count(), 24);
+        assert_eq!(n.server_count(), 144);
+        // Spines have exactly leaves×trunking ports used.
+        let spine = n.switches().find(|s| s.role == SwitchRole::Spine).unwrap();
+        assert_eq!(n.ports_used(spine.id), 12);
+    }
+
+    #[test]
+    fn vl2_structure() {
+        let n = vl2(4, 4, 20, Gbps::new(10.0)).unwrap();
+        // 2 intermediates, 4 aggs, 4 ToRs.
+        assert_eq!(n.switch_count(), 2 + 4 + 4);
+        // agg-int complete bipartite: 8; ToR uplinks: 4×2 = 8.
+        assert_eq!(n.link_count(), 16);
+        assert!(n.is_connected());
+        for s in n.switches().filter(|s| s.role == SwitchRole::Tor) {
+            assert_eq!(n.degree(s.id), 2, "VL2 ToRs have exactly 2 uplinks");
+        }
+    }
+
+    #[test]
+    fn radix_helpers_match_generated_network() {
+        let p = ClosParams::default();
+        let n = folded_clos(&p).unwrap();
+        for s in n.switches() {
+            let expect = match s.role {
+                SwitchRole::Tor => p.tor_radix(),
+                SwitchRole::Aggregation => p.agg_radix(),
+                SwitchRole::Spine => p.spine_radix(),
+                SwitchRole::FlatTor => unreachable!(),
+            };
+            assert_eq!(s.radix, expect);
+        }
+    }
+}

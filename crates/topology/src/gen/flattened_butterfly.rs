@@ -1,0 +1,138 @@
+//! Flattened butterfly: a cost-efficient topology for high-radix networks \[29\].
+//!
+//! The 2D flattened butterfly arranges switches in an `a × b` grid and fully
+//! connects every row and every column. The paper's §4.1 cites Marty et
+//! al. \[32\]: directly connecting ToRs this way was "operationally
+//! challenging" at Google because racks come and go — exactly the kind of
+//! lifecycle cost this toolkit measures.
+
+use super::{finish, invalid, GenError};
+use crate::network::{Network, SwitchId, SwitchRole};
+use pd_geometry::Gbps;
+
+/// Parameters for a 2D flattened butterfly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlattenedButterflyParams {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Server downlinks per switch (the concentration factor).
+    pub servers_per_tor: u16,
+    /// Line rate of every port.
+    pub link_speed: Gbps,
+}
+
+impl Default for FlattenedButterflyParams {
+    fn default() -> Self {
+        Self {
+            rows: 8,
+            cols: 8,
+            servers_per_tor: 8,
+            link_speed: Gbps::new(100.0),
+        }
+    }
+}
+
+impl FlattenedButterflyParams {
+    /// Network degree of every switch: `(rows−1) + (cols−1)`.
+    pub fn network_degree(&self) -> usize {
+        self.rows - 1 + self.cols - 1
+    }
+}
+
+/// Builds a 2D flattened butterfly: full mesh within each row and column.
+/// Each grid row is a deployment block.
+pub fn flattened_butterfly(p: &FlattenedButterflyParams) -> Result<Network, GenError> {
+    if p.rows < 2 || p.cols < 2 {
+        return Err(invalid("rows/cols", "need at least a 2×2 grid"));
+    }
+    let mut net = Network::new(format!("flat-bf({}x{})", p.rows, p.cols));
+    let radix = p.network_degree() as u16 + p.servers_per_tor;
+    let mut grid = vec![vec![SwitchId(0); p.cols]; p.rows];
+    for r in 0..p.rows {
+        let block = net.new_block();
+        for c in 0..p.cols {
+            grid[r][c] = net.add_switch(
+                format!("fb{r}-{c}"),
+                SwitchRole::FlatTor,
+                0,
+                radix,
+                p.link_speed,
+                p.servers_per_tor,
+                Some(block),
+            );
+        }
+    }
+    // Row cliques.
+    for r in 0..p.rows {
+        for c in 0..p.cols {
+            for c2 in (c + 1)..p.cols {
+                net.add_link(grid[r][c], grid[r][c2], p.link_speed, 1, false)
+                    .expect("exists");
+            }
+        }
+    }
+    // Column cliques.
+    for c in 0..p.cols {
+        for r in 0..p.rows {
+            for r2 in (r + 1)..p.rows {
+                net.add_link(grid[r][c], grid[r2][c], p.link_speed, 1, false)
+                    .expect("exists");
+            }
+        }
+    }
+    finish(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_structure() {
+        let p = FlattenedButterflyParams {
+            rows: 4,
+            cols: 5,
+            ..FlattenedButterflyParams::default()
+        };
+        let n = flattened_butterfly(&p).unwrap();
+        assert_eq!(n.switch_count(), 20);
+        // Row cliques: 4 × C(5,2)=10 → 40; column cliques: 5 × C(4,2)=6 → 30.
+        assert_eq!(n.link_count(), 70);
+        for s in n.switches() {
+            assert_eq!(n.degree(s.id), 3 + 4);
+        }
+        assert!(n.is_connected());
+    }
+
+    #[test]
+    fn diameter_is_two() {
+        let n = flattened_butterfly(&FlattenedButterflyParams::default()).unwrap();
+        assert_eq!(crate::routing::AllPairs::compute(&n).diameter(), 2);
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        let p = FlattenedButterflyParams {
+            rows: 1,
+            cols: 8,
+            ..FlattenedButterflyParams::default()
+        };
+        assert!(flattened_butterfly(&p).is_err());
+    }
+
+    #[test]
+    fn blocks_are_rows() {
+        let p = FlattenedButterflyParams {
+            rows: 3,
+            cols: 4,
+            ..FlattenedButterflyParams::default()
+        };
+        let n = flattened_butterfly(&p).unwrap();
+        assert_eq!(n.blocks().len(), 3);
+        for b in n.blocks() {
+            assert_eq!(n.block_members(b).len(), 4);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Jellyfish: datacenter networking with random regular graphs \[47\].
+//!
+//! Jellyfish wires the network ports of `n` ToRs into a uniform random
+//! `r`-regular graph. The paper (§4.2) suspects its *physical*
+//! deployability — "highly non-trivial" cable-length and bundling
+//! computation — is why it is not deployed; this generator exists so the
+//! rest of the toolkit can quantify that.
+//!
+//! Construction: the standard pairing model with repair. Draw a random
+//! perfect matching over port stubs; then eliminate self-loops and parallel
+//! edges with random edge swaps (the same local moves Jellyfish uses for
+//! incremental expansion). Fails only if the repair budget is exhausted,
+//! which for r ≥ 3 and reasonable n is vanishingly rare.
+
+use super::{finish, invalid, GenError, SplitMix64};
+use crate::network::{Network, SwitchId, SwitchRole};
+use pd_geometry::Gbps;
+use std::collections::HashSet;
+
+/// Parameters for a Jellyfish random regular graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JellyfishParams {
+    /// Number of ToR switches.
+    pub tors: usize,
+    /// Network ports per ToR (the regular degree `r`).
+    pub network_degree: usize,
+    /// Server downlinks per ToR.
+    pub servers_per_tor: u16,
+    /// Line rate of every port.
+    pub link_speed: Gbps,
+    /// RNG seed for the random construction.
+    pub seed: u64,
+}
+
+impl Default for JellyfishParams {
+    fn default() -> Self {
+        Self {
+            tors: 64,
+            network_degree: 8,
+            servers_per_tor: 8,
+            link_speed: Gbps::new(100.0),
+            seed: 1,
+        }
+    }
+}
+
+/// Builds a Jellyfish network: a uniform-ish random `r`-regular graph over
+/// `n` ToRs, each also carrying `servers_per_tor` downlinks.
+pub fn jellyfish(p: &JellyfishParams) -> Result<Network, GenError> {
+    let n = p.tors;
+    let r = p.network_degree;
+    if n < 2 {
+        return Err(invalid("tors", "need at least 2 ToRs"));
+    }
+    if r == 0 {
+        return Err(invalid("network_degree", "must be positive"));
+    }
+    if r >= n {
+        return Err(invalid(
+            "network_degree",
+            format!("degree {r} must be < number of ToRs {n} for a simple graph"),
+        ));
+    }
+    if n * r % 2 != 0 {
+        return Err(invalid(
+            "tors×network_degree",
+            format!("{n}×{r} is odd; an r-regular graph needs an even sum of degrees"),
+        ));
+    }
+
+    let mut rng = SplitMix64::new(p.seed);
+    let edges = random_regular_edges(n, r, &mut rng)?;
+
+    let mut net = Network::new(format!("jellyfish(n={n},r={r},seed={})", p.seed));
+    let ids: Vec<SwitchId> = (0..n)
+        .map(|i| {
+            let block = net.new_block(); // each ToR is its own deployment unit
+            net.add_switch(
+                format!("jf{i}"),
+                SwitchRole::FlatTor,
+                0,
+                r as u16 + p.servers_per_tor,
+                p.link_speed,
+                p.servers_per_tor,
+                Some(block),
+            )
+        })
+        .collect();
+    for (a, b) in edges {
+        net.add_link(ids[a], ids[b], p.link_speed, 1, false)
+            .expect("simple edges between existing switches");
+    }
+    finish(net)
+}
+
+/// Generates the edge set of a random `r`-regular simple graph on `n`
+/// vertices via the pairing model with swap-based repair.
+pub(crate) fn random_regular_edges(
+    n: usize,
+    r: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<(usize, usize)>, GenError> {
+    // n = r+1 forces the complete graph; emit it directly rather than
+    // hoping the pairing model stumbles onto the unique answer.
+    if n == r + 1 {
+        let mut edges = Vec::with_capacity(n * r / 2);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        return Ok(edges);
+    }
+    const MAX_ATTEMPTS: usize = 64;
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        // Pairing model: r stubs per vertex, shuffled, paired consecutively.
+        let mut stubs: Vec<usize> = (0..n * r).map(|s| s / r).collect();
+        rng.shuffle(&mut stubs);
+        let mut edges: Vec<(usize, usize)> = stubs
+            .chunks_exact(2)
+            .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+            .collect();
+
+        // Repair self-loops and duplicates with random swaps:
+        // pick a bad edge (a,b) and a random edge (c,d); rewire to (a,c),(b,d).
+        let mut budget = 200 * n * r;
+        loop {
+            let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(edges.len());
+            let mut bad_idx: Option<usize> = None;
+            for (i, &e) in edges.iter().enumerate() {
+                if e.0 == e.1 || !seen.insert(e) {
+                    bad_idx = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = bad_idx else {
+                return Ok(edges);
+            };
+            if budget == 0 {
+                continue 'attempt;
+            }
+            budget -= 1;
+            let j = rng.below(edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            // Candidate rewiring must not create new self-loops.
+            if a == c || b == d {
+                continue;
+            }
+            edges[i] = (a.min(c), a.max(c));
+            edges[j] = (b.min(d), b.max(d));
+        }
+    }
+    Err(GenError::ConstructionFailed(format!(
+        "could not build a simple {r}-regular graph on {n} vertices"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jellyfish_is_regular_and_connected() {
+        let p = JellyfishParams::default();
+        let n = jellyfish(&p).unwrap();
+        assert_eq!(n.switch_count(), 64);
+        assert_eq!(n.link_count(), 64 * 8 / 2);
+        for s in n.switches() {
+            assert_eq!(n.degree(s.id), 8, "{} degree", s.name);
+        }
+        assert!(n.is_connected());
+        assert_eq!(n.server_count(), 64 * 8);
+    }
+
+    #[test]
+    fn jellyfish_is_seed_deterministic() {
+        let p = JellyfishParams::default();
+        let a = jellyfish(&p).unwrap();
+        let b = jellyfish(&p).unwrap();
+        let ea: Vec<_> = a.links().map(|l| (l.a, l.b)).collect();
+        let eb: Vec<_> = b.links().map(|l| (l.a, l.b)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = jellyfish(&JellyfishParams::default()).unwrap();
+        let b = jellyfish(&JellyfishParams {
+            seed: 2,
+            ..JellyfishParams::default()
+        })
+        .unwrap();
+        let ea: Vec<_> = a.links().map(|l| (l.a, l.b)).collect();
+        let eb: Vec<_> = b.links().map(|l| (l.a, l.b)).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        for seed in 0..10 {
+            let edges = random_regular_edges(30, 5, &mut SplitMix64::new(seed)).unwrap();
+            let mut seen = HashSet::new();
+            for (a, b) in edges {
+                assert_ne!(a, b);
+                assert!(seen.insert((a, b)), "duplicate edge ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_degree_sum_rejected() {
+        let p = JellyfishParams {
+            tors: 5,
+            network_degree: 3,
+            ..JellyfishParams::default()
+        };
+        assert!(jellyfish(&p).is_err());
+    }
+
+    #[test]
+    fn degree_too_large_rejected() {
+        let p = JellyfishParams {
+            tors: 4,
+            network_degree: 4,
+            ..JellyfishParams::default()
+        };
+        assert!(jellyfish(&p).is_err());
+    }
+
+    #[test]
+    fn complete_graph_edge_case() {
+        // n=4, r=3 forces K4 — the repair loop must still terminate.
+        let p = JellyfishParams {
+            tors: 4,
+            network_degree: 3,
+            seed: 11,
+            ..JellyfishParams::default()
+        };
+        let n = jellyfish(&p).unwrap();
+        assert_eq!(n.link_count(), 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Topology generators for every network family the paper discusses.
+//!
+//! | Generator | Paper anchor |
+//! |---|---|
+//! | [`clos`](mod@clos) (fat-tree, folded Clos, leaf-spine, VL2) | §4.1, \[20\] |
+//! | [`jellyfish`](mod@jellyfish) (random regular graphs) | §4.2, \[47\] |
+//! | [`xpander`](mod@xpander) (k-lifted complete graphs) | §4.2, \[50\] |
+//! | [`slimfly`](mod@slimfly) (MMS graphs) | §4.2, \[7\] |
+//! | [`flattened_butterfly`](mod@flattened_butterfly) | §4.1, \[29\] |
+//! | [`fatclique`](mod@fatclique) | §4.2, \[55\] |
+//! | [`directconnect`](mod@directconnect) (aggregation blocks over an OCS layer) | §4.3, \[39\] |
+//!
+//! All generators are deterministic: randomized constructions (Jellyfish,
+//! Xpander lifts) take an explicit `u64` seed and use a counter-based RNG.
+//! Every generator returns a [`Network`] that passes
+//! [`Network::validate`] and is connected, or a [`GenError`] explaining
+//! which parameter constraint failed.
+
+pub mod clos;
+pub mod directconnect;
+pub mod fatclique;
+pub mod flattened_butterfly;
+pub mod jellyfish;
+pub mod slimfly;
+pub mod xpander;
+
+pub use clos::{fat_tree, folded_clos, leaf_spine, vl2, ClosParams};
+pub use directconnect::{direct_connect, DirectConnectParams};
+pub use fatclique::{fatclique, FatCliqueParams};
+pub use flattened_butterfly::{flattened_butterfly, FlattenedButterflyParams};
+pub use jellyfish::{jellyfish, JellyfishParams};
+pub use slimfly::{slimfly, SlimFlyParams};
+pub use xpander::{xpander, XpanderParams};
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameter errors from topology generators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GenError {
+    /// A parameter violated a structural requirement.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The randomized construction failed to converge (e.g. a random regular
+    /// graph that could not be completed after the retry budget).
+    ConstructionFailed(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            GenError::ConstructionFailed(r) => write!(f, "construction failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> GenError {
+    GenError::InvalidParameter {
+        name,
+        reason: reason.into(),
+    }
+}
+
+/// Post-construction sanity check shared by all generators: the network must
+/// validate and be connected. Generators call this before returning.
+pub(crate) fn finish(net: Network) -> Result<Network, GenError> {
+    net.validate()
+        .map_err(|e| GenError::ConstructionFailed(format!("invariant violated: {e}")))?;
+    if !net.is_connected() {
+        return Err(GenError::ConstructionFailed(
+            "generated network is disconnected".into(),
+        ));
+    }
+    Ok(net)
+}
+
+/// A tiny deterministic splitmix64 RNG used by the randomized constructions
+/// and exposed for callers that need reproducible sampling (e.g. the
+/// goodness metrics).
+///
+/// We avoid threading `rand` generics through generator internals; splitmix64
+/// is adequate for construction randomness, trivially seedable, and keeps the
+/// generated topologies bit-stable across platforms and `rand` versions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Rejection sampling to avoid modulo bias on small n it is
+        // negligible, but construction determinism is worth exactness.
+        let n64 = n as u64;
+        let zone = u64::MAX - (u64::MAX % n64);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n64) as usize;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SplitMix64::new(7);
+        for n in 1..50usize {
+            for _ in 0..20 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(9);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

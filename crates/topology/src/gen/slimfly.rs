@@ -1,0 +1,280 @@
+//! Slim Fly: a cost-effective low-diameter network topology \[7\].
+//!
+//! Slim Fly builds diameter-2 networks from McKay–Miller–Širáň (MMS) graphs.
+//! For a prime `q` with `q ≡ 1 (mod 4)` the construction is:
+//!
+//! * Switches are labeled `(s, x, y)` with `s ∈ {0, 1}` and `x, y ∈ GF(q)`,
+//!   giving `2q²` switches.
+//! * Let `ξ` be a primitive root mod `q`. Define the generator sets
+//!   `X = {ξ⁰, ξ², …, ξ^(q-3)}` (even powers) and
+//!   `X' = {ξ¹, ξ³, …, ξ^(q-2)}` (odd powers).
+//! * `(0, x, y) ↔ (0, x, y')`  iff `y − y' ∈ X`;
+//! * `(1, m, c) ↔ (1, m, c')`  iff `c − c' ∈ X'`;
+//! * `(0, x, y) ↔ (1, m, c)`  iff `y = m·x + c (mod q)`.
+//!
+//! Network degree is `(3q − 1)/2`. We restrict to prime `q ≡ 1 (mod 4)`
+//! (q = 5, 13, 17, 29, …), the cleanest of the three MMS cases; this covers
+//! the scales the experiments need and is documented as a scope decision in
+//! DESIGN.md.
+
+use super::{finish, invalid, GenError};
+use crate::network::{Network, SwitchId, SwitchRole};
+use pd_geometry::Gbps;
+
+/// Parameters for a Slim Fly network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlimFlyParams {
+    /// The MMS parameter: a prime with `q ≡ 1 (mod 4)`.
+    pub q: usize,
+    /// Server downlinks per switch.
+    pub servers_per_tor: u16,
+    /// Line rate of every port.
+    pub link_speed: Gbps,
+}
+
+impl Default for SlimFlyParams {
+    fn default() -> Self {
+        Self {
+            q: 5,
+            servers_per_tor: 4,
+            link_speed: Gbps::new(100.0),
+        }
+    }
+}
+
+impl SlimFlyParams {
+    /// Total switches: `2q²`.
+    pub fn switch_count(&self) -> usize {
+        2 * self.q * self.q
+    }
+
+    /// Network degree: `(3q − 1)/2`.
+    pub fn network_degree(&self) -> usize {
+        (3 * self.q - 1) / 2
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Finds the smallest primitive root modulo prime `q`.
+fn primitive_root(q: usize) -> usize {
+    // Factor q-1, then test candidates g by checking g^((q-1)/p) != 1.
+    let phi = q - 1;
+    let mut factors = Vec::new();
+    let mut m = phi;
+    let mut d = 2;
+    while d * d <= m {
+        if m % d == 0 {
+            factors.push(d);
+            while m % d == 0 {
+                m /= d;
+            }
+        }
+        d += 1;
+    }
+    if m > 1 {
+        factors.push(m);
+    }
+    'cand: for g in 2..q {
+        for &p in &factors {
+            if pow_mod(g, phi / p, q) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+fn pow_mod(mut base: usize, mut exp: usize, modulus: usize) -> usize {
+    let mut acc = 1usize;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Builds a Slim Fly (MMS) network for prime `q ≡ 1 (mod 4)`.
+pub fn slimfly(p: &SlimFlyParams) -> Result<Network, GenError> {
+    let q = p.q;
+    if !is_prime(q) {
+        return Err(invalid("q", format!("{q} is not prime")));
+    }
+    if q % 4 != 1 {
+        return Err(invalid(
+            "q",
+            format!("{q} ≢ 1 (mod 4); this implementation covers the δ=+1 MMS case"),
+        ));
+    }
+
+    let xi = primitive_root(q);
+    // X  = even powers of ξ, X' = odd powers.
+    let mut x_even = Vec::with_capacity((q - 1) / 2);
+    let mut x_odd = Vec::with_capacity((q - 1) / 2);
+    let mut pow = 1usize;
+    for e in 0..(q - 1) {
+        if e % 2 == 0 {
+            x_even.push(pow);
+        } else {
+            x_odd.push(pow);
+        }
+        pow = pow * xi % q;
+    }
+    let in_even = membership(q, &x_even);
+    let in_odd = membership(q, &x_odd);
+
+    let degree = p.network_degree() as u16;
+    let mut net = Network::new(format!("slimfly(q={q})"));
+    // Index: subgraph s, column x (or m), row y (or c).
+    let mut ids = vec![vec![vec![SwitchId(0); q]; q]; 2];
+    for s in 0..2 {
+        for x in 0..q {
+            let block = net.new_block(); // one block per (s, x) column group
+            for y in 0..q {
+                ids[s][x][y] = net.add_switch(
+                    format!("sf{s}-{x}-{y}"),
+                    SwitchRole::FlatTor,
+                    0,
+                    degree + p.servers_per_tor,
+                    p.link_speed,
+                    p.servers_per_tor,
+                    Some(block),
+                );
+            }
+        }
+    }
+
+    // Intra-column edges in subgraph 0: y − y' ∈ X (X is symmetric for
+    // q ≡ 1 mod 4 since −1 is a quadratic residue).
+    for x in 0..q {
+        for y in 0..q {
+            for yp in (y + 1)..q {
+                let diff = (y + q - yp) % q;
+                if in_even[diff] {
+                    net.add_link(ids[0][x][y], ids[0][x][yp], p.link_speed, 1, false)
+                        .expect("exists");
+                }
+            }
+        }
+    }
+    // Intra-column edges in subgraph 1: c − c' ∈ X'.
+    for m in 0..q {
+        for c in 0..q {
+            for cp in (c + 1)..q {
+                let diff = (c + q - cp) % q;
+                if in_odd[diff] {
+                    net.add_link(ids[1][m][c], ids[1][m][cp], p.link_speed, 1, false)
+                        .expect("exists");
+                }
+            }
+        }
+    }
+    // Cross edges: (0, x, y) ↔ (1, m, c) iff y = m·x + c.
+    for x in 0..q {
+        for m in 0..q {
+            for c in 0..q {
+                let y = (m * x + c) % q;
+                net.add_link(ids[0][x][y], ids[1][m][c], p.link_speed, 1, false)
+                    .expect("exists");
+            }
+        }
+    }
+    finish(net)
+}
+
+fn membership(q: usize, set: &[usize]) -> Vec<bool> {
+    let mut v = vec![false; q];
+    for &s in set {
+        v[s % q] = true;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q5_structure() {
+        let p = SlimFlyParams::default();
+        let n = slimfly(&p).unwrap();
+        assert_eq!(n.switch_count(), 50);
+        // Degree (3·5−1)/2 = 7 ⇒ 50·7/2 = 175 links.
+        assert_eq!(n.link_count(), 175);
+        for s in n.switches() {
+            assert_eq!(n.degree(s.id), 7, "{}", s.name);
+        }
+        assert!(n.is_connected());
+    }
+
+    #[test]
+    fn q5_has_diameter_2() {
+        let n = slimfly(&SlimFlyParams::default()).unwrap();
+        let d = crate::routing::AllPairs::compute(&n).diameter();
+        assert_eq!(d, 2, "MMS graphs are diameter-2 by construction");
+    }
+
+    #[test]
+    fn q13_structure() {
+        let p = SlimFlyParams {
+            q: 13,
+            ..SlimFlyParams::default()
+        };
+        let n = slimfly(&p).unwrap();
+        assert_eq!(n.switch_count(), 338);
+        let deg = (3 * 13 - 1) / 2;
+        for s in n.switches() {
+            assert_eq!(n.degree(s.id), deg);
+        }
+        assert_eq!(
+            crate::routing::AllPairs::compute(&n).diameter(),
+            2
+        );
+    }
+
+    #[test]
+    fn non_prime_or_wrong_residue_rejected() {
+        assert!(slimfly(&SlimFlyParams { q: 9, ..Default::default() }).is_err());
+        assert!(slimfly(&SlimFlyParams { q: 7, ..Default::default() }).is_err());
+        assert!(slimfly(&SlimFlyParams { q: 4, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn primitive_root_properties() {
+        for q in [5usize, 13, 17, 29] {
+            let g = primitive_root(q);
+            // g generates all of GF(q)*.
+            let mut seen = std::collections::HashSet::new();
+            let mut v = 1;
+            for _ in 0..(q - 1) {
+                v = v * g % q;
+                seen.insert(v);
+            }
+            assert_eq!(seen.len(), q - 1, "q={q} g={g}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        assert_eq!(pow_mod(3, 4, 7), 81 % 7);
+        assert_eq!(pow_mod(2, 0, 5), 1);
+        assert_eq!(pow_mod(10, 3, 13), 1000 % 13);
+    }
+}

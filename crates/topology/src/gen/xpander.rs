@@ -1,0 +1,202 @@
+//! Xpander: near-optimal expander datacenters from k-lifts \[50\].
+//!
+//! Construction (following the Xpander paper): start from the complete graph
+//! on `d+1` vertices (each vertex a *metanode*), then lift each metanode
+//! into `lift` switches. For every pair of metanodes, replace the single
+//! edge with a random perfect matching between their switch sets. Every
+//! switch ends with exactly `d` network links — one into each other
+//! metanode — and metanodes form natural cable-bundling groups (the
+//! deployability property Xpander claims over Jellyfish, paper §4.2).
+//!
+//! Each metanode is a [`crate::network::BlockId`], which is what lets the
+//! placement and bundling layers treat Xpander more kindly than Jellyfish.
+
+use super::{finish, invalid, GenError, SplitMix64};
+use crate::network::{Network, SwitchId, SwitchRole};
+use pd_geometry::Gbps;
+
+/// Parameters for an Xpander network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XpanderParams {
+    /// Network degree `d` of each switch (also: number of metanodes − 1).
+    pub network_degree: usize,
+    /// Lift factor: switches per metanode.
+    pub lift: usize,
+    /// Server downlinks per switch.
+    pub servers_per_tor: u16,
+    /// Line rate of every port.
+    pub link_speed: Gbps,
+    /// RNG seed for the random matchings.
+    pub seed: u64,
+}
+
+impl Default for XpanderParams {
+    fn default() -> Self {
+        Self {
+            network_degree: 8,
+            lift: 8,
+            servers_per_tor: 8,
+            link_speed: Gbps::new(100.0),
+            seed: 1,
+        }
+    }
+}
+
+impl XpanderParams {
+    /// Total switches: `(d+1) × lift`.
+    pub fn switch_count(&self) -> usize {
+        (self.network_degree + 1) * self.lift
+    }
+}
+
+/// Builds an Xpander network by random k-lifting of K_{d+1}.
+pub fn xpander(p: &XpanderParams) -> Result<Network, GenError> {
+    let d = p.network_degree;
+    let l = p.lift;
+    if d < 2 {
+        return Err(invalid("network_degree", "need degree ≥ 2"));
+    }
+    if l == 0 {
+        return Err(invalid("lift", "must be positive"));
+    }
+
+    // Small lifts can draw matchings whose union is disconnected (e.g. two
+    // parallel copies of K_{d+1} at lift 2); retry with fresh matchings, as
+    // the Xpander construction requires a connected lift.
+    let mut rng = SplitMix64::new(p.seed);
+    for _ in 0..64 {
+        let net = build_lift(p, &mut rng);
+        if net.is_connected() {
+            return finish(net);
+        }
+    }
+    Err(GenError::ConstructionFailed(format!(
+        "no connected {l}-lift of K_{} found in 64 attempts",
+        d + 1
+    )))
+}
+
+fn build_lift(p: &XpanderParams, rng: &mut SplitMix64) -> Network {
+    let d = p.network_degree;
+    let l = p.lift;
+    let metanodes = d + 1;
+    let mut net = Network::new(format!("xpander(d={d},lift={l},seed={})", p.seed));
+
+    let mut members: Vec<Vec<SwitchId>> = Vec::with_capacity(metanodes);
+    for m in 0..metanodes {
+        let block = net.new_block();
+        let ids = (0..l)
+            .map(|i| {
+                net.add_switch(
+                    format!("x{m}-{i}"),
+                    SwitchRole::FlatTor,
+                    0,
+                    d as u16 + p.servers_per_tor,
+                    p.link_speed,
+                    p.servers_per_tor,
+                    Some(block),
+                )
+            })
+            .collect();
+        members.push(ids);
+    }
+
+    // Random perfect matching between each metanode pair.
+    for a in 0..metanodes {
+        for b in (a + 1)..metanodes {
+            let mut perm: Vec<usize> = (0..l).collect();
+            rng.shuffle(&mut perm);
+            for (i, &j) in perm.iter().enumerate() {
+                net.add_link(members[a][i], members[b][j], p.link_speed, 1, false)
+                    .expect("endpoints exist");
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xpander_is_d_regular() {
+        let p = XpanderParams::default();
+        let n = xpander(&p).unwrap();
+        assert_eq!(n.switch_count(), 72); // (8+1) × 8
+        assert_eq!(n.link_count(), 72 * 8 / 2);
+        for s in n.switches() {
+            assert_eq!(n.degree(s.id), 8);
+        }
+        assert!(n.is_connected());
+    }
+
+    #[test]
+    fn one_link_per_metanode_pair_per_switch() {
+        let p = XpanderParams {
+            network_degree: 4,
+            lift: 5,
+            ..XpanderParams::default()
+        };
+        let n = xpander(&p).unwrap();
+        // Each switch must have exactly one neighbor in each other block.
+        for s in n.switches() {
+            let mut blocks: Vec<_> = n
+                .neighbors(s.id)
+                .map(|nb| n.switch(nb).unwrap().block.unwrap())
+                .collect();
+            blocks.sort();
+            blocks.dedup();
+            assert_eq!(blocks.len(), 4, "one neighbor block per other metanode");
+            assert!(!blocks.contains(&s.block.unwrap()), "no intra-metanode links");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = XpanderParams::default();
+        let a: Vec<_> = xpander(&p).unwrap().links().map(|l| (l.a, l.b)).collect();
+        let b: Vec<_> = xpander(&p).unwrap().links().map(|l| (l.a, l.b)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_count_is_metanode_count() {
+        let p = XpanderParams {
+            network_degree: 6,
+            lift: 3,
+            ..XpanderParams::default()
+        };
+        let n = xpander(&p).unwrap();
+        assert_eq!(n.blocks().len(), 7);
+        for b in n.blocks() {
+            assert_eq!(n.block_members(b).len(), 3);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(xpander(&XpanderParams {
+            network_degree: 1,
+            ..XpanderParams::default()
+        })
+        .is_err());
+        assert!(xpander(&XpanderParams {
+            lift: 0,
+            ..XpanderParams::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn lift_one_is_complete_graph() {
+        let p = XpanderParams {
+            network_degree: 5,
+            lift: 1,
+            ..XpanderParams::default()
+        };
+        let n = xpander(&p).unwrap();
+        assert_eq!(n.switch_count(), 6);
+        assert_eq!(n.link_count(), 15); // K6
+    }
+}

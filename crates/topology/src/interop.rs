@@ -1,0 +1,93 @@
+//! Interop with the `petgraph` ecosystem.
+//!
+//! The [`Network`] type owns identity and port-budget semantics; for
+//! general-purpose graph algorithms (centrality, spanning trees, SCCs, …)
+//! downstream users can lower it into a [`petgraph::graph::UnGraph`] whose
+//! node weights are [`SwitchId`]s and edge weights are [`LinkId`]s, run any
+//! petgraph algorithm, and map results back through the returned
+//! [`PetgraphView`].
+
+use crate::network::{LinkId, Network, SwitchId};
+use petgraph::graph::{EdgeIndex, NodeIndex, UnGraph};
+use std::collections::HashMap;
+
+/// A lowered petgraph copy of a [`Network`] plus the id ⇄ index maps.
+#[derive(Debug, Clone)]
+pub struct PetgraphView {
+    /// The undirected graph; node weight = switch id, edge weight = link id.
+    pub graph: UnGraph<SwitchId, LinkId>,
+    /// Switch id → node index.
+    pub node_of: HashMap<SwitchId, NodeIndex>,
+    /// Link id → edge index.
+    pub edge_of: HashMap<LinkId, EdgeIndex>,
+}
+
+impl PetgraphView {
+    /// Lowers a network into petgraph form.
+    pub fn build(net: &Network) -> Self {
+        let mut graph = UnGraph::with_capacity(net.switch_count(), net.link_count());
+        let mut node_of = HashMap::with_capacity(net.switch_count());
+        for s in net.switches() {
+            node_of.insert(s.id, graph.add_node(s.id));
+        }
+        let mut edge_of = HashMap::with_capacity(net.link_count());
+        for l in net.links() {
+            edge_of.insert(l.id, graph.add_edge(node_of[&l.a], node_of[&l.b], l.id));
+        }
+        Self {
+            graph,
+            node_of,
+            edge_of,
+        }
+    }
+
+    /// Number of connected components (petgraph-backed; used as a
+    /// cross-check oracle against [`Network::is_connected`]).
+    pub fn connected_components(&self) -> usize {
+        petgraph::algo::connected_components(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{fat_tree, jellyfish, JellyfishParams};
+    use pd_geometry::Gbps;
+
+    #[test]
+    fn view_matches_network_shape() {
+        let n = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let v = PetgraphView::build(&n);
+        assert_eq!(v.graph.node_count(), n.switch_count());
+        assert_eq!(v.graph.edge_count(), n.link_count());
+        assert_eq!(v.connected_components(), 1);
+    }
+
+    #[test]
+    fn petgraph_agrees_with_is_connected() {
+        let mut n = jellyfish(&JellyfishParams::default()).unwrap();
+        assert_eq!(PetgraphView::build(&n).connected_components(), 1);
+        assert!(n.is_connected());
+        // Disconnect one switch entirely.
+        let victim = n.switches().next().unwrap().id;
+        let links: Vec<_> = n.incident_links(victim).to_vec();
+        for l in links {
+            n.remove_link(l).unwrap();
+        }
+        assert_eq!(PetgraphView::build(&n).connected_components(), 2);
+        assert!(!n.is_connected());
+    }
+
+    #[test]
+    fn edge_weights_map_back_to_links() {
+        let n = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let v = PetgraphView::build(&n);
+        for l in n.links() {
+            let e = v.edge_of[&l.id];
+            assert_eq!(*v.graph.edge_weight(e).unwrap(), l.id);
+            let (a, b) = v.graph.edge_endpoints(e).unwrap();
+            let (wa, wb) = (*v.graph.node_weight(a).unwrap(), *v.graph.node_weight(b).unwrap());
+            assert!((wa, wb) == (l.a, l.b) || (wa, wb) == (l.b, l.a));
+        }
+    }
+}

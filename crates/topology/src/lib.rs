@@ -1,0 +1,34 @@
+//! # pd-topology — abstract network substrate
+//!
+//! The paper's argument is that networks judged only at this level of
+//! abstraction — a graph of switches and links — can look excellent while
+//! being miserable to deploy. This crate provides that abstraction layer
+//! *and* generators for every topology family the paper discusses, so the
+//! rest of the toolkit can quantify the gap:
+//!
+//! * [`Network`]: a stable-ID multigraph of switches (role, layer, radix,
+//!   block membership) and links (speed, OCS-mediated or direct).
+//! * Generators ([`gen`]): folded Clos / fat-tree, leaf-spine, VL2,
+//!   Jellyfish (random regular graphs), Xpander (k-lifts), Slim Fly (MMS
+//!   graphs for prime q), flattened butterfly, FatClique-style hierarchical
+//!   cliques, and Jupiter-evolved direct-connect blocks over an OCS layer.
+//! * Abstract "goodness" [`metrics`]: diameter, mean shortest path, spectral
+//!   gap / Cheeger bound, sampled bisection, edge-disjoint path diversity,
+//!   and an ECMP throughput proxy under configurable [`traffic`] matrices.
+//! * [`routing`]: BFS all-pairs distances, exact ECMP flow splitting, Yen's
+//!   k-shortest paths.
+//!
+//! Everything is deterministic given an explicit seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod interop;
+pub mod metrics;
+pub mod network;
+pub mod routing;
+pub mod traffic;
+
+pub use network::{BlockId, Link, LinkId, Network, NetworkError, Switch, SwitchId, SwitchRole};
+pub use traffic::TrafficMatrix;

@@ -1,0 +1,486 @@
+//! Routing algorithms over the abstract network: BFS all-pairs distances,
+//! exact ECMP flow splitting, Yen's k-shortest paths, and unit-capacity
+//! max-flow for edge-disjoint path counting.
+//!
+//! These are the "traditional metrics of network goodness" machinery (paper
+//! §1) — the abstraction layer whose blind spots the rest of the toolkit
+//! exists to illuminate.
+
+use crate::network::{LinkId, Network, SwitchId};
+use crate::traffic::TrafficMatrix;
+use std::collections::{HashMap, VecDeque};
+
+/// Dense all-pairs hop-count distances, with a stable switch-id ⇄ index map.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    ids: Vec<SwitchId>,
+    index: HashMap<SwitchId, usize>,
+    /// `dist[i][j]` in hops; `u16::MAX` when unreachable.
+    dist: Vec<Vec<u16>>,
+}
+
+impl AllPairs {
+    /// Runs BFS from every switch. `O(V·(V+E))`, fine for the scales the
+    /// experiments use (≤ a few thousand switches).
+    pub fn compute(net: &Network) -> Self {
+        let ids: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
+        let index: HashMap<SwitchId, usize> =
+            ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let n = ids.len();
+        let mut dist = vec![vec![u16::MAX; n]; n];
+        let mut queue = VecDeque::new();
+        for (i, &src) in ids.iter().enumerate() {
+            dist[i][i] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[i][index[&u]];
+                for v in net.neighbors(u) {
+                    let vi = index[&v];
+                    if dist[i][vi] == u16::MAX {
+                        dist[i][vi] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Self { ids, index, dist }
+    }
+
+    /// Hop distance between two switches; `None` if unreachable or unknown.
+    pub fn distance(&self, a: SwitchId, b: SwitchId) -> Option<u16> {
+        let (&i, &j) = (self.index.get(&a)?, self.index.get(&b)?);
+        let d = self.dist[i][j];
+        (d != u16::MAX).then_some(d)
+    }
+
+    /// Largest finite pairwise distance (0 for the empty network).
+    pub fn diameter(&self) -> u16 {
+        self.dist
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&d| d != u16::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean hop distance over ordered distinct reachable pairs.
+    pub fn mean_distance(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for (i, row) in self.dist.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if i != j && d != u16::MAX {
+                    sum += u64::from(d);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Mean distance restricted to pairs of server-bearing switches — the
+    /// latency proxy servers actually see.
+    pub fn mean_server_distance(&self, net: &Network) -> f64 {
+        let servers: Vec<usize> = self
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| net.switch(**id).map(|s| s.server_ports > 0).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for &i in &servers {
+            for &j in &servers {
+                if i != j && self.dist[i][j] != u16::MAX {
+                    sum += u64::from(self.dist[i][j]);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// The switch ids in index order.
+    pub fn ids(&self) -> &[SwitchId] {
+        &self.ids
+    }
+}
+
+/// Per-link traffic loads from exact ECMP splitting of a traffic matrix.
+#[derive(Debug, Clone, Default)]
+pub struct EcmpLoads {
+    /// Load per link in Gbps-equivalents (same unit as the demands).
+    pub link_load: HashMap<LinkId, f64>,
+}
+
+impl EcmpLoads {
+    /// Routes every demand of `tm` over all shortest paths with exact
+    /// equal-split-per-hop semantics (the classic ECMP fluid model):
+    /// at every switch, flow toward a destination divides equally among all
+    /// next hops that lie on some shortest path.
+    pub fn compute(net: &Network, ap: &AllPairs, tm: &TrafficMatrix) -> Self {
+        let mut loads: HashMap<LinkId, f64> = HashMap::new();
+        // Group demands by destination so each (dst) BFS field is reused.
+        let mut by_dst: HashMap<SwitchId, Vec<(SwitchId, f64)>> = HashMap::new();
+        for d in tm.demands() {
+            by_dst.entry(d.dst).or_default().push((d.src, d.gbps.value()));
+        }
+        for (dst, sources) in by_dst {
+            // Process switches in decreasing distance-to-dst order,
+            // accumulating through-flow per switch.
+            let mut order: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
+            order.retain(|&s| ap.distance(s, dst).is_some());
+            order.sort_by_key(|&s| std::cmp::Reverse(ap.distance(s, dst).unwrap_or(u16::MAX)));
+            let mut inflow: HashMap<SwitchId, f64> = HashMap::new();
+            for (src, gbps) in sources {
+                if src != dst && ap.distance(src, dst).is_some() {
+                    *inflow.entry(src).or_default() += gbps;
+                }
+            }
+            for &u in &order {
+                if u == dst {
+                    continue;
+                }
+                let flow = match inflow.get(&u) {
+                    Some(&f) if f > 0.0 => f,
+                    _ => continue,
+                };
+                let du = ap.distance(u, dst).expect("filtered reachable");
+                // Downhill links: neighbor strictly closer to dst.
+                let down: Vec<(LinkId, SwitchId)> = net
+                    .incident_links(u)
+                    .iter()
+                    .filter_map(|&l| {
+                        let link = net.link(l)?;
+                        let v = link.other(u);
+                        (ap.distance(v, dst)? + 1 == du).then_some((l, v))
+                    })
+                    .collect();
+                if down.is_empty() {
+                    continue; // isolated inconsistency; skip rather than panic
+                }
+                let share = flow / down.len() as f64;
+                for (l, v) in down {
+                    *loads.entry(l).or_default() += share;
+                    *inflow.entry(v).or_default() += share;
+                }
+            }
+        }
+        Self { link_load: loads }
+    }
+
+    /// Maximum link utilization given each link's capacity; `0.0` for an
+    /// empty load set.
+    pub fn max_utilization(&self, net: &Network) -> f64 {
+        self.link_load
+            .iter()
+            .filter_map(|(l, &load)| {
+                let cap = net.link(*l)?.capacity().value();
+                (cap > 0.0).then_some(load / cap)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Throughput proxy: the largest scale factor `α` such that `α × tm`
+    /// fits within every link capacity under ECMP. (The inverse of max
+    /// utilization.) Returns `f64::INFINITY` for an all-zero load.
+    pub fn throughput_scale(&self, net: &Network) -> f64 {
+        let mlu = self.max_utilization(net);
+        if mlu == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / mlu
+        }
+    }
+}
+
+/// Counts edge-disjoint paths between two switches via unit-capacity
+/// max-flow (BFS augmentation; each undirected link is one unit of capacity
+/// in either direction, as in standard Menger analysis).
+pub fn edge_disjoint_paths(net: &Network, s: SwitchId, t: SwitchId) -> usize {
+    if s == t {
+        return 0;
+    }
+    // Residual capacity per (link, direction): direction 0 = a→b, 1 = b→a.
+    let mut residual: HashMap<(LinkId, u8), i32> = HashMap::new();
+    for l in net.links() {
+        residual.insert((l.id, 0), 1);
+        residual.insert((l.id, 1), 1);
+    }
+    let mut flow = 0usize;
+    loop {
+        // BFS in the residual graph.
+        let mut parent: HashMap<SwitchId, (SwitchId, LinkId, u8)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &lid in net.incident_links(u) {
+                let link = match net.link(lid) {
+                    Some(l) => l,
+                    None => continue,
+                };
+                let (v, dir) = if link.a == u {
+                    (link.b, 0u8)
+                } else {
+                    (link.a, 1u8)
+                };
+                if v != s && !parent.contains_key(&v) && residual[&(lid, dir)] > 0 {
+                    parent.insert(v, (u, lid, dir));
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !parent.contains_key(&t) {
+            return flow;
+        }
+        // Augment by 1 along the path.
+        let mut cur = t;
+        while cur != s {
+            let (p, lid, dir) = parent[&cur];
+            *residual.get_mut(&(lid, dir)).expect("inserted") -= 1;
+            *residual.get_mut(&(lid, dir ^ 1)).expect("inserted") += 1;
+            cur = p;
+        }
+        flow += 1;
+    }
+}
+
+/// A simple path through the network, as a switch sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path(pub Vec<SwitchId>);
+
+impl Path {
+    /// Hop count.
+    pub fn hops(&self) -> usize {
+        self.0.len().saturating_sub(1)
+    }
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths from `s` to `t` by
+/// hop count, in nondecreasing length order.
+pub fn k_shortest_paths(net: &Network, s: SwitchId, t: SwitchId, k: usize) -> Vec<Path> {
+    let Some(first) = bfs_path(net, s, t, &Default::default(), &Default::default()) else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+    while found.len() < k {
+        let last = found.last().expect("non-empty").clone();
+        for i in 0..last.0.len() - 1 {
+            let spur = last.0[i];
+            let root = &last.0[..=i];
+            // Ban edges used by previously found paths sharing this root.
+            let mut banned_edges: std::collections::HashSet<(SwitchId, SwitchId)> =
+                Default::default();
+            for p in &found {
+                if p.0.len() > i + 1 && p.0[..=i] == *root {
+                    let (a, b) = (p.0[i], p.0[i + 1]);
+                    banned_edges.insert((a, b));
+                    banned_edges.insert((b, a));
+                }
+            }
+            // Ban root nodes except the spur itself.
+            let banned_nodes: std::collections::HashSet<SwitchId> =
+                root[..i].iter().copied().collect();
+            if let Some(tail) = bfs_path(net, spur, t, &banned_nodes, &banned_edges) {
+                let mut full = root[..i].to_vec();
+                full.extend(tail.0);
+                let cand = Path(full);
+                if !found.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        candidates.sort_by_key(|p| std::cmp::Reverse(p.hops()));
+        match candidates.pop() {
+            Some(best) => found.push(best),
+            None => break,
+        }
+    }
+    found
+}
+
+fn bfs_path(
+    net: &Network,
+    s: SwitchId,
+    t: SwitchId,
+    banned_nodes: &std::collections::HashSet<SwitchId>,
+    banned_edges: &std::collections::HashSet<(SwitchId, SwitchId)>,
+) -> Option<Path> {
+    if banned_nodes.contains(&s) {
+        return None;
+    }
+    if s == t {
+        return Some(Path(vec![s]));
+    }
+    let mut parent: HashMap<SwitchId, SwitchId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    parent.insert(s, s);
+    while let Some(u) = queue.pop_front() {
+        for v in net.neighbors(u) {
+            if banned_nodes.contains(&v)
+                || banned_edges.contains(&(u, v))
+                || parent.contains_key(&v)
+            {
+                continue;
+            }
+            parent.insert(v, u);
+            if v == t {
+                let mut path = vec![t];
+                let mut cur = t;
+                while cur != s {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(Path(path));
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{fat_tree, leaf_spine};
+    use crate::network::SwitchRole;
+    use pd_geometry::Gbps;
+
+    fn speed() -> Gbps {
+        Gbps::new(100.0)
+    }
+
+    #[test]
+    fn fat_tree_distances() {
+        let n = fat_tree(4, speed()).unwrap();
+        let ap = AllPairs::compute(&n);
+        // Fat-tree: ToR↔ToR same pod = 2, cross-pod = 4, diameter 4.
+        assert_eq!(ap.diameter(), 4);
+        let tors: Vec<_> = n
+            .switches()
+            .filter(|s| s.role == SwitchRole::Tor)
+            .map(|s| (s.id, s.block))
+            .collect();
+        let same_pod: Vec<_> = tors
+            .iter()
+            .filter(|(_, b)| *b == tors[0].1)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ap.distance(same_pod[0], same_pod[1]), Some(2));
+        let other = tors.iter().find(|(_, b)| *b != tors[0].1).unwrap().0;
+        assert_eq!(ap.distance(tors[0].0, other), Some(4));
+    }
+
+    #[test]
+    fn ecmp_uniform_loads_are_symmetric_on_leaf_spine() {
+        let n = leaf_spine(4, 4, 4, 1, speed()).unwrap();
+        let ap = AllPairs::compute(&n);
+        let tm = TrafficMatrix::uniform_servers(&n, Gbps::new(1.0));
+        let loads = EcmpLoads::compute(&n, &ap, &tm);
+        // Every leaf-spine link should carry the same load by symmetry.
+        let vals: Vec<f64> = loads.link_load.values().copied().collect();
+        assert_eq!(vals.len(), n.link_count());
+        let first = vals[0];
+        for v in &vals {
+            assert!((v - first).abs() < 1e-9, "asymmetric: {v} vs {first}");
+        }
+    }
+
+    #[test]
+    fn ecmp_conserves_flow() {
+        // Total load summed over links ≥ demand × min hops; and with unit
+        // demand between two leaves on a leaf-spine, each of the 4 two-hop
+        // paths carries 1/4.
+        let n = leaf_spine(2, 4, 4, 1, speed()).unwrap();
+        let ap = AllPairs::compute(&n);
+        let leaves: Vec<_> = n
+            .switches()
+            .filter(|s| s.role == SwitchRole::Tor)
+            .map(|s| s.id)
+            .collect();
+        let tm = TrafficMatrix::single(leaves[0], leaves[1], Gbps::new(1.0));
+        let loads = EcmpLoads::compute(&n, &ap, &tm);
+        let total: f64 = loads.link_load.values().sum();
+        assert!((total - 2.0).abs() < 1e-9, "1 Gbps × 2 hops, got {total}");
+        for (&l, &v) in &loads.link_load {
+            assert!((v - 0.25).abs() < 1e-9, "link {l} load {v}");
+        }
+    }
+
+    #[test]
+    fn throughput_scale_inverse_of_mlu() {
+        let n = leaf_spine(4, 2, 8, 1, speed()).unwrap();
+        let ap = AllPairs::compute(&n);
+        let tm = TrafficMatrix::uniform_servers(&n, Gbps::new(1.0));
+        let loads = EcmpLoads::compute(&n, &ap, &tm);
+        let mlu = loads.max_utilization(&n);
+        assert!(mlu > 0.0);
+        assert!((loads.throughput_scale(&n) - 1.0 / mlu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_fat_tree() {
+        let n = fat_tree(4, speed()).unwrap();
+        let tors: Vec<_> = n
+            .switches()
+            .filter(|s| s.role == SwitchRole::Tor)
+            .map(|s| s.id)
+            .collect();
+        // Any two ToRs in a k=4 fat-tree have 2 edge-disjoint paths (2 uplinks).
+        assert_eq!(edge_disjoint_paths(&n, tors[0], tors[7]), 2);
+        assert_eq!(edge_disjoint_paths(&n, tors[0], tors[0]), 0);
+    }
+
+    #[test]
+    fn k_shortest_paths_ordering_and_simplicity() {
+        let n = fat_tree(4, speed()).unwrap();
+        let tors: Vec<_> = n
+            .switches()
+            .filter(|s| s.role == SwitchRole::Tor)
+            .map(|s| s.id)
+            .collect();
+        let paths = k_shortest_paths(&n, tors[0], tors[7], 6);
+        assert!(!paths.is_empty());
+        // Nondecreasing hop counts, all simple, all valid endpoints.
+        let mut prev = 0;
+        for p in &paths {
+            assert!(p.hops() >= prev);
+            prev = p.hops();
+            assert_eq!(p.0.first(), Some(&tors[0]));
+            assert_eq!(p.0.last(), Some(&tors[7]));
+            let set: std::collections::HashSet<_> = p.0.iter().collect();
+            assert_eq!(set.len(), p.0.len(), "path revisits a switch");
+        }
+        // k=4 fat-tree has exactly 4 shortest 4-hop paths between cross-pod
+        // ToRs; the first four returned must all be 4 hops.
+        assert!(paths.len() >= 4);
+        assert!(paths[..4].iter().all(|p| p.hops() == 4));
+    }
+
+    #[test]
+    fn mean_distance_positive_and_bounded() {
+        let n = fat_tree(4, speed()).unwrap();
+        let ap = AllPairs::compute(&n);
+        let m = ap.mean_distance();
+        assert!(m > 1.0 && m <= f64::from(ap.diameter()));
+        let ms = ap.mean_server_distance(&n);
+        assert!(ms >= 2.0 && ms <= 4.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Traffic matrices.
+//!
+//! The paper (§4.1) notes that "inter-rack and inter-block demands are often
+//! persistently and highly non-uniform; networks need the flexibility to
+//! cope with time-varying non-uniformity." The generators here produce the
+//! three canonical shapes the experiments use: uniform all-to-all,
+//! random permutation, and skewed hotspot matrices.
+
+use crate::gen::SplitMix64;
+use crate::network::{Network, SwitchId};
+use pd_geometry::Gbps;
+use serde::{Deserialize, Serialize};
+
+/// One demand entry: `gbps` of traffic from servers under `src` to servers
+/// under `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Source switch (a server-bearing switch).
+    pub src: SwitchId,
+    /// Destination switch.
+    pub dst: SwitchId,
+    /// Offered load.
+    pub gbps: Gbps,
+}
+
+/// A set of demands between server-bearing switches.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    demands: Vec<Demand>,
+}
+
+impl TrafficMatrix {
+    /// An empty matrix.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A single demand.
+    pub fn single(src: SwitchId, dst: SwitchId, gbps: Gbps) -> Self {
+        Self {
+            demands: vec![Demand { src, dst, gbps }],
+        }
+    }
+
+    /// Builds from raw entries.
+    pub fn from_demands(demands: Vec<Demand>) -> Self {
+        Self { demands }
+    }
+
+    /// Uniform all-to-all between every ordered pair of server-bearing
+    /// switches, `per_pair` each.
+    pub fn uniform_servers(net: &Network, per_pair: Gbps) -> Self {
+        let hosts = server_switches(net);
+        let mut demands = Vec::with_capacity(hosts.len() * hosts.len());
+        for &s in &hosts {
+            for &d in &hosts {
+                if s != d {
+                    demands.push(Demand {
+                        src: s,
+                        dst: d,
+                        gbps: per_pair,
+                    });
+                }
+            }
+        }
+        Self { demands }
+    }
+
+    /// A random permutation matrix: every server-bearing switch sends
+    /// `per_host` to exactly one other (derangement-ish; fixed points are
+    /// re-rolled a bounded number of times then skipped).
+    pub fn permutation(net: &Network, per_host: Gbps, seed: u64) -> Self {
+        let hosts = server_switches(net);
+        let mut rng = SplitMix64::new(seed);
+        let mut targets = hosts.clone();
+        rng.shuffle(&mut targets);
+        // Fix any fixed points by swapping with a neighbor.
+        for i in 0..targets.len() {
+            if targets[i] == hosts[i] {
+                let j = (i + 1) % targets.len();
+                targets.swap(i, j);
+            }
+        }
+        let demands = hosts
+            .iter()
+            .zip(&targets)
+            .filter(|(s, d)| s != d)
+            .map(|(&src, &dst)| Demand {
+                src,
+                dst,
+                gbps: per_host,
+            })
+            .collect();
+        Self { demands }
+    }
+
+    /// A hotspot matrix: uniform background of `background` per pair, plus
+    /// `hot_factor ×` that rate between the first `hot_count` switches
+    /// (pairwise). Models the skewed inter-block demand of §4.1.
+    pub fn hotspot(net: &Network, background: Gbps, hot_count: usize, hot_factor: f64) -> Self {
+        let hosts = server_switches(net);
+        let mut tm = Self::uniform_servers(net, background);
+        let hot: Vec<SwitchId> = hosts.into_iter().take(hot_count).collect();
+        for &s in &hot {
+            for &d in &hot {
+                if s != d {
+                    tm.demands.push(Demand {
+                        src: s,
+                        dst: d,
+                        gbps: background * (hot_factor - 1.0),
+                    });
+                }
+            }
+        }
+        tm
+    }
+
+    /// The demand entries.
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Total offered load.
+    pub fn total(&self) -> Gbps {
+        self.demands.iter().map(|d| d.gbps).sum()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// True if there are no demands.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Aggregates demands into a block-to-block matrix (indexing follows
+    /// `net.blocks()` order) — the input shape for OCS topology engineering.
+    pub fn to_block_matrix(&self, net: &Network) -> Vec<Vec<f64>> {
+        let blocks = net.blocks();
+        let pos = |b| blocks.iter().position(|&x| x == b);
+        let mut m = vec![vec![0.0; blocks.len()]; blocks.len()];
+        for d in &self.demands {
+            let (Some(sb), Some(db)) = (
+                net.switch(d.src).and_then(|s| s.block).and_then(pos),
+                net.switch(d.dst).and_then(|s| s.block).and_then(pos),
+            ) else {
+                continue;
+            };
+            if sb != db {
+                m[sb][db] += d.gbps.value();
+            }
+        }
+        m
+    }
+}
+
+fn server_switches(net: &Network) -> Vec<SwitchId> {
+    net.switches()
+        .filter(|s| s.server_ports > 0)
+        .map(|s| s.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::leaf_spine;
+
+    fn net() -> Network {
+        leaf_spine(4, 2, 8, 1, Gbps::new(100.0)).unwrap()
+    }
+
+    #[test]
+    fn uniform_covers_all_ordered_pairs() {
+        let n = net();
+        let tm = TrafficMatrix::uniform_servers(&n, Gbps::new(2.0));
+        assert_eq!(tm.len(), 4 * 3);
+        assert_eq!(tm.total(), Gbps::new(24.0));
+    }
+
+    #[test]
+    fn permutation_has_no_fixed_points_and_is_deterministic() {
+        let n = net();
+        let a = TrafficMatrix::permutation(&n, Gbps::new(1.0), 5);
+        let b = TrafficMatrix::permutation(&n, Gbps::new(1.0), 5);
+        assert_eq!(a, b);
+        for d in a.demands() {
+            assert_ne!(d.src, d.dst);
+        }
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn hotspot_adds_extra_demand_between_hot_pairs() {
+        let n = net();
+        let tm = TrafficMatrix::hotspot(&n, Gbps::new(1.0), 2, 10.0);
+        // Background 12 entries + 2 hot-pair extras.
+        assert_eq!(tm.len(), 14);
+        assert!((tm.total().value() - (12.0 + 2.0 * 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_matrix_shape() {
+        let n = net();
+        let tm = TrafficMatrix::uniform_servers(&n, Gbps::new(1.0));
+        let m = tm.to_block_matrix(&n);
+        let b = n.blocks().len();
+        assert_eq!(m.len(), b);
+        // Leaf-spine: spine block has no servers; leaf blocks exchange 1.0 each way.
+        let total: f64 = m.iter().flatten().sum();
+        assert!((total - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for topology generators and routing.
+
+use pd_geometry::Gbps;
+use pd_topology::gen::{
+    fat_tree, fatclique, flattened_butterfly, folded_clos, jellyfish, leaf_spine, xpander,
+    ClosParams, FatCliqueParams, FlattenedButterflyParams, JellyfishParams, XpanderParams,
+};
+use pd_topology::interop::PetgraphView;
+use pd_topology::routing::{edge_disjoint_paths, k_shortest_paths, AllPairs, EcmpLoads};
+use pd_topology::TrafficMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Jellyfish generates a connected r-regular simple graph for any valid
+    /// (n, r, seed).
+    #[test]
+    fn jellyfish_regularity(n in 6usize..40, r in 3usize..6, seed in 0u64..1000) {
+        prop_assume!(n > r && (n * r) % 2 == 0);
+        let p = JellyfishParams {
+            tors: n,
+            network_degree: r,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        };
+        let net = jellyfish(&p).unwrap();
+        prop_assert_eq!(net.link_count(), n * r / 2);
+        for s in net.switches() {
+            prop_assert_eq!(net.degree(s.id), r);
+        }
+        prop_assert!(net.is_connected());
+        prop_assert_eq!(PetgraphView::build(&net).connected_components(), 1);
+    }
+
+    /// Xpander is d-regular with the advertised switch count.
+    #[test]
+    fn xpander_regularity(d in 3usize..8, lift in 1usize..6, seed in 0u64..100) {
+        let p = XpanderParams {
+            network_degree: d,
+            lift,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        };
+        let net = xpander(&p).unwrap();
+        prop_assert_eq!(net.switch_count(), (d + 1) * lift);
+        for s in net.switches() {
+            prop_assert_eq!(net.degree(s.id), d);
+        }
+        prop_assert!(net.validate().is_ok());
+    }
+
+    /// Every fat-tree uses exactly its radix at every switch and has
+    /// diameter ≤ 4.
+    #[test]
+    fn fat_tree_invariants(half in 1usize..5) {
+        let k = half * 2;
+        let net = fat_tree(k, Gbps::new(100.0)).unwrap();
+        prop_assert_eq!(net.switch_count(), 5 * k * k / 4);
+        for s in net.switches() {
+            prop_assert_eq!(net.ports_used(s.id), u32::from(s.radix));
+        }
+        let ap = AllPairs::compute(&net);
+        prop_assert!(ap.diameter() <= 4);
+    }
+
+    /// Folded Clos validates and is connected over a parameter sweep.
+    #[test]
+    fn folded_clos_validates(pods in 2usize..5, tors in 1usize..5, aggs in 1usize..4, spines in 1usize..6) {
+        let p = ClosParams {
+            pods,
+            tors_per_pod: tors,
+            aggs_per_pod: aggs,
+            spines,
+            ..ClosParams::default()
+        };
+        let net = folded_clos(&p).unwrap();
+        prop_assert!(net.validate().is_ok());
+        prop_assert!(net.is_connected());
+        prop_assert_eq!(
+            net.link_count(),
+            pods * tors * aggs + pods * aggs * spines
+        );
+    }
+
+    /// ECMP flow conservation: total link-load equals sum over demands of
+    /// (demand × hop distance).
+    #[test]
+    fn ecmp_total_load_is_demand_times_hops(leaves in 2usize..6, spines in 1usize..4, seed in 0u64..50) {
+        let net = leaf_spine(leaves, spines, 4, 1, Gbps::new(100.0)).unwrap();
+        let ap = AllPairs::compute(&net);
+        let tm = TrafficMatrix::permutation(&net, Gbps::new(1.0), seed);
+        let loads = EcmpLoads::compute(&net, &ap, &tm);
+        let expect: f64 = tm
+            .demands()
+            .iter()
+            .map(|d| d.gbps.value() * f64::from(ap.distance(d.src, d.dst).unwrap()))
+            .sum();
+        let got: f64 = loads.link_load.values().sum();
+        prop_assert!((got - expect).abs() < 1e-6, "got {got} expect {expect}");
+    }
+
+    /// Edge-disjoint path count between flat ToRs equals the regular degree
+    /// on a complete-ish Xpander (Menger: min cut at the endpoints).
+    #[test]
+    fn disjoint_paths_bounded_by_degree(d in 3usize..6, lift in 2usize..4, seed in 0u64..20) {
+        let net = xpander(&XpanderParams {
+            network_degree: d,
+            lift,
+            servers_per_tor: 1,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        let ids: Vec<_> = net.switches().map(|s| s.id).collect();
+        let paths = edge_disjoint_paths(&net, ids[0], ids[1]);
+        prop_assert!(paths <= d);
+        prop_assert!(paths >= 1);
+    }
+
+    /// Yen's k-shortest-paths returns simple paths in nondecreasing order,
+    /// with the first equal to the BFS distance.
+    #[test]
+    fn yen_paths_sound(rows in 2usize..4, cols in 2usize..4, k in 1usize..6) {
+        let net = flattened_butterfly(&FlattenedButterflyParams {
+            rows,
+            cols,
+            servers_per_tor: 1,
+            link_speed: Gbps::new(100.0),
+        })
+        .unwrap();
+        let ids: Vec<_> = net.switches().map(|s| s.id).collect();
+        let (s, t) = (ids[0], ids[ids.len() - 1]);
+        let ap = AllPairs::compute(&net);
+        let paths = k_shortest_paths(&net, s, t, k);
+        prop_assert!(!paths.is_empty());
+        prop_assert_eq!(paths[0].hops() as u16, ap.distance(s, t).unwrap());
+        let mut prev = 0usize;
+        for p in &paths {
+            prop_assert!(p.hops() >= prev);
+            prev = p.hops();
+            let set: std::collections::HashSet<_> = p.0.iter().collect();
+            prop_assert_eq!(set.len(), p.0.len());
+        }
+    }
+
+    /// FatClique port budgets hold across a parameter sweep.
+    #[test]
+    fn fatclique_ports_within_radix(s in 2usize..4, sc in 2usize..4, c in 2usize..5, links in 1usize..9) {
+        let p = FatCliqueParams {
+            subclique_size: s,
+            subcliques_per_clique: sc,
+            cliques: c,
+            inter_clique_links: links,
+            ..FatCliqueParams::default()
+        };
+        let net = fatclique(&p).unwrap();
+        for sw in net.switches() {
+            prop_assert!(net.ports_used(sw.id) <= u32::from(sw.radix));
+        }
+        prop_assert!(net.is_connected());
+    }
+}

@@ -1,0 +1,186 @@
+//! As-built auditing: when the model and the world disagree.
+//!
+//! §5.3: "existing data is often incomplete or wrong … recording the wrong
+//! position for a rack (which means that another rack might not fit where
+//! it is intended); that will require better techniques for measuring the
+//! physical world." This module simulates exactly that failure mode:
+//! inject seeded position errors into the "as-built" world, audit it
+//! against the twin, and compute the concrete downstream damage — pre-cut
+//! cables that are now too short for the real distance.
+
+use pd_cabling::CablingPlan;
+use pd_geometry::Meters;
+use pd_physical::{Hall, SlotId};
+use pd_topology::gen::SplitMix64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Injected/observed position error for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionError {
+    /// The slot whose recorded position is wrong.
+    pub slot: SlotId,
+    /// Manhattan magnitude of the error.
+    pub error: Meters,
+}
+
+/// Generates seeded as-built position errors: each slot is independently
+/// misrecorded with probability `rate`, by a Manhattan offset uniform in
+/// `(0, max_error]`.
+pub fn inject_position_errors(
+    hall: &Hall,
+    rate: f64,
+    max_error: Meters,
+    seed: u64,
+) -> Vec<PositionError> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::new();
+    for slot in hall.slots() {
+        let u = rng.next_u64() as f64 / u64::MAX as f64;
+        if u < rate {
+            let mag = (rng.next_u64() as f64 / u64::MAX as f64) * max_error.value();
+            out.push(PositionError {
+                slot: slot.id,
+                error: Meters::new(mag.max(1e-6)),
+            });
+        }
+    }
+    out
+}
+
+/// An audit finding: a slot whose as-built position differs from the model
+/// by more than the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditFinding {
+    /// The slot.
+    pub slot: SlotId,
+    /// The discrepancy.
+    pub error: Meters,
+}
+
+/// Audits as-built errors against a tolerance: errors below tolerance are
+/// invisible to measurement (and to the audit), which is the residual risk
+/// §5.3 warns about.
+pub fn audit(errors: &[PositionError], tolerance: Meters) -> Vec<AuditFinding> {
+    errors
+        .iter()
+        .filter(|e| e.error > tolerance)
+        .map(|e| AuditFinding {
+            slot: e.slot,
+            error: e.error,
+        })
+        .collect()
+}
+
+/// A cable whose ordered length no longer covers the as-built distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CableShortfall {
+    /// Index into the plan's runs.
+    pub run: usize,
+    /// How much length is missing.
+    pub shortfall: Meters,
+}
+
+/// Computes which pre-cut cables come up short given as-built position
+/// errors: each endpoint's error adds (worst-case) its full magnitude to
+/// the required run length; a run fails when the extra exceeds its slack.
+pub fn cable_shortfalls(plan: &CablingPlan, errors: &[PositionError]) -> Vec<CableShortfall> {
+    let err_of: HashMap<SlotId, Meters> =
+        errors.iter().map(|e| (e.slot, e.error)).collect();
+    let mut out = Vec::new();
+    for (i, run) in plan.runs.iter().enumerate() {
+        let extra = err_of.get(&run.from_slot).copied().unwrap_or(Meters::ZERO)
+            + err_of.get(&run.to_slot).copied().unwrap_or(Meters::ZERO);
+        if extra > run.choice.slack {
+            out.push(CableShortfall {
+                run: i,
+                shortfall: extra - run.choice.slack,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, Placement, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    fn setup() -> (Hall, CablingPlan) {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        (hall, plan)
+    }
+
+    #[test]
+    fn injection_rate_roughly_respected_and_deterministic() {
+        let (hall, _) = setup();
+        let a = inject_position_errors(&hall, 0.2, Meters::new(1.0), 42);
+        let b = inject_position_errors(&hall, 0.2, Meters::new(1.0), 42);
+        assert_eq!(a, b);
+        // 200 slots at 20%: expect ~40, allow broad band.
+        assert!(a.len() > 15 && a.len() < 70, "{}", a.len());
+        for e in &a {
+            assert!(e.error > Meters::ZERO && e.error <= Meters::new(1.0));
+        }
+    }
+
+    #[test]
+    fn audit_tolerance_filters_small_errors() {
+        let errors = vec![
+            PositionError {
+                slot: SlotId(0),
+                error: Meters::new(0.05),
+            },
+            PositionError {
+                slot: SlotId(1),
+                error: Meters::new(0.8),
+            },
+        ];
+        let findings = audit(&errors, Meters::new(0.1));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].slot, SlotId(1));
+    }
+
+    #[test]
+    fn big_errors_cause_shortfalls_small_ones_absorbed_by_slack() {
+        let (_, plan) = setup();
+        // Tiny error: slack (≥ 0 up to meters from SKU rounding) absorbs it
+        // for most cables.
+        let tiny = vec![PositionError {
+            slot: plan.runs[0].from_slot,
+            error: Meters::new(0.01),
+        }];
+        let small = cable_shortfalls(&plan, &tiny);
+        // Huge error: every cable touching the slot that lacks that much
+        // slack fails.
+        let huge = vec![PositionError {
+            slot: plan.runs[0].from_slot,
+            error: Meters::new(50.0),
+        }];
+        let big = cable_shortfalls(&plan, &huge);
+        assert!(big.len() >= small.len());
+        assert!(!big.is_empty());
+        for s in &big {
+            assert!(s.shortfall > Meters::ZERO);
+        }
+    }
+
+    #[test]
+    fn no_errors_no_shortfalls() {
+        let (_, plan) = setup();
+        assert!(cable_shortfalls(&plan, &[]).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Lowering a physicalized design into a twin model.
+//!
+//! `lower()` produces a [`TwinModel`] that validates against
+//! [`crate::schema::Schema::base`] by construction — the round-trip tests
+//! pin that invariant, so a schema violation after lowering always means
+//! the *design* used something novel.
+
+use crate::model::{AttrValue, EntityId, EntityKind, RelationKind, TwinModel};
+use pd_cabling::CablingPlan;
+use pd_physical::{Hall, Placement};
+use pd_topology::Network;
+
+fn num(v: f64) -> AttrValue {
+    AttrValue::Num(v)
+}
+
+fn s(v: impl Into<String>) -> AttrValue {
+    AttrValue::Str(v.into())
+}
+
+/// Lowers the quadruple into a declarative model.
+pub fn lower(
+    net: &Network,
+    hall: &Hall,
+    placement: &Placement,
+    plan: &CablingPlan,
+) -> TwinModel {
+    let mut m = TwinModel::new();
+
+    let hall_id = m.add_entity(
+        "hall",
+        EntityKind::Hall,
+        [
+            ("rows", num(hall.spec.rows as f64)),
+            ("slots_per_row", num(hall.spec.slots_per_row as f64)),
+        ],
+    );
+    let mut row_ids = Vec::new();
+    for r in 0..hall.spec.rows {
+        let row = m.add_entity(format!("row{r}"), EntityKind::Row, [("index", num(r as f64))]);
+        m.relate(RelationKind::Contains, &hall_id, &row);
+        row_ids.push(row);
+    }
+
+    // Power feeds.
+    let mut feed_ids = Vec::new();
+    for f in 0..placement.power.feed_count() {
+        let feed = m.add_entity(
+            format!("feed{f}"),
+            EntityKind::PowerFeed,
+            [("capacity_w", num(placement.power.feed_capacity.value()))],
+        );
+        feed_ids.push(feed);
+    }
+
+    // Racks.
+    for rack in &placement.racks {
+        let slot = hall.slot(rack.slot).expect("placed rack has a slot");
+        let rid = m.add_entity(
+            format!("{}", rack.id),
+            EntityKind::Rack,
+            [
+                ("slot", num(rack.slot.0 as f64)),
+                ("x", num(slot.center.x.value())),
+                ("y", num(slot.center.y.value())),
+            ],
+        );
+        m.relate(RelationKind::Contains, &row_ids[slot.row], &rid);
+        if let Some((a, b)) = placement.power.feeds_of(rack.slot) {
+            m.relate(RelationKind::FedBy, &rid, &feed_ids[a.0 as usize % feed_ids.len()]);
+            m.relate(RelationKind::FedBy, &rid, &feed_ids[b.0 as usize % feed_ids.len()]);
+        }
+    }
+
+    // Switches.
+    for sw in net.switches() {
+        let sid = m.add_entity(
+            format!("{}", sw.id),
+            EntityKind::Switch,
+            [
+                ("radix", num(f64::from(sw.radix))),
+                ("speed_g", num(sw.port_speed.value())),
+                ("layer", num(f64::from(sw.layer))),
+                ("role", s(sw.role.short())),
+            ],
+        );
+        if let Some(rack) = placement.rack_of(sw.id) {
+            let rid = EntityId::new(format!("{}", rack.id));
+            m.relate(RelationKind::Contains, &rid, &sid);
+        }
+    }
+
+    // Indirection sites (hosted in their own implicit racks).
+    for (i, site) in plan.sites.iter().enumerate() {
+        let slot = hall.slot(site.slot).expect("site slot exists");
+        let rack_id = m.add_entity(
+            format!("site-rack{i}"),
+            EntityKind::Rack,
+            [
+                ("slot", num(site.slot.0 as f64)),
+                ("x", num(slot.center.x.value())),
+                ("y", num(slot.center.y.value())),
+            ],
+        );
+        m.relate(RelationKind::Contains, &row_ids[slot.row], &rack_id);
+        let site_id = m.add_entity(
+            format!("site{i}"),
+            EntityKind::IndirectionSite,
+            [
+                (
+                    "kind",
+                    s(match site.kind {
+                        pd_cabling::IndirectionKind::PatchPanel => "panel",
+                        pd_cabling::IndirectionKind::Ocs => "ocs",
+                    }),
+                ),
+                ("ports", num(f64::from(site.port_capacity))),
+                ("ports_used", num(f64::from(site.ports_used))),
+            ],
+        );
+        m.relate(RelationKind::Contains, &rack_id, &site_id);
+    }
+
+    // Tray segments.
+    for e in plan.tray.router.edge_ids() {
+        m.add_entity(
+            format!("tray{}", e.0),
+            EntityKind::TraySegment,
+            [
+                ("capacity_mm2", num(plan.tray.router.capacity(e).value())),
+                ("used_mm2", num(plan.tray.router.used(e).value())),
+            ],
+        );
+    }
+
+    // Cables.
+    for (i, run) in plan.runs.iter().enumerate() {
+        let cid = m.add_entity(
+            format!("cable{i}"),
+            EntityKind::Cable,
+            [
+                ("media", s(run.choice.sku.class.short())),
+                ("speed_g", num(run.choice.sku.speed.value())),
+                ("length_m", num(run.choice.ordered_length.value())),
+                ("slack_m", num(run.choice.slack.value())),
+                ("od_mm", num(run.choice.sku.od.value())),
+            ],
+        );
+        if let Some(link) = net.link(run.link) {
+            for end in [link.a, link.b] {
+                let sid = EntityId::new(format!("{end}"));
+                m.relate(RelationKind::ConnectsTo, &cid, &sid);
+            }
+        }
+        if let Some(site) = run.via_site {
+            let sid = EntityId::new(format!("site{site}"));
+            m.relate(RelationKind::ConnectsTo, &cid, &sid);
+        }
+        for e in &run.tray_edges {
+            let tid = EntityId::new(format!("tray{}", e.0));
+            m.relate(RelationKind::RoutesThrough, &cid, &tid);
+        }
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use pd_cabling::CablingPolicy;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, PlacementStrategy};
+    use pd_topology::gen::{folded_clos, ClosParams};
+
+    fn lowered(via_panels: bool) -> TwinModel {
+        let p = ClosParams {
+            spine_via_panels: via_panels,
+            ..ClosParams::default()
+        };
+        let net = folded_clos(&p).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        lower(&net, &hall, &placement, &plan)
+    }
+
+    #[test]
+    fn lowered_model_validates_against_base_schema() {
+        let m = lowered(false);
+        let violations = Schema::base().validate(&m);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(m.dangling_relations().is_empty());
+    }
+
+    #[test]
+    fn lowered_model_with_sites_validates() {
+        let m = lowered(true);
+        assert!(Schema::base().validate(&m).is_empty());
+        assert_eq!(m.of_kind(&EntityKind::IndirectionSite).count(), 1);
+    }
+
+    #[test]
+    fn entity_counts_match_inputs() {
+        let m = lowered(false);
+        // 40 switches in the default folded Clos.
+        assert_eq!(m.of_kind(&EntityKind::Switch).count(), 40);
+        // Every cable run became a cable entity: 192 links.
+        assert_eq!(m.of_kind(&EntityKind::Cable).count(), 192);
+        assert!(m.of_kind(&EntityKind::Rack).count() >= 16);
+    }
+
+    #[test]
+    fn cables_connect_to_their_switches() {
+        let m = lowered(false);
+        for cable in m.of_kind(&EntityKind::Cable) {
+            let conns = m
+                .relations_from(&cable.id, Some(&RelationKind::ConnectsTo))
+                .count();
+            assert_eq!(conns, 2, "cable {} has {conns} ends", cable.id);
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! The physical-constraint engine.
+//!
+//! "Our goal … is to be able to rapidly test whether an abstract design
+//! violates physical-world constraints" (§5.3). [`check_design`] runs every
+//! check the substrate can express and returns a ranked violation list;
+//! each violation carries an order-of-magnitude *late-remediation* cost —
+//! what it costs to fix after the hardware is on the floor — which is what
+//! experiment E10 compares against catching it in the twin.
+
+use pd_cabling::CablingPlan;
+use pd_geometry::Dollars;
+use pd_physical::{Hall, Placement};
+use pd_topology::{Network, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Violation severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Design cannot be deployed as-is.
+    Error,
+    /// Deployable but operationally risky or wasteful.
+    Warning,
+}
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationCode {
+    /// Rack assembly does not fit through the door.
+    DoorClearance,
+    /// A tray segment is over its installed capacity.
+    TrayOverfill,
+    /// A tray segment exceeds its per-generation share (future expansions
+    /// will not fit — the §2.1 rule).
+    TrayGenerationBudget,
+    /// A link could not be physically realized at all.
+    UnrealizableLink,
+    /// A cable's bend radius cannot survive its routed path.
+    BendRadius,
+    /// Power feed would overload if its redundant partner failed.
+    PowerFailureHeadroom,
+    /// All of a switch's network cables traverse one tray segment: a
+    /// physical single point of failure behind logical path diversity.
+    TraySpof,
+    /// Conjoined racks split across non-adjacent slots (the pre-cabled
+    /// assembly cannot actually be delivered as one unit).
+    ConjoinedSplit,
+    /// A row holds an even number of racks where the floor plan requires
+    /// odd (§3.1's floor-space constraint), stranding a slot.
+    EvenRowOccupancy,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Severity.
+    pub severity: Severity,
+    /// Category.
+    pub code: ViolationCode,
+    /// Human-readable description with the offending object.
+    pub message: String,
+    /// Order-of-magnitude cost to remediate *after* deployment (the §5.3
+    /// "costs to remediate mistakes increase dramatically" number).
+    pub late_remediation: Dollars,
+}
+
+/// Runs every constraint check.
+pub fn check_design(
+    net: &Network,
+    hall: &Hall,
+    placement: &Placement,
+    plan: &CablingPlan,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_door(hall, placement, &mut out);
+    check_conjoined(hall, placement, &mut out);
+    check_row_parity(hall, placement, &mut out);
+    check_tray(hall, plan, &mut out);
+    check_unrealizable(plan, &mut out);
+    check_bend_radius(plan, &mut out);
+    check_power(placement, &mut out);
+    check_tray_spof(net, plan, &mut out);
+    out.sort_by(|a, b| a.severity.cmp(&b.severity));
+    out
+}
+
+fn check_door(hall: &Hall, placement: &Placement, out: &mut Vec<Violation>) {
+    let door = &hall.spec.door;
+    for rack in &placement.racks {
+        let n = if rack.conjoined_with.is_some() { 2 } else { 1 };
+        let fits = if n == 1 {
+            rack.spec.fits_through(door)
+        } else {
+            rack.spec.conjoined_fits_through(n, door)
+        };
+        if !fits {
+            out.push(Violation {
+                severity: Severity::Error,
+                code: ViolationCode::DoorClearance,
+                message: format!(
+                    "{} ({}-wide assembly) cannot pass the {:.2} m door",
+                    rack.id,
+                    n,
+                    door.width.value()
+                ),
+                // Disassemble, re-cable on the floor, re-test: dominated by
+                // redoing the pre-cabling labor.
+                late_remediation: Dollars::new(25_000.0),
+            });
+        }
+    }
+}
+
+fn check_conjoined(hall: &Hall, placement: &Placement, out: &mut Vec<Violation>) {
+    for rack in &placement.racks {
+        let Some(partner_id) = rack.conjoined_with else {
+            continue;
+        };
+        let Some(partner) = placement.racks.get(partner_id.0 as usize) else {
+            continue;
+        };
+        let adjacent = hall
+            .slot(rack.slot)
+            .zip(hall.slot(partner.slot))
+            .map(|(a, b)| a.row == b.row && a.index.abs_diff(b.index) == 1)
+            .unwrap_or(false);
+        if !adjacent {
+            out.push(Violation {
+                severity: Severity::Error,
+                code: ViolationCode::ConjoinedSplit,
+                message: format!(
+                    "{} is pre-cabled with {} but they are not adjacent ({} vs {})",
+                    rack.id, partner.id, rack.slot, partner.slot
+                ),
+                // The conjoined assembly must be split and re-cabled loose.
+                late_remediation: Dollars::new(18_000.0),
+            });
+        }
+    }
+}
+
+fn check_row_parity(hall: &Hall, placement: &Placement, out: &mut Vec<Violation>) {
+    if !hall.spec.odd_slots_per_row {
+        return;
+    }
+    let mut per_row: std::collections::BTreeMap<usize, usize> = Default::default();
+    for rack in &placement.racks {
+        if let Some(slot) = hall.slot(rack.slot) {
+            *per_row.entry(slot.row).or_insert(0) += 1;
+        }
+    }
+    for (row, count) in per_row {
+        if count % 2 == 0 {
+            out.push(Violation {
+                severity: Severity::Warning,
+                code: ViolationCode::EvenRowOccupancy,
+                message: format!(
+                    "row {row} holds {count} racks; this floor requires odd counts                      per row, stranding a slot (§3.1)"
+                ),
+                // One slot's worth of floor value.
+                late_remediation: Dollars::new(4_000.0),
+            });
+        }
+    }
+}
+
+fn check_tray(hall: &Hall, plan: &CablingPlan, out: &mut Vec<Violation>) {
+    let per_gen = hall.spec.tray_capacity_per_generation.value();
+    for e in plan.tray.router.edge_ids() {
+        let fill = plan.tray.router.fill_fraction(e);
+        let used = plan.tray.router.used(e).value();
+        if fill > 1.0 {
+            out.push(Violation {
+                severity: Severity::Error,
+                code: ViolationCode::TrayOverfill,
+                message: format!(
+                    "tray segment {} at {:.0}% of installed capacity",
+                    e.0,
+                    fill * 100.0
+                ),
+                // Add a parallel tray run on a live floor.
+                late_remediation: Dollars::new(40_000.0),
+            });
+        } else if used > per_gen {
+            out.push(Violation {
+                severity: Severity::Warning,
+                code: ViolationCode::TrayGenerationBudget,
+                message: format!(
+                    "tray segment {} uses {:.0} mm² of its {:.0} mm² single-generation share",
+                    e.0, used, per_gen
+                ),
+                // Next generation must re-plan routes; engineering time.
+                late_remediation: Dollars::new(8_000.0),
+            });
+        }
+    }
+}
+
+fn check_unrealizable(plan: &CablingPlan, out: &mut Vec<Violation>) {
+    for (link, err) in &plan.failures {
+        out.push(Violation {
+            severity: Severity::Error,
+            code: ViolationCode::UnrealizableLink,
+            message: format!("{link}: {err}"),
+            // Redesign + possible switch moves after gear is installed.
+            late_remediation: Dollars::new(60_000.0),
+        });
+    }
+}
+
+fn check_bend_radius(plan: &CablingPlan, out: &mut Vec<Violation>) {
+    // The routed polyline for each run: rack-top → tray → rack-top. We
+    // reconstruct it from the tray path nodes; the in-rack tails are
+    // dressed by hand and assumed compliant.
+    for (i, run) in plan.runs.iter().enumerate() {
+        if run.tray_edges.is_empty() {
+            continue;
+        }
+        // Build node path from edges.
+        let mut nodes = Vec::with_capacity(run.tray_edges.len() + 1);
+        for (j, &e) in run.tray_edges.iter().enumerate() {
+            let (a, b) = plan.tray.router.edge_endpoints(e);
+            if j == 0 {
+                // Orient using the next edge if any.
+                if let Some(&e2) = run.tray_edges.get(1) {
+                    let (c, d) = plan.tray.router.edge_endpoints(e2);
+                    if a == c || a == d {
+                        nodes.push(b);
+                        nodes.push(a);
+                    } else {
+                        nodes.push(a);
+                        nodes.push(b);
+                    }
+                } else {
+                    nodes.push(a);
+                    nodes.push(b);
+                }
+            } else {
+                let last = *nodes.last().expect("seeded above");
+                nodes.push(if a == last { b } else { a });
+            }
+        }
+        let poly = pd_geometry::Polyline::new(
+            nodes
+                .into_iter()
+                .map(|n| plan.tray.router.position(n))
+                .collect(),
+        );
+        let violations = poly.check_bend_radius(run.choice.sku.bend_radius);
+        if !violations.is_empty() {
+            out.push(Violation {
+                severity: Severity::Error,
+                code: ViolationCode::BendRadius,
+                message: format!(
+                    "cable {i} ({}, bend radius {:.0} mm) cannot make {} bend(s) on its route",
+                    run.choice.sku.class,
+                    run.choice.sku.bend_radius.value(),
+                    violations.len()
+                ),
+                // Re-route/replace a pulled cable.
+                late_remediation: Dollars::new(1_500.0),
+            });
+        }
+    }
+}
+
+fn check_power(placement: &Placement, out: &mut Vec<Violation>) {
+    for f in 0..placement.power.feed_count() {
+        let feed = pd_physical::FeedId(f as u32);
+        let (worst, cap) = placement.power.headroom_under_failure(feed);
+        if worst > cap {
+            out.push(Violation {
+                severity: Severity::Error,
+                code: ViolationCode::PowerFailureHeadroom,
+                message: format!(
+                    "losing {feed} overloads a surviving feed: {worst} > {cap}"
+                ),
+                // New busway on a live floor.
+                late_remediation: Dollars::new(120_000.0),
+            });
+        }
+    }
+}
+
+fn check_tray_spof(net: &Network, plan: &CablingPlan, out: &mut Vec<Violation>) {
+    // For each switch with ≥2 network links, check whether EVERY one of its
+    // cables traverses some common tray segment.
+    let mut runs_per_switch: HashMap<SwitchId, Vec<usize>> = HashMap::new();
+    for (i, run) in plan.runs.iter().enumerate() {
+        if let Some(link) = net.link(run.link) {
+            runs_per_switch.entry(link.a).or_default().push(i);
+            runs_per_switch.entry(link.b).or_default().push(i);
+        }
+    }
+    let mut switches: Vec<_> = runs_per_switch.into_iter().collect();
+    switches.sort_by_key(|(s, _)| *s);
+    for (switch, runs) in switches {
+        if runs.len() < 2 {
+            continue;
+        }
+        // Intersect *intermediate* tray segments: the first and last edge
+        // of a run are the endpoint rack drops, which trivially shared by a
+        // rack's own cables (a rack has one cable entry — that is rack
+        // redundancy, not tray routing). The SPOF of interest is a shared
+        // mid-route segment that one cut (or small fire, §3.1) severs.
+        let interior = |r: usize| -> &[pd_geometry::RouteEdgeId] {
+            let edges = &plan.runs[r].tray_edges;
+            if edges.len() <= 2 {
+                &[]
+            } else {
+                &edges[1..edges.len() - 1]
+            }
+        };
+        let mut iter = runs.iter();
+        let first = interior(*iter.next().expect("len ≥ 2"));
+        if first.is_empty() {
+            continue;
+        }
+        let mut common: std::collections::HashSet<_> = first.iter().copied().collect();
+        let mut all_trayed = true;
+        for &r in iter {
+            let mid = interior(r);
+            if mid.is_empty() {
+                all_trayed = false;
+                break;
+            }
+            let set: std::collections::HashSet<_> = mid.iter().copied().collect();
+            common.retain(|e| set.contains(e));
+            if common.is_empty() {
+                break;
+            }
+        }
+        if all_trayed && !common.is_empty() {
+            out.push(Violation {
+                severity: Severity::Warning,
+                code: ViolationCode::TraySpof,
+                message: format!(
+                    "{switch}: all {} network cables share tray segment(s) {:?} — one cut isolates it",
+                    runs.len(),
+                    common.iter().map(|e| e.0).take(3).collect::<Vec<_>>()
+                ),
+                // Re-route half the uplinks via a diverse tray path.
+                late_remediation: Dollars::new(5_000.0),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::{Gbps, SquareMillimeters, Watts};
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    fn build(spec: HallSpec) -> (Network, Hall, Placement, CablingPlan) {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(spec);
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        (net, hall, placement, plan)
+    }
+
+    #[test]
+    fn clean_design_has_no_errors() {
+        let (net, hall, placement, plan) = build(HallSpec::default());
+        let v = check_design(&net, &hall, &placement, &plan);
+        assert!(
+            v.iter().all(|x| x.severity != Severity::Error),
+            "unexpected errors: {:?}",
+            v.iter().filter(|x| x.severity == Severity::Error).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tiny_trays_trigger_overfill_or_unrealizable() {
+        let spec = HallSpec {
+            tray_capacity_per_generation: SquareMillimeters::new(30.0),
+            tray_generations: 1,
+            ..HallSpec::default()
+        };
+        let (net, hall, placement, plan) = build(spec);
+        let v = check_design(&net, &hall, &placement, &plan);
+        assert!(
+            v.iter().any(|x| matches!(
+                x.code,
+                ViolationCode::TrayOverfill | ViolationCode::UnrealizableLink
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn generation_budget_warns_before_overfill() {
+        // Capacity generous, but single-generation share small.
+        let spec = HallSpec {
+            tray_capacity_per_generation: SquareMillimeters::new(60.0),
+            tray_generations: 12,
+            ..HallSpec::default()
+        };
+        let (net, hall, placement, plan) = build(spec);
+        let v = check_design(&net, &hall, &placement, &plan);
+        assert!(v
+            .iter()
+            .any(|x| x.code == ViolationCode::TrayGenerationBudget));
+        assert!(!v.iter().any(|x| x.code == ViolationCode::TrayOverfill));
+    }
+
+    #[test]
+    fn weak_feeds_fail_headroom_check() {
+        let spec = HallSpec {
+            feed_capacity: Watts::new(3_000.0),
+            ..HallSpec::default()
+        };
+        let (net, hall, placement, plan) = build(spec);
+        let v = check_design(&net, &hall, &placement, &plan);
+        assert!(v
+            .iter()
+            .any(|x| x.code == ViolationCode::PowerFailureHeadroom));
+    }
+
+    #[test]
+    fn conjoined_split_detected() {
+        let (net, hall, mut placement, plan) = build(HallSpec::default());
+        // Mark two racks as a conjoined pair and teleport one far away.
+        let far_slot = hall.slots().last().unwrap().id;
+        let a = placement.racks[0].id;
+        let b = placement.racks[1].id;
+        placement.racks[0].conjoined_with = Some(b);
+        placement.racks[1].conjoined_with = Some(a);
+        placement.racks[1].slot = far_slot;
+        let v = check_design(&net, &hall, &placement, &plan);
+        assert!(v.iter().any(|x| x.code == ViolationCode::ConjoinedSplit), "{v:?}");
+    }
+
+    #[test]
+    fn even_row_occupancy_warns_when_required_odd() {
+        let spec = HallSpec {
+            odd_slots_per_row: true,
+            ..HallSpec::default()
+        };
+        let (net, hall, placement, plan) = build(spec);
+        let v = check_design(&net, &hall, &placement, &plan);
+        // Row-major fill of full 20-slot rows guarantees at least one even
+        // row count.
+        assert!(
+            v.iter().any(|x| x.code == ViolationCode::EvenRowOccupancy),
+            "{v:?}"
+        );
+        // And it is only a warning.
+        assert!(v
+            .iter()
+            .filter(|x| x.code == ViolationCode::EvenRowOccupancy)
+            .all(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn violations_sorted_errors_first() {
+        let spec = HallSpec {
+            tray_capacity_per_generation: SquareMillimeters::new(30.0),
+            tray_generations: 1,
+            feed_capacity: Watts::new(3_000.0),
+            ..HallSpec::default()
+        };
+        let (net, hall, placement, plan) = build(spec);
+        let v = check_design(&net, &hall, &placement, &plan);
+        let first_warning = v.iter().position(|x| x.severity == Severity::Warning);
+        let last_error = v.iter().rposition(|x| x.severity == Severity::Error);
+        if let (Some(w), Some(e)) = (first_warning, last_error) {
+            assert!(e < w, "errors must sort before warnings");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Model diffs for change management.
+//!
+//! Al-Fares et al. \[2\] (cited in §5.2) manage physical network lifecycles
+//! as reviewed *changes* to declarative models. [`ModelDiff::between`]
+//! computes the structural change set between two twin snapshots — what a
+//! change-review tool would display and what the automation would turn
+//! into work orders.
+
+use crate::model::{AttrValue, EntityId, Relation, TwinModel};
+use serde::{Deserialize, Serialize};
+
+/// One attribute change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrChange {
+    /// Entity affected.
+    pub entity: EntityId,
+    /// Attribute name.
+    pub attr: String,
+    /// Old value (`None` = newly added attribute).
+    pub before: Option<AttrValue>,
+    /// New value (`None` = removed attribute).
+    pub after: Option<AttrValue>,
+}
+
+/// The structural difference between two models.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelDiff {
+    /// Entities present only in the new model.
+    pub added_entities: Vec<EntityId>,
+    /// Entities present only in the old model.
+    pub removed_entities: Vec<EntityId>,
+    /// Attribute-level changes on entities present in both.
+    pub changed: Vec<AttrChange>,
+    /// Relations present only in the new model.
+    pub added_relations: Vec<Relation>,
+    /// Relations present only in the old model.
+    pub removed_relations: Vec<Relation>,
+}
+
+impl ModelDiff {
+    /// Computes `new − old`.
+    pub fn between(old: &TwinModel, new: &TwinModel) -> Self {
+        let mut diff = ModelDiff::default();
+        for id in new.entities.keys() {
+            if !old.entities.contains_key(id) {
+                diff.added_entities.push(id.clone());
+            }
+        }
+        for (id, e_old) in &old.entities {
+            let Some(e_new) = new.entities.get(id) else {
+                diff.removed_entities.push(id.clone());
+                continue;
+            };
+            for (k, v_new) in &e_new.attrs {
+                match e_old.attrs.get(k) {
+                    Some(v_old) if v_old == v_new => {}
+                    before => diff.changed.push(AttrChange {
+                        entity: id.clone(),
+                        attr: k.clone(),
+                        before: before.cloned(),
+                        after: Some(v_new.clone()),
+                    }),
+                }
+            }
+            for (k, v_old) in &e_old.attrs {
+                if !e_new.attrs.contains_key(k) {
+                    diff.changed.push(AttrChange {
+                        entity: id.clone(),
+                        attr: k.clone(),
+                        before: Some(v_old.clone()),
+                        after: None,
+                    });
+                }
+            }
+        }
+        for r in &new.relations {
+            if !old.relations.contains(r) {
+                diff.added_relations.push(r.clone());
+            }
+        }
+        for r in &old.relations {
+            if !new.relations.contains(r) {
+                diff.removed_relations.push(r.clone());
+            }
+        }
+        diff
+    }
+
+    /// True if the models are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_entities.is_empty()
+            && self.removed_entities.is_empty()
+            && self.changed.is_empty()
+            && self.added_relations.is_empty()
+            && self.removed_relations.is_empty()
+    }
+
+    /// Total change count (the review-size metric).
+    pub fn change_count(&self) -> usize {
+        self.added_entities.len()
+            + self.removed_entities.len()
+            + self.changed.len()
+            + self.added_relations.len()
+            + self.removed_relations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EntityKind, RelationKind};
+
+    fn n(v: f64) -> AttrValue {
+        AttrValue::Num(v)
+    }
+
+    fn base() -> TwinModel {
+        let mut m = TwinModel::new();
+        let a = m.add_entity("rack0", EntityKind::Rack, [("slot", n(0.0))]);
+        let b = m.add_entity("sw0", EntityKind::Switch, [("radix", n(32.0))]);
+        m.relate(RelationKind::Contains, &a, &b);
+        m
+    }
+
+    #[test]
+    fn identical_models_diff_empty() {
+        let m = base();
+        let d = ModelDiff::between(&m, &m.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.change_count(), 0);
+    }
+
+    #[test]
+    fn added_and_removed_entities() {
+        let old = base();
+        let mut new = base();
+        new.add_entity("sw1", EntityKind::Switch, [("radix", n(64.0))]);
+        let mut removed = base();
+        removed.entities.remove(&EntityId::new("sw0"));
+        removed.relations.clear();
+
+        let d_add = ModelDiff::between(&old, &new);
+        assert_eq!(d_add.added_entities, vec![EntityId::new("sw1")]);
+        assert!(d_add.removed_entities.is_empty());
+
+        let d_rm = ModelDiff::between(&old, &removed);
+        assert_eq!(d_rm.removed_entities, vec![EntityId::new("sw0")]);
+        assert_eq!(d_rm.removed_relations.len(), 1);
+    }
+
+    #[test]
+    fn attribute_changes_tracked() {
+        let old = base();
+        let mut new = base();
+        new.add_entity("sw0", EntityKind::Switch, [("radix", n(64.0))]);
+        let d = ModelDiff::between(&old, &new);
+        assert_eq!(d.changed.len(), 1);
+        let c = &d.changed[0];
+        assert_eq!(c.attr, "radix");
+        assert_eq!(c.before, Some(n(32.0)));
+        assert_eq!(c.after, Some(n(64.0)));
+    }
+
+    #[test]
+    fn relation_changes_tracked() {
+        let old = base();
+        let mut new = base();
+        let c = new.add_entity("sw1", EntityKind::Switch, [("radix", n(32.0))]);
+        let rack = EntityId::new("rack0");
+        new.relate(RelationKind::Contains, &rack, &c);
+        let d = ModelDiff::between(&old, &new);
+        assert_eq!(d.added_relations.len(), 1);
+        assert_eq!(d.change_count(), 2); // +entity, +relation
+    }
+}

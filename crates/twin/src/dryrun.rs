@@ -1,0 +1,280 @@
+//! Dry-running operational plans against the twin.
+//!
+//! §5.3: "Testing a decom process on a real deployment is especially
+//! challenging, because of this risk. Testing on a twin, while it cannot
+//! provide perfect coverage, would be much safer and cheaper." A dry run
+//! executes an ordered operation list against twin state and reports every
+//! step that would have gone wrong on the real floor — without touching it.
+
+use pd_topology::{LinkId, Network, TrafficMatrix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One operation in a work plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Drain a link (move traffic off it).
+    Drain(LinkId),
+    /// Return a drained link to service.
+    Undrain(LinkId),
+    /// Mark a link as reserved by a pending work order.
+    Plan(LinkId),
+    /// Physically remove a link's cable.
+    Remove(LinkId),
+}
+
+/// Per-link service state during the dry run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum LinkState {
+    InService,
+    Drained,
+    Planned,
+    Removed,
+}
+
+/// A problem the dry run caught.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DryRunIssue {
+    /// Removing a link that is still in service — an outage on the floor.
+    RemoveInService {
+        /// Step index.
+        step: usize,
+        /// The link.
+        link: LinkId,
+    },
+    /// Removing a link a pending work order still needs.
+    RemovePlanned {
+        /// Step index.
+        step: usize,
+        /// The link.
+        link: LinkId,
+    },
+    /// Operating on a link that does not exist (stale data, §5.3).
+    UnknownLink {
+        /// Step index.
+        step: usize,
+        /// The link.
+        link: LinkId,
+    },
+    /// After this removal, some traffic demand has no path at all.
+    DisconnectsTraffic {
+        /// Step index.
+        step: usize,
+        /// The link whose removal disconnects traffic.
+        link: LinkId,
+    },
+    /// Draining a link that is already drained or removed (double-issue
+    /// work orders — §2.3's coordination failures).
+    RedundantDrain {
+        /// Step index.
+        step: usize,
+        /// The link.
+        link: LinkId,
+    },
+}
+
+/// The dry-run result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DryRunReport {
+    /// Everything that would have gone wrong.
+    pub issues: Vec<DryRunIssue>,
+    /// Steps whose effects were applied (problem steps are *skipped*, as a
+    /// careful operator would).
+    pub applied: usize,
+    /// Links removed by the end.
+    pub removed: Vec<LinkId>,
+}
+
+impl DryRunReport {
+    /// True if the plan executes cleanly.
+    pub fn clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Executes `ops` against a copy of `net`. If `tm` is given, every removal
+/// is additionally checked for traffic disconnection (the expensive check a
+/// twin makes affordable).
+pub fn dry_run(net: &Network, tm: Option<&TrafficMatrix>, ops: &[Op]) -> DryRunReport {
+    let mut state: HashMap<LinkId, LinkState> = net
+        .links()
+        .map(|l| (l.id, LinkState::InService))
+        .collect();
+    let mut sim = net.clone();
+    let mut issues = Vec::new();
+    let mut applied = 0usize;
+    let mut removed = Vec::new();
+
+    for (step, &op) in ops.iter().enumerate() {
+        let link = match op {
+            Op::Drain(l) | Op::Undrain(l) | Op::Plan(l) | Op::Remove(l) => l,
+        };
+        let Some(&st) = state.get(&link) else {
+            issues.push(DryRunIssue::UnknownLink { step, link });
+            continue;
+        };
+        match op {
+            Op::Drain(_) => {
+                if st == LinkState::InService || st == LinkState::Planned {
+                    state.insert(link, LinkState::Drained);
+                    applied += 1;
+                } else {
+                    issues.push(DryRunIssue::RedundantDrain { step, link });
+                }
+            }
+            Op::Undrain(_) => {
+                if st == LinkState::Drained {
+                    state.insert(link, LinkState::InService);
+                    applied += 1;
+                }
+            }
+            Op::Plan(_) => {
+                if st != LinkState::Removed {
+                    state.insert(link, LinkState::Planned);
+                    applied += 1;
+                }
+            }
+            Op::Remove(_) => match st {
+                LinkState::InService => {
+                    issues.push(DryRunIssue::RemoveInService { step, link });
+                }
+                LinkState::Planned => {
+                    issues.push(DryRunIssue::RemovePlanned { step, link });
+                }
+                LinkState::Removed => {
+                    issues.push(DryRunIssue::UnknownLink { step, link });
+                }
+                LinkState::Drained => {
+                    // Check traffic connectivity post-removal.
+                    if let Some(tm) = tm {
+                        let mut probe = sim.clone();
+                        let _ = probe.remove_link(link);
+                        let ap = pd_topology::routing::AllPairs::compute(&probe);
+                        let disconnects = tm
+                            .demands()
+                            .iter()
+                            .any(|d| ap.distance(d.src, d.dst).is_none());
+                        if disconnects {
+                            issues.push(DryRunIssue::DisconnectsTraffic { step, link });
+                            continue;
+                        }
+                    }
+                    let _ = sim.remove_link(link);
+                    state.insert(link, LinkState::Removed);
+                    removed.push(link);
+                    applied += 1;
+                }
+            },
+        }
+    }
+    DryRunReport {
+        issues,
+        applied,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+    use pd_topology::gen::leaf_spine;
+
+    fn net() -> Network {
+        leaf_spine(3, 2, 4, 1, Gbps::new(100.0)).unwrap()
+    }
+
+    #[test]
+    fn clean_drain_then_remove() {
+        let n = net();
+        let l = n.links().next().unwrap().id;
+        let rep = dry_run(&n, None, &[Op::Drain(l), Op::Remove(l)]);
+        assert!(rep.clean());
+        assert_eq!(rep.applied, 2);
+        assert_eq!(rep.removed, vec![l]);
+    }
+
+    #[test]
+    fn remove_without_drain_is_caught() {
+        let n = net();
+        let l = n.links().next().unwrap().id;
+        let rep = dry_run(&n, None, &[Op::Remove(l)]);
+        assert_eq!(
+            rep.issues,
+            vec![DryRunIssue::RemoveInService { step: 0, link: l }]
+        );
+        assert!(rep.removed.is_empty());
+    }
+
+    #[test]
+    fn planned_link_blocks_removal() {
+        let n = net();
+        let l = n.links().next().unwrap().id;
+        let rep = dry_run(&n, None, &[Op::Drain(l), Op::Plan(l), Op::Remove(l)]);
+        assert_eq!(
+            rep.issues,
+            vec![DryRunIssue::RemovePlanned { step: 2, link: l }]
+        );
+    }
+
+    #[test]
+    fn disconnection_caught_with_traffic_matrix() {
+        // 1 spine × 2 leaves: removing either uplink cuts a leaf off.
+        let n = leaf_spine(2, 1, 4, 1, Gbps::new(100.0)).unwrap();
+        let tm = TrafficMatrix::uniform_servers(&n, Gbps::new(1.0));
+        let links: Vec<LinkId> = n.links().map(|l| l.id).collect();
+        let rep = dry_run(
+            &n,
+            Some(&tm),
+            &[Op::Drain(links[0]), Op::Remove(links[0])],
+        );
+        assert_eq!(
+            rep.issues,
+            vec![DryRunIssue::DisconnectsTraffic {
+                step: 1,
+                link: links[0]
+            }]
+        );
+        // Without the traffic matrix, the same plan looks clean: the twin's
+        // value is exactly this extra check.
+        let blind = dry_run(&n, None, &[Op::Drain(links[0]), Op::Remove(links[0])]);
+        assert!(blind.clean());
+    }
+
+    #[test]
+    fn unknown_and_double_operations() {
+        let n = net();
+        let l = n.links().next().unwrap().id;
+        let ghost = LinkId(999);
+        let rep = dry_run(
+            &n,
+            None,
+            &[
+                Op::Drain(ghost),
+                Op::Drain(l),
+                Op::Drain(l),
+                Op::Remove(l),
+                Op::Remove(l),
+            ],
+        );
+        assert_eq!(rep.issues.len(), 3);
+        assert!(matches!(rep.issues[0], DryRunIssue::UnknownLink { .. }));
+        assert!(matches!(rep.issues[1], DryRunIssue::RedundantDrain { .. }));
+        assert!(matches!(rep.issues[2], DryRunIssue::UnknownLink { .. }));
+    }
+
+    #[test]
+    fn undrain_restores_service_protection() {
+        let n = net();
+        let l = n.links().next().unwrap().id;
+        let rep = dry_run(
+            &n,
+            None,
+            &[Op::Drain(l), Op::Undrain(l), Op::Remove(l)],
+        );
+        assert_eq!(
+            rep.issues,
+            vec![DryRunIssue::RemoveInService { step: 2, link: l }]
+        );
+    }
+}

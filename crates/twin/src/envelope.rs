@@ -1,0 +1,299 @@
+//! Capability envelopes (§5.2, §5.4).
+//!
+//! "We initially hoped to be able to define a multi-dimensional 'capability
+//! envelope,' representing the variability that our automation software
+//! could handle without changes." This module implements that idea for the
+//! dimensions the toolkit *can* quantify — and, faithfully to the paper,
+//! the [`DesignFacts`] extractor also reports the dimensions it cannot
+//! (novel media, unknown site kinds), which fall back to the schema
+//! mechanism.
+
+use pd_cabling::{CablingPlan, MediaClass};
+use pd_topology::Network;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An inclusive numeric range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+}
+
+impl Range {
+    /// Builds a range.
+    pub fn new(min: f64, max: f64) -> Self {
+        Self { min, max }
+    }
+
+    /// Containment.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+}
+
+/// What the automation (simulated) can handle without changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityEnvelope {
+    /// Supported switch radix range.
+    pub radix: Range,
+    /// Supported link speeds (Gbps).
+    pub speeds: BTreeSet<u64>,
+    /// Supported media classes.
+    pub media: BTreeSet<MediaClass>,
+    /// Supported ordered cable length range (m).
+    pub cable_length_m: Range,
+    /// Maximum distinct radixes in one network (diversity support, §5.4).
+    pub max_distinct_radixes: usize,
+    /// Maximum distinct speeds in one network.
+    pub max_distinct_speeds: usize,
+    /// Maximum cables landing on one rack.
+    pub max_cables_per_rack: usize,
+}
+
+impl Default for CapabilityEnvelope {
+    fn default() -> Self {
+        Self {
+            radix: Range::new(4.0, 64.0),
+            speeds: [10, 25, 100, 200, 400].into_iter().collect(),
+            media: [
+                MediaClass::DacCopper,
+                MediaClass::ActiveElectrical,
+                MediaClass::MultimodeFiber,
+                MediaClass::SinglemodeFiber,
+            ]
+            .into_iter()
+            .collect(),
+            cable_length_m: Range::new(1.0, 150.0),
+            max_distinct_radixes: 3,
+            max_distinct_speeds: 2,
+            max_cables_per_rack: 256,
+        }
+    }
+}
+
+/// Dimension values extracted from a concrete design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignFacts {
+    /// Radixes present.
+    pub radixes: BTreeSet<u16>,
+    /// Speeds present (Gbps, rounded).
+    pub speeds: BTreeSet<u64>,
+    /// Media classes used.
+    pub media: BTreeSet<MediaClass>,
+    /// Shortest and longest ordered cable.
+    pub cable_length_m: Option<Range>,
+    /// Max cables landing on any single rack slot.
+    pub max_cables_per_rack: usize,
+}
+
+impl DesignFacts {
+    /// Extracts facts from a network + cabling plan.
+    pub fn extract(net: &Network, plan: &CablingPlan) -> Self {
+        let radixes = net.switches().map(|s| s.radix).collect();
+        let speeds = net
+            .links()
+            .map(|l| l.speed.value().round() as u64)
+            .collect();
+        let media = plan.runs.iter().map(|r| r.choice.sku.class).collect();
+        let cable_length_m = plan
+            .runs
+            .iter()
+            .map(|r| r.choice.ordered_length.value())
+            .fold(None, |acc: Option<Range>, v| {
+                Some(match acc {
+                    None => Range::new(v, v),
+                    Some(r) => Range::new(r.min.min(v), r.max.max(v)),
+                })
+            });
+        let mut per_slot: std::collections::HashMap<pd_physical::SlotId, usize> =
+            Default::default();
+        for r in &plan.runs {
+            *per_slot.entry(r.from_slot).or_default() += 1;
+            *per_slot.entry(r.to_slot).or_default() += 1;
+        }
+        Self {
+            radixes,
+            speeds,
+            media,
+            cable_length_m,
+            max_cables_per_rack: per_slot.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// One out-of-envelope finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvelopeCheck {
+    /// Dimension name.
+    pub dimension: &'static str,
+    /// Why the design falls outside.
+    pub detail: String,
+}
+
+impl CapabilityEnvelope {
+    /// Checks a design's facts; empty result = inside the envelope.
+    pub fn check(&self, facts: &DesignFacts) -> Vec<EnvelopeCheck> {
+        let mut out = Vec::new();
+        for &r in &facts.radixes {
+            if !self.radix.contains(f64::from(r)) {
+                out.push(EnvelopeCheck {
+                    dimension: "radix",
+                    detail: format!("radix {r} outside [{}, {}]", self.radix.min, self.radix.max),
+                });
+            }
+        }
+        for &s in &facts.speeds {
+            if !self.speeds.contains(&s) {
+                out.push(EnvelopeCheck {
+                    dimension: "speed",
+                    detail: format!("{s} Gbps not supported"),
+                });
+            }
+        }
+        for m in &facts.media {
+            if !self.media.contains(m) {
+                out.push(EnvelopeCheck {
+                    dimension: "media",
+                    detail: format!("{m} not supported"),
+                });
+            }
+        }
+        if let Some(r) = facts.cable_length_m {
+            if r.min < self.cable_length_m.min || r.max > self.cable_length_m.max {
+                out.push(EnvelopeCheck {
+                    dimension: "cable_length",
+                    detail: format!(
+                        "lengths [{:.1}, {:.1}] m outside [{:.1}, {:.1}] m",
+                        r.min, r.max, self.cable_length_m.min, self.cable_length_m.max
+                    ),
+                });
+            }
+        }
+        if facts.radixes.len() > self.max_distinct_radixes {
+            out.push(EnvelopeCheck {
+                dimension: "radix_diversity",
+                detail: format!(
+                    "{} distinct radixes > {} supported",
+                    facts.radixes.len(),
+                    self.max_distinct_radixes
+                ),
+            });
+        }
+        if facts.speeds.len() > self.max_distinct_speeds {
+            out.push(EnvelopeCheck {
+                dimension: "speed_diversity",
+                detail: format!(
+                    "{} distinct speeds > {} supported",
+                    facts.speeds.len(),
+                    self.max_distinct_speeds
+                ),
+            });
+        }
+        if facts.max_cables_per_rack > self.max_cables_per_rack {
+            out.push(EnvelopeCheck {
+                dimension: "cables_per_rack",
+                detail: format!(
+                    "{} cables on one rack > {} supported",
+                    facts.max_cables_per_rack, self.max_cables_per_rack
+                ),
+            });
+        }
+        out
+    }
+
+    /// Dimensions where `other` exceeds `self` — the schema/automation work
+    /// a new design generation would require.
+    pub fn diff(&self, other: &CapabilityEnvelope) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if other.radix.min < self.radix.min || other.radix.max > self.radix.max {
+            out.push("radix");
+        }
+        if !other.speeds.is_subset(&self.speeds) {
+            out.push("speeds");
+        }
+        if !other.media.is_subset(&self.media) {
+            out.push("media");
+        }
+        if other.cable_length_m.min < self.cable_length_m.min
+            || other.cable_length_m.max > self.cable_length_m.max
+        {
+            out.push("cable_length");
+        }
+        if other.max_distinct_radixes > self.max_distinct_radixes {
+            out.push("radix_diversity");
+        }
+        if other.max_distinct_speeds > self.max_distinct_speeds {
+            out.push("speed_diversity");
+        }
+        if other.max_cables_per_rack > self.max_cables_per_rack {
+            out.push("cables_per_rack");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_geometry::Gbps;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    fn facts() -> DesignFacts {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        DesignFacts::extract(&net, &plan)
+    }
+
+    #[test]
+    fn standard_fat_tree_is_inside_default_envelope() {
+        let checks = CapabilityEnvelope::default().check(&facts());
+        assert!(checks.is_empty(), "{checks:?}");
+    }
+
+    #[test]
+    fn exotic_radix_detected() {
+        let mut f = facts();
+        f.radixes.insert(512);
+        let checks = CapabilityEnvelope::default().check(&f);
+        assert!(checks.iter().any(|c| c.dimension == "radix"));
+    }
+
+    #[test]
+    fn diversity_limits_detected() {
+        let mut f = facts();
+        f.radixes.extend([16, 24, 48, 64]);
+        f.speeds.extend([200, 400]);
+        let checks = CapabilityEnvelope::default().check(&f);
+        assert!(checks.iter().any(|c| c.dimension == "radix_diversity"));
+        assert!(checks.iter().any(|c| c.dimension == "speed_diversity"));
+    }
+
+    #[test]
+    fn envelope_diff_lists_expansion_dimensions() {
+        let base = CapabilityEnvelope::default();
+        let next_gen = CapabilityEnvelope {
+            speeds: [10, 25, 100, 200, 400, 800].into_iter().collect(),
+            max_cables_per_rack: 512,
+            ..base.clone()
+        };
+        let d = base.diff(&next_gen);
+        assert!(d.contains(&"speeds"));
+        assert!(d.contains(&"cables_per_rack"));
+        assert!(!d.contains(&"radix"));
+        assert!(base.diff(&base).is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # pd-twin — the digital twin: declarative models, constraints, dry runs
+//!
+//! §5.3 of the paper: "Our goal … is to be able to rapidly test whether an
+//! abstract design violates physical-world constraints", because "the costs
+//! to remediate mistakes increase dramatically if we only discover them
+//! late." This crate is that capability:
+//!
+//! * [`model`] — a MALT-style \[36\] declarative entity-relation model of a
+//!   physicalized network (racks, switches, cables, trays, feeds, sites).
+//! * [`schema`] — typed kind/attribute/relation definitions; §5.2's
+//!   mechanism that out-of-envelope designs fail *representation* ("we can
+//!   at least detect out-of-envelope designs because we cannot represent
+//!   them without schema changes").
+//! * [`build`] — lowering a (network, hall, placement, cabling) quadruple
+//!   into a twin model.
+//! * [`constraints`] — the physical-constraint engine: doors, tray fill,
+//!   bend radius, media feasibility, rack budgets, power-failure headroom,
+//!   tray-level physical SPOFs behind logically-diverse paths.
+//! * [`envelope`] — §5.2/§5.4 capability envelopes: the multi-dimensional
+//!   region of designs the (simulated) automation can handle.
+//! * [`dryrun`] — executing decom and conversion plans against the twin
+//!   before reality: every §5.3 postmortem that "could have been averted
+//!   if we could do multi-layer digital-twin dry runs".
+//! * [`diff`] — model diffs for change management \[2\].
+//! * [`audit`] — as-built-versus-model error injection: §5.3's "existing
+//!   data is often incomplete or wrong" (e.g., a rack recorded in the
+//!   wrong position), and what that does to pre-cut cable lengths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod build;
+pub mod constraints;
+pub mod diff;
+pub mod dryrun;
+pub mod envelope;
+pub mod model;
+pub mod schema;
+
+pub use build::lower;
+pub use constraints::{check_design, Severity, Violation, ViolationCode};
+pub use diff::ModelDiff;
+pub use envelope::{CapabilityEnvelope, DesignFacts, EnvelopeCheck};
+pub use model::{AttrValue, Entity, EntityId, EntityKind, Relation, RelationKind, TwinModel};
+pub use schema::{Schema, SchemaViolation};

@@ -1,0 +1,130 @@
+//! Property-based tests for the digital twin.
+
+use pd_twin::dryrun::{dry_run, Op};
+use pd_twin::model::{AttrValue, EntityKind, RelationKind, TwinModel};
+use pd_twin::{ModelDiff, Schema};
+use pd_geometry::Gbps;
+use pd_topology::gen::{jellyfish, JellyfishParams, SplitMix64};
+use pd_topology::LinkId;
+use proptest::prelude::*;
+
+fn random_model(seed: u64, entities: usize) -> TwinModel {
+    let mut rng = SplitMix64::new(seed);
+    let mut m = TwinModel::new();
+    let mut ids = Vec::new();
+    for i in 0..entities {
+        let id = m.add_entity(
+            format!("e{i}"),
+            EntityKind::Rack,
+            [
+                ("slot", AttrValue::Num(i as f64)),
+                ("x", AttrValue::Num(rng.below(100) as f64)),
+                ("y", AttrValue::Num(rng.below(100) as f64)),
+            ],
+        );
+        ids.push(id);
+    }
+    // Random containment relations between racks are schema-invalid but
+    // structurally fine; diff tests only need structure.
+    for _ in 0..entities {
+        let a = &ids[rng.below(ids.len())];
+        let b = &ids[rng.below(ids.len())];
+        if a != b {
+            m.relate(RelationKind::Contains, a, b);
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Diff laws: diff(m, m) is empty; diff counts added entities exactly;
+    /// applying "remove what was added" logic symmetric in direction.
+    #[test]
+    fn diff_laws(seed in 0u64..100, n in 1usize..20, extra in 1usize..8) {
+        let base = random_model(seed, n);
+        prop_assert!(ModelDiff::between(&base, &base.clone()).is_empty());
+
+        let mut grown = base.clone();
+        for i in 0..extra {
+            grown.add_entity(
+                format!("new{i}"),
+                EntityKind::Switch,
+                [("radix", AttrValue::Num(32.0))],
+            );
+        }
+        let fwd = ModelDiff::between(&base, &grown);
+        prop_assert_eq!(fwd.added_entities.len(), extra);
+        prop_assert!(fwd.removed_entities.is_empty());
+        let bwd = ModelDiff::between(&grown, &base);
+        prop_assert_eq!(bwd.removed_entities.len(), extra);
+        prop_assert!(bwd.added_entities.is_empty());
+        prop_assert_eq!(fwd.change_count(), bwd.change_count());
+    }
+
+    /// Schema validation is sound on models the base schema defines, and
+    /// every unknown attribute is reported exactly once.
+    #[test]
+    fn schema_reports_each_unknown_attr_once(n_attrs in 1usize..6) {
+        let mut m = TwinModel::new();
+        let mut attrs: Vec<(&'static str, AttrValue)> = vec![
+            ("slot", AttrValue::Num(0.0)),
+            ("x", AttrValue::Num(0.0)),
+            ("y", AttrValue::Num(0.0)),
+        ];
+        let names: [&'static str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        for name in names.iter().take(n_attrs) {
+            attrs.push((name, AttrValue::Num(1.0)));
+        }
+        m.add_entity("rack0", EntityKind::Rack, attrs);
+        let v = Schema::base().validate(&m);
+        prop_assert_eq!(v.len(), n_attrs);
+    }
+
+    /// Dry-run conservation: applied + issues == total ops, and removed
+    /// links are a subset of drained ones.
+    #[test]
+    fn dry_run_conservation(seed in 0u64..50, drain_n in 0usize..20, remove_n in 0usize..28) {
+        let net = jellyfish(&JellyfishParams {
+            tors: 14,
+            network_degree: 4,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        let links: Vec<LinkId> = net.links().map(|l| l.id).collect();
+        let mut ops: Vec<Op> = Vec::new();
+        let drained: Vec<LinkId> = links.iter().take(drain_n.min(links.len())).copied().collect();
+        ops.extend(drained.iter().map(|&l| Op::Drain(l)));
+        ops.extend(links.iter().take(remove_n.min(links.len())).map(|&l| Op::Remove(l)));
+        let rep = dry_run(&net, None, &ops);
+        prop_assert_eq!(rep.applied + rep.issues.len(), ops.len());
+        for r in &rep.removed {
+            prop_assert!(drained.contains(r), "removed undrained link {r}");
+        }
+    }
+
+    /// Dry runs never mutate the input network (pure rehearsal).
+    #[test]
+    fn dry_run_is_pure(seed in 0u64..20) {
+        let net = jellyfish(&JellyfishParams {
+            tors: 12,
+            network_degree: 4,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed,
+        })
+        .unwrap();
+        let before = net.link_count();
+        let links: Vec<LinkId> = net.links().map(|l| l.id).collect();
+        let ops: Vec<Op> = links
+            .iter()
+            .flat_map(|&l| [Op::Drain(l), Op::Remove(l)])
+            .collect();
+        let rep = dry_run(&net, None, &ops);
+        prop_assert_eq!(net.link_count(), before);
+        prop_assert_eq!(rep.removed.len(), links.len());
+    }
+}

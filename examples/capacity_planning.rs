@@ -1,0 +1,81 @@
+//! Capacity planning: incremental build-out and supply-chain resilience.
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+//!
+//! Two §3.5/§2.2 workflows: (1) choose a build-out strategy for a growing
+//! datacenter under forecast error, and (2) audit a design's cable BOM for
+//! second-vendor fungibility before committing to it.
+
+use physnet::cabling::{CablingPlan, CablingPolicy, MediaClass};
+use physnet::costing::calib::LaborCalibration;
+use physnet::costing::supply::{fungibility_audit, VendorOutage};
+use physnet::geometry::{Gbps, Hours};
+use physnet::lifecycle::phased::{simulate, BuildStrategy, PhasedParams};
+use physnet::physical::placement::EquipmentProfile;
+use physnet::physical::{Hall, HallSpec, Placement, PlacementStrategy};
+use physnet::topology::gen::fat_tree;
+
+fn main() {
+    // 1. Build-out strategy under uncertainty.
+    println!("build-out strategy comparison (12 quarters, ±10% forecast error):\n");
+    let params = PhasedParams::default();
+    for (label, strat) in [
+        ("all up front", BuildStrategy::AllUpFront),
+        ("chase +0%", BuildStrategy::ChaseForecast { headroom_pct: 0 }),
+        ("chase +15%", BuildStrategy::ChaseForecast { headroom_pct: 15 }),
+        ("chase +30%", BuildStrategy::ChaseForecast { headroom_pct: 30 }),
+    ] {
+        let o = simulate(&params, strat);
+        println!(
+            "  {label:<13} capex {:>7.0}k  idle {:>5.0}k  shortfall {:>5.0}k  total {:>7.0}k",
+            o.total_capex.value() / 1e3,
+            o.total_idle_cost.value() / 1e3,
+            o.total_shortfall_cost.value() / 1e3,
+            o.total().value() / 1e3,
+        );
+    }
+
+    // 2. Fungibility audit of a concrete cable BOM.
+    let net = fat_tree(8, Gbps::new(100.0)).expect("fat-tree");
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .expect("placement");
+    let policy = CablingPolicy::default();
+    let plan = CablingPlan::build(&net, &hall, &placement, &policy);
+
+    println!("\nfungibility audit ({} cables) by second-vendor derating:\n", plan.runs.len());
+    for derating in [0.95, 0.9, 0.8, 0.6] {
+        let audit = fungibility_audit(&plan, &policy.catalog, derating);
+        println!(
+            "  derating {derating:.2}: {:>5.1}% substitutable, {} class changes, premium {:.0}",
+            audit.fungible_fraction * 100.0,
+            audit.class_changes,
+            audit.total_premium,
+        );
+    }
+
+    let outage = VendorOutage {
+        class: MediaClass::MultimodeFiber,
+        outage: Hours::new(6.0 * 168.0),
+        secondary_lead: Hours::new(168.0),
+    };
+    let audit = fungibility_audit(&plan, &policy.catalog, 0.9);
+    let impact = outage.deployment_delay(
+        &plan,
+        &audit,
+        &LaborCalibration::default(),
+        net.server_count(),
+    );
+    println!(
+        "\nsix-week MMF vendor outage mid-deployment: {} cables affected, delay {:.0} h, \
+         stranded capital {:.0}",
+        impact.affected_cables, impact.delay.value(), impact.stranded
+    );
+}

@@ -1,0 +1,91 @@
+//! Plan a live expansion two ways: floor rewiring vs patch-panel moves.
+//!
+//! ```sh
+//! cargo run --example expansion_planning
+//! ```
+//!
+//! Doubles a Clos from 4 to 8 pods, planning the agg↔spine rewiring with
+//! and without an indirection layer (paper §4.1, Zhao et al.), then grows a
+//! Jellyfish by four ToRs to show what random-graph incremental expansion
+//! costs on the floor (§4.2).
+
+use physnet::geometry::Hours;
+use physnet::lifecycle::expansion::{
+    clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams, IndirectionLevel,
+};
+use physnet::physical::{Hall, HallSpec, SlotId};
+use physnet::topology::gen::{jellyfish, JellyfishParams};
+use physnet::prelude::Gbps;
+
+fn main() {
+    let hall = Hall::new(HallSpec::default());
+    let per_move = Hours::from_minutes(4.0);
+    let per_pull = Hours::from_minutes(25.0);
+
+    println!("Clos expansion, 4 → 8 pods (spine provisioned for 16):\n");
+    for (label, ind) in [
+        ("direct cables", IndirectionLevel::None),
+        ("patch panels ", IndirectionLevel::PatchPanel),
+        ("OCS layer    ", IndirectionLevel::Ocs),
+    ] {
+        let plan = clos_add_pods(&ClosExpansionParams {
+            old_pods: 4,
+            new_pods: 8,
+            aggs_per_pod: 4,
+            spines: 16,
+            spine_ports: 64,
+            indirection: ind,
+            panel_slots: (90..94).map(SlotId).collect(),
+            pod_slots: (0..16).map(|i| SlotId(3 * i)).collect(),
+            new_pod_slots: (120..136).map(SlotId).collect(),
+        });
+        let c = plan.complexity(&hall, per_move, per_pull);
+        println!(
+            "  {label}: {:>4} rewires ({} software), {:>2} panels + {:>2} racks touched, \
+             {:>6.0} m walking, {:>6.1} h labor",
+            c.rewiring_steps,
+            c.software_steps,
+            c.panels_touched,
+            c.racks_touched,
+            c.walking.value(),
+            c.labor.value()
+        );
+    }
+
+    println!("\nJellyfish incremental growth, +4 ToRs (degree 8):\n");
+    let mut net = jellyfish(&JellyfishParams {
+        tors: 48,
+        network_degree: 8,
+        servers_per_tor: 8,
+        link_speed: Gbps::new(100.0),
+        seed: 5,
+    })
+    .expect("jellyfish");
+    for add in 0..4u64 {
+        let (new_tor, plan) = flat_add_tor(
+            &mut net,
+            |s| Some(SlotId(s.0 as usize % hall.slot_count())),
+            &FlatExpansionParams {
+                degree: 8,
+                seed: 100 + add,
+                servers_per_tor: 8,
+            },
+        );
+        let c = plan.complexity(&hall, per_move, per_pull);
+        println!(
+            "  added {new_tor}: {} splices, {} new cables, {} abandoned in place, \
+             {} racks touched, {:.1} h",
+            c.rewiring_steps,
+            c.new_cables,
+            plan.abandoned_cables,
+            c.racks_touched,
+            c.labor.value()
+        );
+    }
+    println!(
+        "\nnetwork after growth: {} switches, {} links, still valid: {}",
+        net.switch_count(),
+        net.link_count(),
+        net.validate().is_ok() && net.is_connected()
+    );
+}

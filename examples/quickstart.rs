@@ -1,0 +1,55 @@
+//! Quickstart: evaluate the physical deployability of one network design.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a k=8 fat-tree, places it in a default datacenter hall, routes
+//! every cable through the overhead trays, prices and schedules the
+//! deployment, simulates first-pass yield and a year of repairs, validates
+//! the design in the digital twin, and prints the full deployability
+//! report.
+
+use physnet::prelude::*;
+
+fn main() {
+    let spec = DesignSpec::new(
+        "quickstart-fat-tree",
+        TopologySpec::FatTree {
+            k: 8,
+            speed: Gbps::new(100.0),
+        },
+    );
+
+    let ev = evaluate(&spec).expect("evaluation");
+    let r = &ev.report;
+
+    println!("design        : {} ({})", r.name, r.family);
+    println!("scale         : {} switches, {} links, {} servers, {} racks",
+        r.switches, r.links, r.servers, r.racks);
+    println!();
+    println!("— traditional goodness (what papers report) —");
+    println!("diameter      : {} hops", r.diameter);
+    println!("mean path     : {:.2} hops", r.mean_path);
+    println!("bisection     : {:.2}× full", r.bisection);
+    println!("throughput    : {:.0} Gbps/server (uniform)", r.throughput_per_server);
+    println!();
+    println!("— physical deployability (what this toolkit adds) —");
+    println!("capex         : {:.0}", r.capex);
+    println!("cabling share : {:.0}% of capex", r.cabling_fraction * 100.0);
+    println!("cable plant   : {} cables, {:.1} km, {:.0}% optical, {} SKUs",
+        r.cables, r.cable_length.value() / 1000.0, r.optical_fraction * 100.0, r.distinct_skus);
+    println!("bundleable    : {:.0}% (exact) / {:.0}% (harness)",
+        r.bundled_fraction * 100.0, r.harness_fraction * 100.0);
+    println!("deploy        : {:.0} h wall-clock with 8 techs ({:.0} labor-hours)",
+        r.time_to_deploy.value(), r.labor.value());
+    println!("first-pass    : {:.2}% of links work untouched", r.first_pass_yield * 100.0);
+    println!("day-1 cost    : {:.0} (incl. labor + stranded capital)", r.day_one_cost);
+    println!("availability  : {:.5} (repair-simulated year)", r.availability);
+    println!("unit of repair: {} ports drained per port failure", r.unit_of_repair_ports);
+    println!();
+    println!("— twin verdict —");
+    println!("errors        : {}", r.twin_errors);
+    println!("warnings      : {}", r.twin_warnings);
+    println!("deployable    : {}", if r.deployable() { "yes" } else { "NO" });
+}

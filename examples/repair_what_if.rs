@@ -1,0 +1,79 @@
+//! What-if analysis: how hardware granularity shapes availability.
+//!
+//! ```sh
+//! cargo run --release --example repair_what_if
+//! ```
+//!
+//! Runs the Monte-Carlo repair simulator over a leaf-spine fabric while
+//! sweeping the linecard size (the §3.3 unit-of-repair knob) and the
+//! technician walking speed (MTTR is "an inherently physical problem").
+
+use physnet::cabling::{CablingPlan, CablingPolicy};
+use physnet::costing::calib::LaborCalibration;
+use physnet::geometry::{Gbps, Meters};
+use physnet::lifecycle::repair::{RepairSimParams, RepairSimReport};
+use physnet::physical::placement::EquipmentProfile;
+use physnet::physical::{Hall, HallSpec, Placement, PlacementStrategy};
+use physnet::topology::gen::leaf_spine;
+
+fn main() {
+    let net = leaf_spine(16, 8, 24, 1, Gbps::new(100.0)).expect("leaf-spine");
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .expect("placement");
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+
+    println!("unit-of-repair sweep (1-year horizon, 40 trials):\n");
+    println!("card size | repairs/yr | MTTR (h) | drained port-h | availability");
+    for card in [4u16, 8, 16, 32] {
+        let rep = RepairSimReport::simulate(
+            &net,
+            &hall,
+            &placement,
+            &plan,
+            &LaborCalibration::default(),
+            &RepairSimParams {
+                ports_per_linecard: card,
+                trials: 40,
+                ..RepairSimParams::default()
+            },
+        );
+        println!(
+            "{card:>9} | {:>10.1} | {:>8.2} | {:>14.0} | {:.6}",
+            rep.repairs_per_horizon,
+            rep.mean_mttr.value(),
+            rep.drained_port_hours,
+            rep.port_availability
+        );
+    }
+
+    println!("\ntechnician speed sweep (card size 16):\n");
+    println!("walk speed (m/h) | MTTR (h) | availability");
+    for speed in [1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+        let calib = LaborCalibration {
+            walk_meters_per_hour: Meters::new(speed),
+            ..LaborCalibration::default()
+        };
+        let rep = RepairSimReport::simulate(
+            &net,
+            &hall,
+            &placement,
+            &plan,
+            &calib,
+            &RepairSimParams {
+                trials: 40,
+                ..RepairSimParams::default()
+            },
+        );
+        println!(
+            "{speed:>16.0} | {:>8.2} | {:.6}",
+            rep.mean_mttr.value(),
+            rep.port_availability
+        );
+    }
+}

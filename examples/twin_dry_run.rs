@@ -1,0 +1,80 @@
+//! Use the digital twin to catch mistakes before they reach the floor.
+//!
+//! ```sh
+//! cargo run --example twin_dry_run
+//! ```
+//!
+//! Three §5.3 workflows: (1) constraint-check a design against a hall whose
+//! trays are too small, (2) schema-validate a model containing a novel
+//! hardware kind the automation cannot represent, and (3) dry-run a decom
+//! script that would have cut a live link.
+
+use physnet::cabling::{CablingPlan, CablingPolicy};
+use physnet::geometry::{Gbps, SquareMillimeters};
+use physnet::physical::placement::EquipmentProfile;
+use physnet::physical::{Hall, HallSpec, Placement, PlacementStrategy};
+use physnet::topology::gen::{fat_tree, leaf_spine};
+use physnet::topology::TrafficMatrix;
+use physnet::twin::dryrun::{dry_run, Op};
+use physnet::twin::model::{AttrValue, EntityKind, TwinModel};
+use physnet::twin::{check_design, lower, Schema, Severity};
+
+fn main() {
+    // 1. Constraint check: a hall with single-generation trays.
+    let net = fat_tree(6, Gbps::new(100.0)).expect("fat-tree");
+    let hall = Hall::new(HallSpec {
+        tray_capacity_per_generation: SquareMillimeters::new(400.0),
+        tray_generations: 1,
+        ..HallSpec::default()
+    });
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .expect("placement");
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let violations = check_design(&net, &hall, &placement, &plan);
+    let errors = violations.iter().filter(|v| v.severity == Severity::Error).count();
+    println!("1) constraint engine: {} findings ({errors} errors) — first three:", violations.len());
+    for v in violations.iter().take(3) {
+        println!("   [{:?}] {}", v.code, v.message);
+    }
+
+    // The twin model itself validates against the base schema.
+    let model = lower(&net, &hall, &placement, &plan);
+    println!(
+        "\n2) schema: lowered model has {} entities / {} relations, {} violations",
+        model.entity_count(),
+        model.relation_count(),
+        Schema::base().validate(&model).len()
+    );
+    // A novel hardware kind cannot be represented without a schema change —
+    // the §5.2 early-warning mechanism.
+    let mut novel = TwinModel::new();
+    novel.add_entity(
+        "fso-bridge-0",
+        EntityKind::Custom("FreeSpaceOpticBridge".into()),
+        [("power_mw", AttrValue::Num(12.0))],
+    );
+    let caught = Schema::base().validate(&novel);
+    println!(
+        "   novel free-space-optics design: {} schema violations (out of envelope!)",
+        caught.len()
+    );
+
+    // 3. Decom dry run against live traffic.
+    let ls = leaf_spine(2, 1, 4, 1, Gbps::new(100.0)).expect("leaf-spine");
+    let tm = TrafficMatrix::uniform_servers(&ls, Gbps::new(1.0));
+    let victim = ls.links().next().expect("has links").id;
+    let rehearsal = dry_run(&ls, Some(&tm), &[Op::Drain(victim), Op::Remove(victim)]);
+    println!(
+        "\n3) decom dry run: plan drained the link first, but removal {}",
+        if rehearsal.clean() {
+            "is safe".to_string()
+        } else {
+            format!("was flagged: {:?}", rehearsal.issues[0])
+        }
+    );
+}

@@ -1,0 +1,46 @@
+//! # physnet — a physical-deployability toolkit for datacenter networks
+//!
+//! Facade crate re-exporting the whole workspace. See the repository README
+//! and `DESIGN.md` for the architecture, and `EXPERIMENTS.md` for the
+//! paper-claim reproduction index.
+//!
+//! This library reproduces, as a runnable system, the framework called for by
+//! *"Physical Deployability Matters"* (Mogul & Wilkes, HotNets 2023): judging
+//! datacenter network designs not only on abstract graph goodness but on the
+//! cost and complexity of deploying, repairing, expanding, and
+//! decommissioning them in a physical datacenter.
+//!
+//! ```
+//! use physnet::prelude::*;
+//!
+//! // A design is data: topology family + hall + placement + cabling policy.
+//! let mut spec = DesignSpec::new("demo", TopologySpec::FatTree {
+//!     k: 4,
+//!     speed: Gbps::new(100.0),
+//! });
+//! spec.yields.trials = 10; // keep the doctest quick
+//! spec.repair.trials = 3;
+//!
+//! // evaluate() runs the whole pipeline: generate → place → route cables →
+//! // bundle → cost → schedule → yield → repairs → twin validation.
+//! let ev = evaluate(&spec).expect("pipeline");
+//! assert_eq!(ev.report.servers, 16);
+//! assert!(ev.report.deployable());
+//! assert!(ev.report.capex > Dollars::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pd_cabling as cabling;
+pub use pd_core as core;
+pub use pd_costing as costing;
+pub use pd_geometry as geometry;
+pub use pd_lifecycle as lifecycle;
+pub use pd_physical as physical;
+pub use pd_topology as topology;
+pub use pd_twin as twin;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use pd_core::prelude::*;
+}

@@ -1,0 +1,157 @@
+//! Workspace-level integration tests: the full pipeline, end to end, for
+//! every topology family, plus determinism and internal-consistency checks
+//! that span crates.
+
+use physnet::prelude::*;
+
+fn quick_spec(name: &str, topo: TopologySpec) -> DesignSpec {
+    let mut s = DesignSpec::new(name, topo);
+    s.yields.trials = 20;
+    s.repair.trials = 5;
+    s
+}
+
+#[test]
+fn every_family_evaluates_end_to_end() {
+    for (name, topo) in compare::all_families(256, Gbps::new(100.0), 3) {
+        let spec = quick_spec(&name, topo);
+        let ev = evaluate(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let r = &ev.report;
+        assert!(r.switches > 0, "{name}");
+        assert!(r.servers >= 256, "{name}");
+        assert_eq!(r.cables, ev.cabling.runs.len(), "{name}");
+        assert!(r.capex.value() > 0.0, "{name}");
+        assert!(r.time_to_deploy.value() > 0.0, "{name}");
+        assert!(r.first_pass_yield > 0.9 && r.first_pass_yield <= 1.0, "{name}");
+        assert!(r.availability > 0.99 && r.availability <= 1.0, "{name}");
+        assert_eq!(r.unrealizable_links, 0, "{name}: {:?}", ev.cabling.failures);
+    }
+}
+
+#[test]
+fn evaluation_is_fully_deterministic() {
+    let spec = quick_spec(
+        "det",
+        compare::jellyfish_near(200, Gbps::new(100.0), 9),
+    );
+    let a = evaluate(&spec).unwrap();
+    let b = evaluate(&spec).unwrap();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.cabling.runs.len(), b.cabling.runs.len());
+    assert_eq!(a.schedule.makespan, b.schedule.makespan);
+    assert_eq!(a.yields.first_pass_yield, b.yields.first_pass_yield);
+}
+
+#[test]
+fn report_totals_are_internally_consistent() {
+    let spec = quick_spec(
+        "consistency",
+        TopologySpec::FatTree {
+            k: 6,
+            speed: Gbps::new(100.0),
+        },
+    );
+    let ev = evaluate(&spec).unwrap();
+    let r = &ev.report;
+
+    // Capex in the report equals the BOM total.
+    assert_eq!(r.capex, ev.capex.total());
+    // Day-1 ≥ capex; lifetime ≥ day-1.
+    assert!(r.day_one_cost >= r.capex);
+    assert!(r.lifetime_cost >= r.day_one_cost);
+    // Cable totals match the plan.
+    assert_eq!(r.cable_length, ev.cabling.total_ordered_length());
+    let hist_total: usize = ev.cabling.media_histogram().values().sum();
+    assert_eq!(hist_total, r.cables);
+    // Bundles partition the cables.
+    let grouped: usize = ev.bundling.bundles.iter().map(|b| b.size()).sum();
+    assert_eq!(grouped, r.cables);
+    // Makespan bounded below by critical path.
+    let cp = ev.deployment.critical_path(&spec.schedule.calib);
+    assert!(r.time_to_deploy >= cp);
+    // Twin counts match the violation list.
+    let errors = ev
+        .violations
+        .iter()
+        .filter(|v| v.severity == physnet::twin::Severity::Error)
+        .count();
+    assert_eq!(r.twin_errors, errors);
+}
+
+#[test]
+fn twin_lowering_round_trips_for_pipeline_output() {
+    let spec = quick_spec(
+        "twin-rt",
+        TopologySpec::FatTree {
+            k: 4,
+            speed: Gbps::new(100.0),
+        },
+    );
+    let ev = evaluate(&spec).unwrap();
+    let model = physnet::twin::lower(&ev.network, &ev.hall, &ev.placement, &ev.cabling);
+    // Schema-clean and structurally sound.
+    assert!(physnet::twin::Schema::base().validate(&model).is_empty());
+    assert!(model.dangling_relations().is_empty());
+    // One entity per switch and per cable.
+    assert_eq!(
+        model
+            .of_kind(&physnet::twin::EntityKind::Switch)
+            .count(),
+        ev.network.switch_count()
+    );
+    assert_eq!(
+        model.of_kind(&physnet::twin::EntityKind::Cable).count(),
+        ev.cabling.runs.len()
+    );
+    // Diff of a model against itself is empty; against a mutated copy not.
+    let same = physnet::twin::ModelDiff::between(&model, &model.clone());
+    assert!(same.is_empty());
+}
+
+#[test]
+fn placement_strategy_materially_changes_deployability() {
+    let mk = |strategy| {
+        let mut spec = quick_spec(
+            "strategy",
+            TopologySpec::FatTree {
+                k: 8,
+                speed: Gbps::new(100.0),
+            },
+        );
+        spec.placement = strategy;
+        evaluate(&spec).unwrap().report
+    };
+    let local = mk(PlacementStrategy::BlockLocal);
+    let scattered = mk(PlacementStrategy::Scattered(13));
+    // Same abstract graph — identical goodness…
+    assert_eq!(local.diameter, scattered.diameter);
+    assert_eq!(local.servers, scattered.servers);
+    // …but physically different networks: scattered placement costs more
+    // cable and bundles worse. (The paper's point in one assertion.)
+    assert!(scattered.cable_length > local.cable_length);
+    assert!(scattered.bundled_fraction <= local.bundled_fraction);
+    assert!(scattered.capex > local.capex);
+}
+
+#[test]
+fn serde_report_round_trip_through_json() {
+    let spec = quick_spec(
+        "serde",
+        TopologySpec::FatTree {
+            k: 4,
+            speed: Gbps::new(100.0),
+        },
+    );
+    let ev = evaluate(&spec).unwrap();
+    let json = serde_json::to_string_pretty(&ev.report).unwrap();
+    let back: DeployabilityReport = serde_json::from_str(&json).unwrap();
+    // JSON's decimal representation can perturb the last ulp of a float;
+    // compare the exact fields exactly and the floats within tolerance.
+    assert_eq!(back.name, ev.report.name);
+    assert_eq!(back.switches, ev.report.switches);
+    assert_eq!(back.cables, ev.report.cables);
+    assert_eq!(back.twin_errors, ev.report.twin_errors);
+    assert!((back.availability - ev.report.availability).abs() < 1e-9);
+    assert!((back.capex - ev.report.capex).abs().value() < 1e-6);
+    assert!((back.first_pass_yield - ev.report.first_pass_yield).abs() < 1e-9);
+}

@@ -1,0 +1,174 @@
+//! Integration tests for multi-crate lifecycle scenarios: a network's whole
+//! life — deploy, expand, convert, repair, decommission — exercised through
+//! the public API the way the examples and experiments use it.
+
+use physnet::cabling::{CablingPlan, CablingPolicy};
+use physnet::costing::calib::LaborCalibration;
+use physnet::geometry::{Gbps, Hours};
+use physnet::lifecycle::expansion::{flat_add_tor, FlatExpansionParams};
+use physnet::lifecycle::{
+    capacity_after_drain, ConversionParams, ConversionPlan, DecomChecker,
+};
+use physnet::physical::placement::EquipmentProfile;
+use physnet::physical::{Hall, HallSpec, Placement, PlacementStrategy, SlotId};
+use physnet::topology::gen::{folded_clos, jellyfish, ClosParams, JellyfishParams};
+use physnet::topology::{SwitchRole, TrafficMatrix};
+
+#[test]
+fn grow_a_jellyfish_through_its_life() {
+    // Deploy small, grow by 8 ToRs, re-cable the additions, verify the
+    // network stays sound and the cabling remains realizable.
+    let mut net = jellyfish(&JellyfishParams {
+        tors: 32,
+        network_degree: 8,
+        servers_per_tor: 8,
+        link_speed: Gbps::new(100.0),
+        seed: 21,
+    })
+    .unwrap();
+    let hall = Hall::new(HallSpec::default());
+
+    let mut total_new_cables = 0;
+    let mut total_abandoned = 0;
+    for i in 0..8u64 {
+        let (_, plan) = flat_add_tor(
+            &mut net,
+            |s| Some(SlotId(s.0 as usize % hall.slot_count())),
+            &FlatExpansionParams {
+                degree: 8,
+                seed: 500 + i,
+                servers_per_tor: 8,
+            },
+        );
+        total_new_cables += plan.new_cables;
+        total_abandoned += plan.abandoned_cables;
+    }
+    assert_eq!(net.switch_count(), 40);
+    assert!(net.validate().is_ok());
+    assert!(net.is_connected());
+    assert_eq!(total_new_cables, 8 * 8); // 2 per splice × 4 splices × 8 adds
+    assert_eq!(total_abandoned, 8 * 4);
+
+    // The grown network still places and cables cleanly.
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .unwrap();
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    assert!(plan.failures.is_empty());
+    assert_eq!(plan.runs.len(), net.link_count());
+}
+
+#[test]
+fn convert_then_decommission_the_spine() {
+    // §4.3 followed by §2.1: convert an OCS-mediated Clos to direct-connect
+    // (plan only), then decommission the now-unneeded spine links with the
+    // safety checker, verifying no in-service removal ever happens.
+    let p = ClosParams {
+        spine_via_panels: true,
+        ..ClosParams::default()
+    };
+    let mut net = folded_clos(&p).unwrap();
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .unwrap();
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+
+    let conv = ConversionPlan::plan(
+        &plan,
+        &LaborCalibration::default(),
+        &ConversionParams::default(),
+    )
+    .expect("OCS fabric converts");
+    assert!(conv.tech_hours > Hours::ZERO);
+
+    // Decommission all spine links, draining first.
+    let spine_links: Vec<_> = net
+        .links()
+        .filter(|l| l.via_ocs)
+        .map(|l| l.id)
+        .collect();
+    let mut checker = DecomChecker::all_in_service(&net);
+    for &l in &spine_links {
+        // Removal must fail before drain…
+        assert!(checker.remove(&mut net, l).is_err());
+        checker.drain_link(&net, l);
+        // …and succeed after.
+        checker.remove(&mut net, l).unwrap();
+    }
+    assert_eq!(checker.removed().len(), spine_links.len());
+    // ToR↔agg connectivity inside pods is untouched.
+    for s in net.switches().filter(|s| s.role == SwitchRole::Tor) {
+        assert!(net.degree(s.id) > 0);
+    }
+}
+
+#[test]
+fn drain_budgets_respect_traffic() {
+    // A spine-bound leaf-spine: the spine layer is the bottleneck, so each
+    // drained spine costs its exact capacity share.
+    let net = physnet::topology::gen::leaf_spine(8, 8, 8, 1, Gbps::new(100.0)).unwrap();
+    let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+    let spines: Vec<_> = net
+        .switches()
+        .filter(|s| s.role == SwitchRole::Spine)
+        .map(|s| s.id)
+        .collect();
+
+    // Draining one of eight spines keeps the fabric feasible with measured
+    // capacity loss ≈ 1/8.
+    let one = capacity_after_drain(&net, &tm, &spines[..1]);
+    assert!(!one.disconnected);
+    assert!((one.capacity_loss() - 0.125).abs() < 0.05, "{}", one.capacity_loss());
+
+    // Draining all spines kills everything.
+    let all = capacity_after_drain(&net, &tm, &spines);
+    assert!(all.disconnected);
+
+    // An edge-bound Clos, by contrast, sheds one spine for free — the
+    // drain planner is what tells operators which case they are in.
+    let clos = folded_clos(&ClosParams::default()).unwrap();
+    let ctm = TrafficMatrix::uniform_servers(&clos, Gbps::new(1.0));
+    let cspine = clos
+        .switches()
+        .find(|s| s.role == SwitchRole::Spine)
+        .unwrap()
+        .id;
+    let free = capacity_after_drain(&clos, &ctm, &[cspine]);
+    assert!(free.capacity_loss() < 0.01, "{}", free.capacity_loss());
+}
+
+#[test]
+fn bundled_deployment_beats_loose_on_the_same_plan() {
+    use physnet::cabling::BundlingReport;
+    use physnet::costing::{DeploymentPlan, Schedule, ScheduleParams};
+    use physnet::topology::gen::fat_tree;
+
+    let net = fat_tree(8, Gbps::new(100.0)).unwrap();
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .unwrap();
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let bundling = BundlingReport::analyze(&plan, 4);
+
+    let loose = DeploymentPlan::from_cabling(&net, &placement, &plan, None);
+    let bundled = DeploymentPlan::from_cabling(&net, &placement, &plan, Some(&bundling));
+    let params = ScheduleParams::default();
+    let s_loose = Schedule::run(&loose, &hall, &params);
+    let s_bundled = Schedule::run(&bundled, &hall, &params);
+    assert!(s_bundled.makespan < s_loose.makespan);
+    assert!(s_loose.utilization() > 0.0 && s_loose.utilization() <= 1.0);
+}
