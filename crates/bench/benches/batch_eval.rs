@@ -1,0 +1,81 @@
+//! Criterion benches: serial vs. parallel batch evaluation.
+//!
+//! The acceptance target for the batch engine: a 16-design batch through
+//! `evaluate_many` with 8 jobs should be ≥ 3× faster wall-clock than the
+//! serial loop on an 8-core runner (evaluations are independent and
+//! CPU-bound; the residue is the generation cache's serialization on
+//! shared topologies, which the cold/warm pair below isolates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pd_core::batch::{evaluate_many, BatchOptions, GenCache};
+use pd_core::prelude::*;
+use std::hint::black_box;
+
+/// The batch size the acceptance criterion is stated over.
+const BATCH: usize = 16;
+
+/// 16 designs over 4 distinct topologies (seeds 0..4), so the generation
+/// cache gets 4 misses + 12 hits — the E18-ablation / comparison-matrix
+/// shape. Trials are trimmed so one bench iteration stays in milliseconds.
+fn batch() -> Vec<DesignSpec> {
+    (0..BATCH)
+        .map(|i| {
+            let mut s = DesignSpec::new(
+                format!("jf-{i}"),
+                compare::jellyfish_near(192, Gbps::new(100.0), (i % 4) as u64),
+            );
+            s.yields.trials = 10;
+            s.repair.trials = 3;
+            s.seed = i as u64 + 1;
+            s
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let specs = batch();
+
+    let mut g = c.benchmark_group("batch_eval");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    // The old code path: a serial evaluate() loop, no shared cache.
+    g.bench_function("serial_loop_16", |b| {
+        b.iter(|| {
+            black_box(&specs)
+                .iter()
+                .map(|s| evaluate(s).expect("eval"))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    // The batch engine at increasing worker counts. jobs=1 vs the serial
+    // loop isolates cache benefit; jobs=8 vs serial is the headline.
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("evaluate_many_16", jobs), &jobs, |b, &jobs| {
+            b.iter(|| evaluate_many(black_box(&specs), &BatchOptions::jobs(jobs)))
+        });
+    }
+
+    // Generation-cache effect alone, serial either way.
+    g.bench_function("evaluate_many_16_no_cache", |b| {
+        let opts = BatchOptions {
+            jobs: 1,
+            share_generation: false,
+        };
+        b.iter(|| evaluate_many(black_box(&specs), &opts))
+    });
+    g.finish();
+
+    // Warm-cache generation: what the memo saves per shared-topology spec.
+    let mut g = c.benchmark_group("gen_cache");
+    let cache = GenCache::new();
+    let topo = specs[0].topology.clone();
+    cache.build(&topo).expect("gen");
+    g.bench_function("warm_hit_clone", |b| b.iter(|| cache.build(black_box(&topo))));
+    g.bench_function("cold_build", |b| b.iter(|| black_box(&topo).build()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,27 +1,57 @@
 //! The experiment runner.
 //!
 //! ```text
-//! experiments              # list experiments
-//! experiments e6           # run one
-//! experiments all          # run every experiment in order
+//! experiments                    # list experiments
+//! experiments e6                 # run one
+//! experiments all                # run every experiment in order
+//! experiments all --jobs 8       # same output, 8 worker threads
+//! experiments all --jobs 0       # one worker per core
 //! ```
+//!
+//! Experiments are independent and deterministic, so `--jobs` changes only
+//! wall-clock time: the output is byte-identical at any job count.
 
-use pd_bench::{all_experiments, run_by_name};
+use pd_bench::{all_experiments, run_all, run_by_name};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut jobs: usize = 1;
+    let mut command: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let jobs_value = if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else if arg == "--jobs" || arg == "-j" {
+            Some(args.next().unwrap_or_default())
+        } else {
+            None
+        };
+        if let Some(v) = jobs_value {
+            jobs = match v.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--jobs needs a number (0 = one per core), got {v:?}");
+                    std::process::exit(2);
+                }
+            };
+        } else if command.is_none() {
+            command = Some(arg);
+        } else {
+            eprintln!("unexpected argument {arg:?}; try `experiments list`");
+            std::process::exit(2);
+        }
+    }
+
+    match command.as_deref() {
         None | Some("list") => {
             println!("physnet experiments (see EXPERIMENTS.md):\n");
             for (name, desc, _) in all_experiments() {
                 println!("  {name:<4} {desc}");
             }
-            println!("\nusage: experiments <e1..e13 | all>");
+            println!("\nusage: experiments <e1..e18 | all> [--jobs N]");
         }
         Some("all") => {
-            for (name, _, f) in all_experiments() {
-                println!("\n{}\n{}", "═".repeat(72), f());
-                let _ = name;
+            for (_, report) in run_all(jobs) {
+                println!("\n{}\n{}", "═".repeat(72), report);
             }
         }
         Some(name) => match run_by_name(name) {

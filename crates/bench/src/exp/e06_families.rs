@@ -10,8 +10,8 @@
 //! favor the flat/expander families; the deployability columns should
 //! favor the hierarchical ones — that divergence *is* the paper's thesis.
 
+use pd_core::compare::comparison_matrix;
 use pd_core::prelude::*;
-use pd_core::{pareto_front, weighted_score};
 use pd_lifecycle::expansion::IndirectionLevel;
 
 /// Target comparison size.
@@ -60,15 +60,13 @@ pub fn run() -> String {
         "all families at ≈{TARGET_SERVERS} servers, radix-32 gear, identical hall\n\n"
     ));
 
-    let evals: Vec<Evaluation> = specs()
-        .iter()
-        .map(|s| evaluate(s).unwrap_or_else(|e| panic!("{}: {e}", s.name)))
-        .collect();
-    let reports: Vec<&DeployabilityReport> = evals.iter().map(|e| &e.report).collect();
-    out.push_str(&DeployabilityReport::comparison_table(&reports));
+    let matrix = comparison_matrix(&specs(), &BatchOptions::default())
+        .unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+    let reports = matrix.reports();
+    out.push_str(&matrix.table());
 
-    let scores = weighted_score(&reports, &Weights::default());
-    let front = pareto_front(&reports);
+    let scores = matrix.scores(&Weights::default());
+    let front = matrix.pareto();
     out.push_str("\nweighted scores (higher better):\n");
     let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -108,17 +106,9 @@ mod tests {
 
     #[test]
     fn the_paper_thesis_holds_in_the_model() {
-        let evals: Vec<Evaluation> = specs()
-            .iter()
-            .map(|s| evaluate(s).unwrap_or_else(|e| panic!("{}: {e}", s.name)))
-            .collect();
-        let find = |name: &str| {
-            &evals
-                .iter()
-                .find(|e| e.report.name == name)
-                .expect("present")
-                .report
-        };
+        let matrix = comparison_matrix(&specs(), &BatchOptions::default())
+            .unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+        let find = |name: &str| matrix.report(name).expect("present");
         let jf = find("jellyfish");
         let xp = find("xpander");
         let ft = find("fat-tree");
@@ -152,8 +142,10 @@ mod tests {
 
     #[test]
     fn all_families_deployable_in_default_hall() {
-        for spec in specs() {
-            let ev = evaluate(&spec).unwrap();
+        let specs = specs();
+        let results = evaluate_many(&specs, &BatchOptions::default());
+        for (spec, result) in specs.iter().zip(results) {
+            let ev = result.unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(
                 ev.report.unrealizable_links, 0,
                 "{}: {:?}",

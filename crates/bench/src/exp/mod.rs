@@ -72,6 +72,65 @@ pub fn run_by_name(name: &str) -> Option<String> {
         .map(|(_, _, f)| f())
 }
 
+/// Runs every experiment, fanning independent ones out over `jobs` worker
+/// threads (`1` = serial, `0` = one per available core).
+///
+/// Experiments share no mutable state and are deterministic, so the only
+/// effect of `jobs` is wall-clock time: the returned `(name, report)` pairs
+/// are always in registry order with byte-identical text. Workers claim the
+/// next un-started experiment from a shared counter, so one slow experiment
+/// (E6) doesn't idle the pool behind a static split.
+pub fn run_all(jobs: usize) -> Vec<(&'static str, String)> {
+    let all = all_experiments();
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+    .min(all.len())
+    .max(1);
+
+    if jobs <= 1 {
+        return all.into_iter().map(|(n, _, f)| (n, f())).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, String)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let all = &all;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= all.len() {
+                            break;
+                        }
+                        local.push((i, (all[i].2)()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+
+    let mut reports: Vec<Option<String>> = all.iter().map(|_| None).collect();
+    for (i, text) in per_worker.into_iter().flatten() {
+        reports[i] = Some(text);
+    }
+    all.iter()
+        .zip(reports)
+        .map(|((name, _, _), text)| (*name, text.expect("every index claimed")))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

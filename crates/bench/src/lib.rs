@@ -9,4 +9,4 @@
 
 pub mod exp;
 
-pub use exp::{all_experiments, run_by_name};
+pub use exp::{all_experiments, run_all, run_by_name};

@@ -1,0 +1,364 @@
+//! Parallel batch evaluation.
+//!
+//! Every design evaluation is independent and deterministic, which makes
+//! design-space sweeps — comparison matrices, seed ensembles, ablations —
+//! embarrassingly parallel. [`evaluate_many`] fans a batch of
+//! [`DesignSpec`]s out over a scoped worker pool and returns results in
+//! spec order regardless of how the scheduler interleaved them, so callers
+//! observe exactly the serial semantics, only faster:
+//!
+//! * **Work stealing, ordered results.** Workers claim the next un-started
+//!   spec from a shared atomic counter (long evaluations don't convoy short
+//!   ones behind a static partition) and record results by index.
+//! * **Shared generation cache.** Specs whose topology sub-spec hashes
+//!   equal (same family, parameters, and seed — see
+//!   [`TopologySpec::generation_key`]) generate their [`Network`] once; the
+//!   [`GenCache`] hands every other taker a clone. Sweeps that vary
+//!   placement, cabling, or costing knobs over a fixed topology skip
+//!   regeneration entirely.
+//! * **Determinism preserved.** Evaluation never branches on thread
+//!   identity or timing, and cached generation returns the same bytes the
+//!   cold path would, so reports are byte-identical at any job count.
+//!
+//! ```
+//! use pd_core::batch::{evaluate_many, BatchOptions};
+//! use pd_core::{DesignSpec, TopologySpec};
+//! use pd_geometry::Gbps;
+//!
+//! let spec = |name: &str, seed| {
+//!     let mut s = DesignSpec::new(
+//!         name,
+//!         TopologySpec::FatTree { k: 4, speed: Gbps::new(100.0) },
+//!     );
+//!     s.seed = seed;
+//!     s.yields.trials = 5; // keep the doctest quick
+//!     s.repair.trials = 2;
+//!     s
+//! };
+//! let specs = vec![spec("a", 1), spec("b", 2), spec("c", 3)];
+//!
+//! let results = evaluate_many(&specs, &BatchOptions::jobs(2));
+//! assert_eq!(results.len(), 3);
+//! // Results arrive in spec order, whatever the thread schedule was.
+//! assert_eq!(results[1].as_ref().unwrap().report.name, "b");
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::design::{DesignSpec, TopologySpec};
+use crate::pipeline::{evaluate_prebuilt, EvalError, Evaluation};
+use pd_topology::gen::GenError;
+use pd_topology::Network;
+
+/// Options for a batch-evaluation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Worker threads to fan out over. `0` means one per available core;
+    /// `1` runs serially on the calling thread. The effective pool never
+    /// exceeds the batch size.
+    pub jobs: usize,
+    /// Whether to memoize topology generation across the batch (on by
+    /// default; turn off to measure cold-generation cost).
+    pub share_generation: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            share_generation: true,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options with an explicit worker count (`0` = one per core).
+    pub fn jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+
+    /// The worker count actually used for a batch of `batch_len` specs.
+    pub fn effective_jobs(&self, batch_len: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.min(batch_len).max(1)
+    }
+}
+
+/// A memo cache for topology generation, shared across a batch.
+///
+/// Keyed by [`TopologySpec::generation_key`] — a stable hash of the
+/// generation sub-spec — and guarded by a [`parking_lot::Mutex`] around the
+/// key map. Each key's slot is a [`OnceLock`], so the map lock is held only
+/// to look up the slot, never across generation: distinct topologies
+/// generate concurrently, while threads racing on the *same* key generate
+/// it exactly once and everyone else clones the result. Failed generations
+/// are cached too ([`GenError`] is `Clone`), so a bad sub-spec fails every
+/// spec that shares it without re-running the generator.
+#[derive(Default)]
+pub struct GenCache {
+    slots: Mutex<HashMap<u64, Arc<OnceLock<Result<Network, GenError>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl GenCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds (or clones the memoized) network for `topo`.
+    ///
+    /// Uncacheable specs ([`TopologySpec::Custom`]) fall through to
+    /// [`TopologySpec::build`] and are counted as misses.
+    pub fn build(&self, topo: &TopologySpec) -> Result<Network, GenError> {
+        let Some(key) = topo.generation_key() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return topo.build();
+        };
+        let slot = self.slots.lock().entry(key).or_default().clone();
+        let mut generated = false;
+        let result = slot.get_or_init(|| {
+            generated = true;
+            topo.build()
+        });
+        if generated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the generator (plus uncacheable specs).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct topologies held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+/// Evaluates one spec through a shared generation cache.
+///
+/// The single-spec building block of [`evaluate_many`]; useful directly
+/// when a caller owns a long-lived [`GenCache`] spanning several batches.
+pub fn evaluate_with_cache(
+    spec: &DesignSpec,
+    cache: &GenCache,
+) -> Result<Evaluation, EvalError> {
+    let net = cache.build(&spec.topology).map_err(EvalError::Generation)?;
+    evaluate_prebuilt(spec, net)
+}
+
+/// Evaluates a batch of designs in parallel.
+///
+/// Results come back in spec order, one per input, and are byte-identical
+/// to running [`crate::pipeline::evaluate`] serially over the slice — the
+/// job count affects wall-clock time only. A fresh [`GenCache`] is shared
+/// across the batch (unless `opts.share_generation` is off), so specs with
+/// equal topology sub-specs generate once.
+pub fn evaluate_many(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+) -> Vec<Result<Evaluation, EvalError>> {
+    let cache = GenCache::new();
+    evaluate_many_with_cache(specs, opts, &cache)
+}
+
+/// [`evaluate_many`] against a caller-owned cache, so generation memoization
+/// can span multiple batches (e.g. an experiment that sweeps one knob per
+/// batch over a fixed topology set).
+pub fn evaluate_many_with_cache(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+    cache: &GenCache,
+) -> Vec<Result<Evaluation, EvalError>> {
+    let eval_one = |spec: &DesignSpec| {
+        if opts.share_generation {
+            evaluate_with_cache(spec, cache)
+        } else {
+            crate::pipeline::evaluate(spec)
+        }
+    };
+
+    let jobs = opts.effective_jobs(specs.len());
+    if jobs <= 1 {
+        return specs.iter().map(eval_one).collect();
+    }
+
+    // Work-stealing fan-out: each worker claims the next un-started index
+    // and keeps (index, result) pairs locally; ordering is restored after
+    // the scope joins, so output order never depends on the schedule.
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<Evaluation, EvalError>)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    let eval_one = &eval_one;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= specs.len() {
+                                break;
+                            }
+                            local.push((i, eval_one(&specs[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+    let mut results: Vec<Option<Result<Evaluation, EvalError>>> =
+        specs.iter().map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+    use pd_topology::gen::JellyfishParams;
+
+    fn quick(name: &str, topo: TopologySpec) -> DesignSpec {
+        let mut s = DesignSpec::new(name, topo);
+        s.yields.trials = 5;
+        s.repair.trials = 2;
+        s
+    }
+
+    fn jellyfish(seed: u64) -> TopologySpec {
+        TopologySpec::Jellyfish(JellyfishParams {
+            seed,
+            ..JellyfishParams::default()
+        })
+    }
+
+    fn mixed_batch() -> Vec<DesignSpec> {
+        // Six specs over three distinct topologies: the fat-trees and the
+        // seed-7 jellyfishes share generation; seed 8 stands alone.
+        let ft = TopologySpec::FatTree {
+            k: 4,
+            speed: Gbps::new(100.0),
+        };
+        vec![
+            quick("ft-a", ft.clone()),
+            quick("jf7-a", jellyfish(7)),
+            quick("ft-b", ft),
+            quick("jf7-b", jellyfish(7)),
+            quick("jf8", jellyfish(8)),
+            quick("jf7-c", jellyfish(7)),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let specs = mixed_batch();
+        let serial = evaluate_many(&specs, &BatchOptions::jobs(1));
+        let parallel = evaluate_many(&specs, &BatchOptions::jobs(4));
+        assert_eq!(serial.len(), specs.len());
+        for ((spec, a), b) in specs.iter().zip(&serial).zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.report.name, spec.name);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn generation_is_shared_across_equal_subspecs() {
+        let specs = mixed_batch();
+        let cache = GenCache::new();
+        let results = evaluate_many_with_cache(&specs, &BatchOptions::jobs(2), &cache);
+        assert!(results.iter().all(Result::is_ok));
+        // Three distinct topologies generated, three lookups served warm.
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn errors_stay_at_their_spec_index() {
+        let mut specs = mixed_batch();
+        // Make the middle spec unplaceable (hall far too small).
+        specs[2].hall.rows = 1;
+        specs[2].hall.slots_per_row = 2;
+        let results = evaluate_many(&specs, &BatchOptions::jobs(3));
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                assert!(matches!(r, Err(EvalError::Placement(_))));
+            } else {
+                assert!(r.is_ok(), "spec {i} failed: {:?}", r.as_ref().err());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_errors_are_cached_and_cloned() {
+        // Jellyfish with an odd degree sum is a parameter error.
+        let bad = TopologySpec::Jellyfish(JellyfishParams {
+            tors: 5,
+            network_degree: 3,
+            servers_per_tor: 2,
+            link_speed: Gbps::new(100.0),
+            seed: 1,
+        });
+        let cache = GenCache::new();
+        let first = cache.build(&bad);
+        let second = cache.build(&bad);
+        assert!(first.is_err());
+        assert_eq!(first.err(), second.err());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn effective_jobs_clamps_sanely() {
+        assert_eq!(BatchOptions::jobs(8).effective_jobs(3), 3);
+        assert_eq!(BatchOptions::jobs(2).effective_jobs(100), 2);
+        assert_eq!(BatchOptions::jobs(5).effective_jobs(0), 1);
+        assert!(BatchOptions::jobs(0).effective_jobs(64) >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(evaluate_many(&[], &BatchOptions::default()).is_empty());
+    }
+}

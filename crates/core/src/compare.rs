@@ -8,7 +8,11 @@
 //! per-server metrics honestly. Exact server counts differ by family
 //! granularity; reports normalize per server.
 
-use crate::design::TopologySpec;
+use crate::batch::{evaluate_many, BatchOptions};
+use crate::design::{DesignSpec, TopologySpec};
+use crate::pipeline::{EvalError, Evaluation};
+use crate::report::DeployabilityReport;
+use crate::score::{pareto_front, weighted_score, Weights};
 use pd_geometry::Gbps;
 use pd_topology::gen::{
     ClosParams, DirectConnectParams, FatCliqueParams, FlattenedButterflyParams, JellyfishParams,
@@ -188,6 +192,69 @@ pub fn all_families(target_servers: usize, speed: Gbps, seed: u64) -> Vec<(Strin
     ]
 }
 
+/// A fully evaluated, presentation-ready set of designs.
+///
+/// Built by [`comparison_matrix`] through the parallel batch engine
+/// ([`evaluate_many`]), so an E6-style family sweep pays roughly one
+/// evaluation of wall-clock per core instead of the whole batch serially,
+/// and specs sharing a topology sub-spec generate their network once.
+/// Evaluations are in spec order.
+pub struct ComparisonMatrix {
+    /// One evaluation per input spec, in input order.
+    pub evaluations: Vec<Evaluation>,
+}
+
+/// Evaluates `specs` (fanned out per `opts`) into a [`ComparisonMatrix`].
+///
+/// Any design failing to evaluate fails the whole matrix — a comparison
+/// with holes answers the wrong question — and the error names the first
+/// failing spec *in spec order*, independent of the thread schedule.
+pub fn comparison_matrix(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+) -> Result<ComparisonMatrix, (String, EvalError)> {
+    let results = evaluate_many(specs, opts);
+    let mut evaluations = Vec::with_capacity(results.len());
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(ev) => evaluations.push(ev),
+            Err(e) => return Err((spec.name.clone(), e)),
+        }
+    }
+    Ok(ComparisonMatrix { evaluations })
+}
+
+impl ComparisonMatrix {
+    /// The reports, in spec order (the shape scoring and rendering take).
+    pub fn reports(&self) -> Vec<&DeployabilityReport> {
+        self.evaluations.iter().map(|e| &e.report).collect()
+    }
+
+    /// The report for a named design, if present.
+    pub fn report(&self, name: &str) -> Option<&DeployabilityReport> {
+        self.evaluations
+            .iter()
+            .map(|e| &e.report)
+            .find(|r| r.name == name)
+    }
+
+    /// The side-by-side metric table
+    /// (see [`DeployabilityReport::comparison_table`]).
+    pub fn table(&self) -> String {
+        DeployabilityReport::comparison_table(&self.reports())
+    }
+
+    /// Weighted scores, one per design in spec order.
+    pub fn scores(&self, weights: &Weights) -> Vec<f64> {
+        weighted_score(&self.reports(), weights)
+    }
+
+    /// Indices of the Pareto-optimal designs.
+    pub fn pareto(&self) -> Vec<usize> {
+        pareto_front(&self.reports())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +285,40 @@ mod tests {
             assert!(net.server_count() >= 100, "{name}");
             assert!(net.is_connected(), "{name}");
         }
+    }
+
+    #[test]
+    fn comparison_matrix_keeps_spec_order_and_renders() {
+        let mk = |name: &str, topo| {
+            let mut s = DesignSpec::new(name, topo);
+            s.yields.trials = 5;
+            s.repair.trials = 2;
+            s
+        };
+        let specs = vec![
+            mk("ft", fat_tree_near(64, SPEED)),
+            mk("jf", jellyfish_near(64, SPEED, 7)),
+        ];
+        let m = comparison_matrix(&specs, &BatchOptions::jobs(2)).unwrap();
+        assert_eq!(m.evaluations.len(), 2);
+        assert_eq!(m.reports()[0].name, "ft");
+        assert_eq!(m.reports()[1].name, "jf");
+        assert!(m.report("jf").is_some() && m.report("nope").is_none());
+        assert!(m.table().contains("| metric | ft | jf |"));
+        assert_eq!(m.scores(&Weights::default()).len(), 2);
+    }
+
+    #[test]
+    fn comparison_matrix_names_first_failing_spec() {
+        let mut bad = DesignSpec::new("bad", fat_tree_near(64, SPEED));
+        bad.hall.rows = 1;
+        bad.hall.slots_per_row = 2;
+        let mut bad2 = bad.clone();
+        bad2.name = "bad2".into();
+        let good = DesignSpec::new("good", fat_tree_near(64, SPEED));
+        let err = comparison_matrix(&[good, bad, bad2], &BatchOptions::jobs(3)).unwrap_err();
+        assert_eq!(err.0, "bad");
+        assert!(matches!(err.1, EvalError::Placement(_)));
     }
 
     #[test]

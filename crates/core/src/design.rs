@@ -80,6 +80,23 @@ impl TopologySpec {
         }
     }
 
+    /// A stable key identifying the network this spec generates, or `None`
+    /// if generation is not cacheable.
+    ///
+    /// Generation is deterministic, so two specs with equal keys build
+    /// byte-identical networks; the batch engine's
+    /// [`crate::batch::GenCache`] memoizes [`Self::build`] on this key. The
+    /// key hashes the variant's full parameter set (including seeds) via
+    /// [`pd_topology::gen::cache_key`]. [`TopologySpec::Custom`] returns
+    /// `None`: it already carries its network, so there is nothing to
+    /// memoize.
+    pub fn generation_key(&self) -> Option<u64> {
+        match self {
+            TopologySpec::Custom(_) => None,
+            other => Some(gen::cache_key(format!("{other:?}").as_bytes())),
+        }
+    }
+
     /// Short family name for reports.
     pub fn family(&self) -> &'static str {
         match self {
@@ -215,6 +232,25 @@ mod tests {
             assert!(net.switch_count() > 0, "{}", s.family());
             assert!(!s.family().is_empty());
         }
+    }
+
+    #[test]
+    fn generation_keys_separate_distinct_specs() {
+        let jf = |seed| {
+            TopologySpec::Jellyfish(JellyfishParams {
+                seed,
+                ..JellyfishParams::default()
+            })
+        };
+        assert_eq!(jf(7).generation_key(), jf(7).generation_key());
+        assert_ne!(jf(7).generation_key(), jf(8).generation_key());
+        let ft = TopologySpec::FatTree {
+            k: 4,
+            speed: Gbps::new(100.0),
+        };
+        assert_ne!(ft.generation_key(), jf(7).generation_key());
+        let custom = TopologySpec::Custom(ft.build().unwrap());
+        assert_eq!(custom.generation_key(), None);
     }
 
     #[test]

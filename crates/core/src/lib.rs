@@ -12,6 +12,10 @@
 //! * [`pipeline`] — the end-to-end evaluation: generate → place → route →
 //!   bundle → cost → schedule → yield → lifecycle → twin-validate. Fully
 //!   deterministic given the spec's seeds.
+//! * [`batch`] — [`batch::evaluate_many`]: the same pipeline fanned out
+//!   over a scoped worker pool with a shared topology-generation memo
+//!   cache. Results are byte-identical to serial evaluation at any job
+//!   count; see `docs/ARCHITECTURE.md` for the determinism contract.
 //! * [`report`] — [`report::DeployabilityReport`], the §5.4 metric suite
 //!   (time-to-deploy, cost-to-deploy, first-pass yield, rewiring steps,
 //!   links-per-panel, locality, diversity support, unit of repair,
@@ -19,17 +23,57 @@
 //! * [`score`] — weighted scoring and Pareto fronts over report sets.
 //! * [`compare`] — constructors that normalize every topology family to a
 //!   comparable server count, for the paper's §4.2 question ("why aren't
-//!   expanders in wide use?") as experiment E6.
+//!   expanders in wide use?") as experiment E6, and
+//!   [`compare::comparison_matrix`], which evaluates a spec set through the
+//!   batch engine into a rendered side-by-side matrix.
+//!
+//! # Evaluating designs
+//!
+//! One design goes through [`evaluate`]; a batch goes through
+//! [`batch::evaluate_many`], which uses every core by default and returns
+//! results in spec order:
+//!
+//! ```
+//! use pd_core::batch::{evaluate_many, BatchOptions};
+//! use pd_core::{evaluate, DesignSpec, TopologySpec};
+//! use pd_geometry::Gbps;
+//!
+//! let mut spec = DesignSpec::new(
+//!     "demo",
+//!     TopologySpec::FatTree { k: 4, speed: Gbps::new(100.0) },
+//! );
+//! spec.yields.trials = 5; // keep the doctest quick
+//! spec.repair.trials = 2;
+//!
+//! // Serial: one spec, one report.
+//! let one = evaluate(&spec).expect("pipeline");
+//! assert_eq!(one.report.servers, 16);
+//!
+//! // Batch: a seed sweep over the same topology generates the network
+//! // once (shared memo cache) and evaluates the rest in parallel.
+//! let sweep: Vec<DesignSpec> = (1..=4)
+//!     .map(|seed| {
+//!         let mut s = spec.clone();
+//!         s.seed = seed;
+//!         s
+//!     })
+//!     .collect();
+//! let results = evaluate_many(&sweep, &BatchOptions::default());
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! assert_eq!(results[0].as_ref().unwrap().report, one.report);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compare;
 pub mod design;
 pub mod pipeline;
 pub mod report;
 pub mod score;
 
+pub use batch::{evaluate_many, BatchOptions, GenCache};
 pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
 pub use pipeline::{evaluate, Evaluation};
 pub use report::DeployabilityReport;
@@ -37,6 +81,7 @@ pub use score::{pareto_front, weighted_score, Weights};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::batch::{evaluate_many, BatchOptions, GenCache};
     pub use crate::compare;
     pub use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
     pub use crate::pipeline::{evaluate, Evaluation};

@@ -82,8 +82,18 @@ impl std::error::Error for EvalError {}
 /// Runs the full pipeline.
 pub fn evaluate(spec: &DesignSpec) -> Result<Evaluation, EvalError> {
     // 1. Topology.
-    let mut net = spec.topology.build().map_err(EvalError::Generation)?;
+    let net = spec.topology.build().map_err(EvalError::Generation)?;
+    evaluate_prebuilt(spec, net)
+}
 
+/// Runs the pipeline stages after generation on an already-built network.
+///
+/// `net` must be the network `spec.topology` generates — generation is
+/// deterministic, so the batch engine's memo cache
+/// ([`crate::batch::GenCache`]) builds each distinct topology sub-spec once
+/// and feeds clones through here. [`evaluate`] is exactly `build()` followed
+/// by this function.
+pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluation, EvalError> {
     // 2. Physical plant + placement.
     let hall = Hall::new(spec.hall.clone());
     let mut placement = Placement::place(&net, &hall, spec.placement, &spec.equipment)
@@ -367,6 +377,15 @@ mod tests {
         assert!(r.deployable(), "violations: {:?}", ev.violations);
         assert!(r.day_one_cost >= r.capex);
         assert!(r.lifetime_cost >= r.day_one_cost);
+    }
+
+    #[test]
+    fn prebuilt_network_matches_full_evaluate() {
+        let spec = fat_tree_spec();
+        let net = spec.topology.build().unwrap();
+        let a = evaluate(&spec).unwrap();
+        let b = evaluate_prebuilt(&spec, net).unwrap();
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! table plus the Pareto front — the paper's §4.2 "why aren't expanders in
 //! wide use?" question, answerable in one command.
 
-use physnet::core::{pareto_front, weighted_score, Weights};
+use physnet::core::compare::comparison_matrix;
 use physnet::prelude::*;
 
 fn main() {
@@ -28,16 +28,16 @@ fn main() {
     ];
 
     println!("evaluating {} designs at ≈{target} servers…\n", specs.len());
-    let evals: Vec<Evaluation> = specs
-        .iter()
-        .map(|s| evaluate(s).unwrap_or_else(|e| panic!("{}: {e}", s.name)))
-        .collect();
-    let reports: Vec<&DeployabilityReport> = evals.iter().map(|e| &e.report).collect();
+    // The matrix evaluates through the batch engine: one worker per core,
+    // identical output at any job count.
+    let matrix = comparison_matrix(&specs, &BatchOptions::default())
+        .unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+    let reports = matrix.reports();
 
-    println!("{}", DeployabilityReport::comparison_table(&reports));
+    println!("{}", matrix.table());
 
-    let scores = weighted_score(&reports, &Weights::default());
-    let front = pareto_front(&reports);
+    let scores = matrix.scores(&Weights::default());
+    let front = matrix.pareto();
     println!("scores (higher better):");
     for (i, r) in reports.iter().enumerate() {
         println!(

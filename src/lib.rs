@@ -1,8 +1,10 @@
 //! # physnet — a physical-deployability toolkit for datacenter networks
 //!
-//! Facade crate re-exporting the whole workspace. See the repository README
-//! and `DESIGN.md` for the architecture, and `EXPERIMENTS.md` for the
-//! paper-claim reproduction index.
+//! Facade crate re-exporting the whole workspace. `docs/ARCHITECTURE.md`
+//! has the crate map, the pipeline stage diagram, the determinism contract,
+//! and the parallel batch engine's layout; `DESIGN.md` explains the
+//! modeling choices and `EXPERIMENTS.md` indexes the paper-claim
+//! reproductions.
 //!
 //! This library reproduces, as a runnable system, the framework called for by
 //! *"Physical Deployability Matters"* (Mogul & Wilkes, HotNets 2023): judging
