@@ -1,0 +1,112 @@
+//! Criterion benches for the fault-injection hot path.
+//!
+//! A sweep injects hundreds of scenarios against one deployed design, so
+//! the unit that must stay cheap is `Injector::inject`: resolve the
+//! domains, clone + degrade the network, re-route, price the recovery.
+//! The injector's constructor amortizes the healthy baseline and the
+//! tray/bundle orderings; `injector_new` measures that one-off cost so a
+//! regression there (it runs once per design, not per scenario) is not
+//! mistaken for a hot-path one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy};
+use pd_core::prelude::*;
+use pd_costing::calib::LaborCalibration;
+use pd_lifecycle::{FaultDomain, FaultScenario, FaultSweepParams, Injector, RepairSimParams};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, Placement};
+use std::hint::black_box;
+
+struct Deployed {
+    net: Network,
+    hall: Hall,
+    placement: Placement,
+    plan: CablingPlan,
+    bundling: BundlingReport,
+    calib: LaborCalibration,
+    repair: RepairSimParams,
+}
+
+fn deployed() -> Deployed {
+    let net = topo_gen::fat_tree(8, Gbps::new(100.0)).expect("gen");
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .expect("place");
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let bundling = BundlingReport::analyze(&plan, 4);
+    Deployed {
+        net,
+        hall,
+        placement,
+        plan,
+        bundling,
+        calib: LaborCalibration::default(),
+        repair: RepairSimParams::default(),
+    }
+}
+
+impl Deployed {
+    fn injector(&self) -> Injector<'_> {
+        Injector::new(
+            &self.net,
+            &self.hall,
+            &self.placement,
+            &self.plan,
+            &self.bundling,
+            &self.calib,
+            &self.repair,
+        )
+    }
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let d = deployed();
+
+    let mut g = c.benchmark_group("fault_injection");
+    g.sample_size(10);
+
+    g.bench_function("injector_new", |b| b.iter(|| d.injector()));
+
+    let inj = d.injector();
+    let scenarios = [
+        ("feed_pair", FaultScenario::single("feed-pair", FaultDomain::PowerFeedPair { pair: 0 })),
+        ("tray_cut", FaultScenario::single("tray-cut", FaultDomain::TraySegments { count: 2 })),
+        ("bundle_cut", FaultScenario::single("bundle-cut", FaultDomain::BundleCut { count: 2 })),
+        (
+            "card_batch",
+            FaultScenario::single(
+                "card-batch",
+                FaultDomain::LinecardBatch {
+                    fraction: 0.1,
+                    seed: 7,
+                },
+            ),
+        ),
+    ];
+    for (label, sc) in &scenarios {
+        g.bench_with_input(BenchmarkId::new("inject", label), sc, |b, sc| {
+            b.iter(|| inj.inject(black_box(sc)))
+        });
+    }
+
+    for n in [4usize, 16] {
+        let params = FaultSweepParams {
+            scenarios: n,
+            max_domains: 2,
+            seed: 7,
+        };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sweep", n), &params, |b, params| {
+            b.iter(|| inj.sweep(black_box(params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

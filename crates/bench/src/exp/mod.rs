@@ -20,6 +20,7 @@
 //! | e16 | §3.1 | free-space optics vs cables |
 //! | e17 | §3.5 §2.3 | incremental deployment under forecast error |
 //! | e18 | — | toolkit ablations (modeling-knob sensitivity) |
+//! | e19 | §3.3 | correlated fault domains vs abstract resilience |
 
 pub mod e01_time;
 pub mod e02_cables;
@@ -39,6 +40,7 @@ pub mod e15_robots;
 pub mod e16_fso;
 pub mod e17_phased;
 pub mod e18_ablations;
+pub mod e19_faultdomains;
 
 /// (name, description, runner) for every experiment.
 pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
@@ -61,6 +63,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
         ("e16", "§3.1: free-space optics vs cables", e16_fso::run),
         ("e17", "§3.5: incremental deployment under forecast error", e17_phased::run),
         ("e18", "toolkit ablations: modeling-knob sensitivity", e18_ablations::run),
+        ("e19", "§3.3: correlated fault domains vs abstract resilience", e19_faultdomains::run),
     ]
 }
 
@@ -141,7 +144,7 @@ mod tests {
         let mut names: Vec<_> = all.iter().map(|(n, _, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
         assert!(run_by_name("nope").is_none());
     }
 }

@@ -19,6 +19,11 @@
 //! * **Determinism preserved.** Evaluation never branches on thread
 //!   identity or timing, and cached generation returns the same bytes the
 //!   cold path would, so reports are byte-identical at any job count.
+//! * **Failure isolation.** A spec that panics mid-evaluation (e.g. a
+//!   zero-technician schedule) is caught with [`std::panic::catch_unwind`]
+//!   and lands as `Err(EvalError::Panicked(..))` in its own slot — serial
+//!   and parallel paths alike — so a thousand-scenario sweep degrades by
+//!   one result instead of aborting the batch.
 //!
 //! ```
 //! use pd_core::batch::{evaluate_many, BatchOptions};
@@ -206,10 +211,23 @@ pub fn evaluate_many_with_cache(
             crate::pipeline::evaluate(spec)
         }
     };
+    // Isolate per-spec panics: a panicking evaluation must cost exactly its
+    // own slot, and must do so identically at every job count.
+    let eval_caught = |spec: &DesignSpec| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(spec)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(EvalError::Panicked(msg))
+            })
+    };
 
     let jobs = opts.effective_jobs(specs.len());
     if jobs <= 1 {
-        return specs.iter().map(eval_one).collect();
+        return specs.iter().map(eval_caught).collect();
     }
 
     // Work-stealing fan-out: each worker claims the next un-started index
@@ -221,7 +239,7 @@ pub fn evaluate_many_with_cache(
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     let next = &next;
-                    let eval_one = &eval_one;
+                    let eval_caught = &eval_caught;
                     s.spawn(move || {
                         let mut local = Vec::new();
                         loop {
@@ -229,15 +247,19 @@ pub fn evaluate_many_with_cache(
                             if i >= specs.len() {
                                 break;
                             }
-                            local.push((i, eval_one(&specs[i])));
+                            local.push((i, eval_caught(&specs[i])));
                         }
                         local
                     })
                 })
                 .collect();
+            // Spec panics are caught inside the worker loop, so a join can
+            // only fail on a panic in the loop plumbing itself; absorb it
+            // rather than poisoning the whole batch — the indices that
+            // worker claimed surface below as `Panicked` slots.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
+                .map(|h| h.join().unwrap_or_default())
                 .collect()
         });
 
@@ -248,7 +270,13 @@ pub fn evaluate_many_with_cache(
     }
     results
         .into_iter()
-        .map(|r| r.expect("every index claimed exactly once"))
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(EvalError::Panicked(
+                    "batch worker died before recording a result".into(),
+                ))
+            })
+        })
         .collect()
 }
 
@@ -347,6 +375,36 @@ mod tests {
         assert_eq!(first.err(), second.err());
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn panicking_spec_is_isolated_to_its_slot() {
+        // A zero-technician schedule trips `Schedule::run`'s documented
+        // assert — a user-reachable panic in a post-placement stage.
+        let mut specs = mixed_batch();
+        specs[1].schedule.technicians = 0;
+
+        let parallel = evaluate_many(&specs, &BatchOptions::jobs(3));
+        for (i, r) in parallel.iter().enumerate() {
+            if i == 1 {
+                match r {
+                    Err(EvalError::Panicked(msg)) => {
+                        assert!(msg.contains("technician"), "unexpected payload: {msg}")
+                    }
+                    other => panic!("expected Panicked at slot 1, got {other:?}"),
+                }
+            } else {
+                assert!(r.is_ok(), "sibling spec {i} failed: {:?}", r.as_ref().err());
+            }
+        }
+
+        // The serial path isolates identically: same ok/err pattern.
+        let serial = evaluate_many(&specs, &BatchOptions::jobs(1));
+        let pattern = |rs: &[Result<Evaluation, EvalError>]| -> Vec<bool> {
+            rs.iter().map(Result::is_ok).collect()
+        };
+        assert_eq!(pattern(&serial), pattern(&parallel));
+        assert!(matches!(&serial[1], Err(EvalError::Panicked(_))));
     }
 
     #[test]

@@ -167,6 +167,9 @@ pub struct DesignSpec {
     /// Failure-resilience probe: samples of random-failure throughput
     /// retention at 10% link loss (0 = skip the probe).
     pub resilience_samples: usize,
+    /// Correlated fault-injection sweep (§3.3): how many seeded physical
+    /// fault scenarios to inject (0 = skip the sweep).
+    pub fault_scenarios: pd_lifecycle::FaultSweepParams,
     /// Master seed for placement improvement and sampling.
     pub seed: u64,
 }
@@ -195,6 +198,7 @@ impl DesignSpec {
                 ..pd_lifecycle::RepairSimParams::default()
             },
             resilience_samples: 0,
+            fault_scenarios: pd_lifecycle::FaultSweepParams::default(),
             seed: 1,
         }
     }

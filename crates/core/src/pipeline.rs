@@ -12,12 +12,13 @@
 //! [`Evaluation`] keeps every intermediate artifact so experiments can dig
 //! past the summary report.
 
-use crate::design::{DesignSpec, ExpansionProbe};
+use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
 use crate::report::DeployabilityReport;
 use pd_cabling::{BundlingReport, CablingPlan};
 use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
 use pd_geometry::{Hours, Watts};
 use pd_lifecycle::expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
+use pd_lifecycle::faults::{FaultSweepReport, Injector};
 use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
 use pd_physical::{Hall, Placement};
 use pd_topology::metrics::{goodness, GoodnessParams};
@@ -51,6 +52,9 @@ pub struct Evaluation {
     pub repair: RepairSimReport,
     /// Expansion complexity (if a probe ran).
     pub expansion: Option<LifecycleComplexity>,
+    /// Correlated fault-injection sweep (if `spec.fault_scenarios` enabled
+    /// it), measured on the as-built network before any expansion probe.
+    pub faults: Option<FaultSweepReport>,
     /// Twin constraint findings.
     pub violations: Vec<pd_twin::Violation>,
     /// Envelope findings.
@@ -60,12 +64,23 @@ pub struct Evaluation {
 }
 
 /// Errors from evaluation.
+///
+/// Every variant corresponds to a pipeline stage that can reject a
+/// user-supplied spec; the batch engine ([`crate::batch::evaluate_many`])
+/// returns these per-spec instead of aborting whole batches.
 #[derive(Debug)]
 pub enum EvalError {
     /// Topology generation failed.
     Generation(pd_topology::gen::GenError),
     /// Placement failed (hall too small, budgets exceeded).
     Placement(pd_physical::PlacementError),
+    /// A supplied network is structurally invalid (dangling link
+    /// endpoints, over-subscribed ports, duplicate names).
+    Network(pd_topology::NetworkError),
+    /// A post-placement stage panicked while evaluating this spec. The
+    /// payload is the panic message; sibling specs in the same batch are
+    /// unaffected.
+    Panicked(String),
 }
 
 impl std::fmt::Display for EvalError {
@@ -73,6 +88,8 @@ impl std::fmt::Display for EvalError {
         match self {
             EvalError::Generation(e) => write!(f, "generation: {e}"),
             EvalError::Placement(e) => write!(f, "placement: {e}"),
+            EvalError::Network(e) => write!(f, "network: {e}"),
+            EvalError::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
         }
     }
 }
@@ -94,6 +111,24 @@ pub fn evaluate(spec: &DesignSpec) -> Result<Evaluation, EvalError> {
 /// and feeds clones through here. [`evaluate`] is exactly `build()` followed
 /// by this function.
 pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluation, EvalError> {
+    // 1b. Structural guard for user-supplied networks. Generated
+    // topologies are correct by construction; a hand-built
+    // `TopologySpec::Custom` network can carry dangling link endpoints or
+    // over-subscribed ports that would otherwise surface as panics deep in
+    // placement or routing.
+    if matches!(spec.topology, TopologySpec::Custom(_)) {
+        for l in net.links() {
+            for end in [l.a, l.b] {
+                if net.switch(end).is_none() {
+                    return Err(EvalError::Network(
+                        pd_topology::NetworkError::UnknownSwitch(end),
+                    ));
+                }
+            }
+        }
+        net.validate().map_err(EvalError::Network)?;
+    }
+
     // 2. Physical plant + placement.
     let hall = Hall::new(spec.hall.clone());
     let mut placement = Placement::place(&net, &hall, spec.placement, &spec.equipment)
@@ -145,6 +180,22 @@ pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluati
         &spec.schedule.calib,
         &spec.repair,
     );
+    // 6b. Correlated fault injection (§3.3), on the as-built network:
+    // must run before the expansion probe, which mutates `net` for
+    // flat-ToR growth.
+    let faults = (spec.fault_scenarios.scenarios > 0).then(|| {
+        Injector::new(
+            &net,
+            &hall,
+            &placement,
+            &cabling,
+            &bundling,
+            &spec.schedule.calib,
+            &spec.repair,
+        )
+        .sweep(&spec.fault_scenarios)
+    });
+
     let expansion = run_expansion_probe(spec, &mut net, &hall, &placement);
 
     // 7. Twin.
@@ -207,6 +258,9 @@ pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluati
         expansion_new_cables: expansion.as_ref().map(|c| c.new_cables),
         expansion_panels_touched: expansion.as_ref().map(|c| c.panels_touched),
         expansion_labor: expansion.as_ref().map(|c| c.labor),
+        fault_worst_retention: faults.as_ref().map(|f| f.worst_throughput_retention),
+        fault_mean_retention: faults.as_ref().map(|f| f.mean_throughput_retention),
+        fault_resilience_gap: faults.as_ref().map(|f| f.resilience_gap),
         availability: repair.port_availability,
         mttr: repair.mean_mttr,
         unit_of_repair_ports: pd_lifecycle::repair::unit_of_repair_ports(
@@ -233,6 +287,7 @@ pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluati
         tco,
         repair,
         expansion,
+        faults,
         violations,
         envelope,
         report,
@@ -445,5 +500,71 @@ mod tests {
             evaluate(&spec),
             Err(EvalError::Placement(_))
         ));
+    }
+
+    #[test]
+    fn fault_sweep_populates_report_fields() {
+        let mut spec = fat_tree_spec();
+        spec.fault_scenarios = pd_lifecycle::FaultSweepParams {
+            scenarios: 3,
+            max_domains: 2,
+            seed: 11,
+        };
+        let ev = evaluate(&spec).unwrap();
+        let sweep = ev.faults.as_ref().expect("sweep must run");
+        assert_eq!(sweep.scenarios, 3);
+        let worst = ev.report.fault_worst_retention.unwrap();
+        let mean = ev.report.fault_mean_retention.unwrap();
+        assert!((0.0..=1.0).contains(&worst));
+        assert!(worst <= mean);
+        assert!(ev.report.fault_resilience_gap.is_some());
+        // The sweep must not disturb the rest of the evaluation.
+        let baseline = evaluate(&fat_tree_spec()).unwrap();
+        assert_eq!(ev.report.capex, baseline.report.capex);
+        assert_eq!(ev.report.time_to_deploy, baseline.report.time_to_deploy);
+    }
+
+    #[test]
+    fn invalid_custom_network_is_a_typed_error() {
+        use pd_topology::{Network, NetworkError};
+        // A radix-1 switch with two links is over-subscribed.
+        let mut net = Network::new("bad");
+        let speed = Gbps::new(100.0);
+        let a = net.add_switch("a", SwitchRole::Tor, 0, 1, speed, 0, None);
+        let b = net.add_switch("b", SwitchRole::Tor, 0, 4, speed, 0, None);
+        let c = net.add_switch("c", SwitchRole::Tor, 0, 4, speed, 0, None);
+        net.add_link(a, b, speed, 1, false).unwrap();
+        net.add_link(a, c, speed, 1, false).unwrap();
+        let spec = DesignSpec::new("bad", TopologySpec::Custom(net));
+        match evaluate(&spec) {
+            Err(EvalError::Network(NetworkError::PortOverflow { used, radix, .. })) => {
+                assert!(used > u32::from(radix));
+            }
+            other => panic!("expected PortOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_error_variants_all_render() {
+        use pd_topology::gen::GenError;
+        let errors = [
+            EvalError::Generation(GenError::ConstructionFailed("boom".into())),
+            EvalError::Placement(pd_physical::PlacementError::NotEnoughSlots {
+                needed: 4,
+                available: 2,
+            }),
+            EvalError::Network(pd_topology::NetworkError::DuplicateName("s0".into())),
+            EvalError::Panicked("need at least one technician".into()),
+        ];
+        for e in errors {
+            let rendered = e.to_string();
+            assert!(!rendered.is_empty());
+            // Each Display arm must carry its stage prefix.
+            let tagged = rendered.starts_with("generation:")
+                || rendered.starts_with("placement:")
+                || rendered.starts_with("network:")
+                || rendered.starts_with("evaluation panicked:");
+            assert!(tagged, "untagged error rendering: {rendered}");
+        }
     }
 }

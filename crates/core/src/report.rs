@@ -43,6 +43,18 @@ pub struct DeployabilityReport {
     /// Mean throughput retention at 10% random link failures (None = probe
     /// not run).
     pub resilience: Option<f64>,
+    /// Worst throughput retention over the correlated physical fault sweep
+    /// (§3.3; None = sweep not run).
+    #[serde(default)]
+    pub fault_worst_retention: Option<f64>,
+    /// Mean throughput retention over the correlated fault sweep.
+    #[serde(default)]
+    pub fault_mean_retention: Option<f64>,
+    /// Physical-vs-logical resilience gap: how much more retention random
+    /// link failures of equal magnitude keep than the correlated physical
+    /// scenarios (positive = physical correlation hurts).
+    #[serde(default)]
+    pub fault_resilience_gap: Option<f64>,
 
     // ── deployment (§2) ──────────────────────────────────────────────
     /// Total capital cost.
@@ -164,6 +176,21 @@ impl DeployabilityReport {
                 .map(|v| format!("{:.0}%", v * 100.0))
                 .unwrap_or_else(|| "-".into())
         });
+        row("fault worst", &|r| {
+            r.fault_worst_retention
+                .map(|v| format!("{:.0}%", v * 100.0))
+                .unwrap_or_else(|| "-".into())
+        });
+        row("fault mean", &|r| {
+            r.fault_mean_retention
+                .map(|v| format!("{:.0}%", v * 100.0))
+                .unwrap_or_else(|| "-".into())
+        });
+        row("phys-log gap", &|r| {
+            r.fault_resilience_gap
+                .map(|v| format!("{:+.0}pp", v * 100.0))
+                .unwrap_or_else(|| "-".into())
+        });
         row("— deployment —", &|_| String::new());
         row("capex ($k)", &|r| format!("{:.0}", r.capex.value() / 1e3));
         row("cabling share", &|r| {
@@ -259,6 +286,9 @@ pub(crate) mod tests_support {
             path_diversity: 2,
             spectral_gap: None,
             resilience: Some(0.9),
+            fault_worst_retention: Some(0.6),
+            fault_mean_retention: Some(0.8),
+            fault_resilience_gap: Some(0.05),
             capex: Dollars::new(500_000.0),
             cabling_fraction: 0.1,
             time_to_deploy: Hours::new(40.0),

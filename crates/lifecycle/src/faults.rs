@@ -1,0 +1,809 @@
+//! Correlated fault injection and degraded-mode evaluation.
+//!
+//! §3.3: "a network design that abstracts too many physical details
+//! conceals physical-world failure domains (e.g., shared power feeds)" and
+//! mitigation techniques "generally cannot tolerate large numbers of
+//! concurrent failures." Abstract resilience analysis samples *independent*
+//! link failures; real outages are correlated by the physical substrate —
+//! every cable in a tray segment, every run in a bundle, every rack on a
+//! feed pair, every linecard from a bad manufacturing batch.
+//!
+//! This module makes those domains first-class and injectable:
+//!
+//! * [`FaultDomain`] — one physically-derived failure domain, resolved
+//!   against the deployed design (placement power plan, cabling tray map,
+//!   bundling report, linecard layout).
+//! * [`FaultScenario`] — a named composition of domains, including seeded
+//!   random compositions ([`FaultScenario::random`]).
+//! * [`Injector`] — applies a scenario to a `Network` + `CablingPlan` and
+//!   produces a [`DegradedState`]: what is down, how much capacity and
+//!   throughput survive, how many servers are cut off, and what the
+//!   recovery costs in technician hours (via the repair calibration).
+//! * [`Injector::sweep`] — retention distributions over a seeded scenario
+//!   ensemble, plus the *physical-vs-logical resilience gap*: how much
+//!   worse correlated physical faults are than the equal-magnitude random
+//!   link failures that abstract analyses assume.
+//!
+//! Everything is deterministic given the scenario and seeds; identical
+//! inputs produce byte-identical [`DegradedState`] JSON.
+
+use crate::repair::RepairSimParams;
+use pd_cabling::{BundlingReport, CablingPlan};
+use pd_costing::calib::LaborCalibration;
+use pd_geometry::{Gbps, Hours, Meters, RouteEdgeId};
+use pd_physical::{FeedId, Hall, Placement, SlotId};
+use pd_topology::gen::SplitMix64;
+use pd_topology::routing::{AllPairs, EcmpLoads};
+use pd_topology::{LinkId, Network, SwitchId, TrafficMatrix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One physically-derived failure domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultDomain {
+    /// A single power feed trips. Slots whose surviving partner feed would
+    /// be pushed past capacity by the failover brown out (all switches in
+    /// racks there go down); with headroom, the redundancy holds and
+    /// nothing fails — which is itself a measurement.
+    PowerFeed {
+        /// The feed that trips (taken modulo the plan's feed count).
+        feed: u32,
+    },
+    /// A whole A/B feed pair is lost — maintenance on one busway plus a
+    /// fault on its partner, the classic correlated datacenter outage.
+    /// Every slot fed by that pair goes dark unconditionally.
+    PowerFeedPair {
+        /// Pair index `p`, denoting feeds `(2p, 2p+1) mod feeds` — the
+        /// pair the hall's row striping assigns.
+        pair: u32,
+    },
+    /// The `count` most heavily loaded tray segments are cut (collapse,
+    /// fire, a careless lift truck): every link with a cable routed
+    /// through them goes down together.
+    TraySegments {
+        /// Segments cut, in decreasing cables-carried order.
+        count: usize,
+    },
+    /// The `count` largest cable bundles are severed; a bundle fails as a
+    /// unit ("damage to a cable bundle" takes every member run).
+    BundleCut {
+        /// Bundles severed, in decreasing size order.
+        count: usize,
+    },
+    /// A bad linecard manufacturing batch: each linecard in the fleet is
+    /// in the batch with probability `fraction` (seeded, deterministic),
+    /// and every in-batch card fails at once, downing the links whose
+    /// ports it carries.
+    LinecardBatch {
+        /// Probability a given card is from the bad batch.
+        fraction: f64,
+        /// Seed for the batch-membership draw.
+        seed: u64,
+    },
+    /// Uncorrelated random link failures — the logical-diversity
+    /// assumption abstract metrics rest on; the baseline the physical
+    /// domains are measured against.
+    RandomLinks {
+        /// Fraction of links failed (rounded to a count).
+        fraction: f64,
+        /// Seed for the selection.
+        seed: u64,
+    },
+}
+
+/// A named composition of fault domains, applied simultaneously.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Display name (carried into the [`DegradedState`]).
+    pub name: String,
+    /// The domains that fail together.
+    pub domains: Vec<FaultDomain>,
+}
+
+impl FaultScenario {
+    /// A scenario with a single domain.
+    pub fn single(name: impl Into<String>, domain: FaultDomain) -> Self {
+        Self {
+            name: name.into(),
+            domains: vec![domain],
+        }
+    }
+
+    /// A seeded random composition of 1..=`max_domains` physical domains
+    /// (power pair, tray cut, bundle cut, linecard batch). Deterministic in
+    /// `(seed, index, max_domains)`; `index` varies the draw across an
+    /// ensemble.
+    pub fn random(seed: u64, index: usize, max_domains: usize) -> Self {
+        let mut rng = SplitMix64::new(
+            seed ^ 0xFA017D04_u64 ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        let n = 1 + rng.below(max_domains.max(1));
+        let domains = (0..n)
+            .map(|_| match rng.below(4) {
+                0 => FaultDomain::PowerFeedPair {
+                    pair: (rng.next_u64() % 16) as u32,
+                },
+                1 => FaultDomain::TraySegments {
+                    count: 1 + rng.below(3),
+                },
+                2 => FaultDomain::BundleCut {
+                    count: 1 + rng.below(3),
+                },
+                _ => FaultDomain::LinecardBatch {
+                    fraction: 0.05 + rng.below(3) as f64 * 0.05,
+                    seed: rng.next_u64(),
+                },
+            })
+            .collect();
+        Self {
+            name: format!("random-{index}"),
+            domains,
+        }
+    }
+}
+
+/// What survives a fault scenario, and what recovery costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedState {
+    /// The scenario that produced this state.
+    pub scenario: String,
+    /// Switches down (sorted, deduplicated).
+    pub switches_down: Vec<SwitchId>,
+    /// Links down, including links incident to downed switches (sorted).
+    pub links_down: Vec<LinkId>,
+    /// Linecards lost to a bad-batch domain.
+    pub failed_linecards: usize,
+    /// Surviving link capacity as a fraction of the healthy total. This is
+    /// monotone: adding fault domains to a scenario can only grow the
+    /// failed set, so it never increases.
+    pub capacity_retention: f64,
+    /// Degraded-mode ECMP throughput as a fraction of healthy: the scale
+    /// factor still-routable uniform traffic sustains, weighted by the
+    /// fraction of server pairs that remain connected.
+    pub throughput_retention: f64,
+    /// Server ports outside the largest surviving connected component
+    /// (servers on downed switches count as disconnected).
+    pub disconnected_servers: u32,
+    /// Repair actions in the recovery plan (chassis swaps, card swaps,
+    /// cable re-pulls).
+    pub recovery_repairs: usize,
+    /// Serial hands-on technician hours to restore the design, from the
+    /// repair calibration: walk + replace + validate per action.
+    pub recovery_hours: Hours,
+}
+
+/// Sweep settings: how many seeded scenarios, how complex, which seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepParams {
+    /// Scenarios in the ensemble (0 disables the sweep).
+    pub scenarios: usize,
+    /// Maximum domains composed per scenario.
+    pub max_domains: usize,
+    /// Ensemble seed.
+    pub seed: u64,
+}
+
+impl Default for FaultSweepParams {
+    fn default() -> Self {
+        Self {
+            scenarios: 0,
+            max_domains: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Retention distribution over a seeded scenario ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepReport {
+    /// Scenarios injected.
+    pub scenarios: usize,
+    /// Mean surviving-capacity fraction.
+    pub mean_capacity_retention: f64,
+    /// Worst surviving-capacity fraction.
+    pub worst_capacity_retention: f64,
+    /// Mean degraded-mode throughput retention.
+    pub mean_throughput_retention: f64,
+    /// Worst degraded-mode throughput retention.
+    pub worst_throughput_retention: f64,
+    /// Mean disconnected servers per scenario.
+    pub mean_disconnected_servers: f64,
+    /// Worst disconnected-server count.
+    pub worst_disconnected_servers: u32,
+    /// Mean recovery labor per scenario.
+    pub mean_recovery_hours: Hours,
+    /// Physical-vs-logical resilience gap: mean throughput retention under
+    /// *random* link failures of equal magnitude minus under the correlated
+    /// physical scenarios. Positive = the physical correlation hurts more
+    /// than the logical-diversity assumption predicts (the §3.3 claim).
+    pub resilience_gap: f64,
+}
+
+/// Accumulated failures while a scenario's domains resolve.
+#[derive(Default)]
+struct FaultSet {
+    switches: BTreeSet<SwitchId>,
+    /// Links whose physical cable path was cut (these need re-pulls).
+    cut_links: BTreeSet<LinkId>,
+    /// Links lost to failed linecards (card swap, no re-pull).
+    card_links: BTreeSet<LinkId>,
+    /// One entry per failed linecard: the slot a technician walks to.
+    card_sites: Vec<SlotId>,
+}
+
+/// The injection engine: resolves fault domains against one deployed
+/// design and evaluates degraded states.
+///
+/// Construction precomputes the healthy baseline (uniform traffic matrix,
+/// ECMP throughput scale, total capacity) and the deterministic domain
+/// orderings (tray segments by load, bundles by size), so repeated
+/// [`Injector::inject`] calls — the sweep's hot path — pay only for the
+/// degraded-state evaluation.
+pub struct Injector<'a> {
+    net: &'a Network,
+    hall: &'a Hall,
+    placement: &'a Placement,
+    plan: &'a CablingPlan,
+    calib: &'a LaborCalibration,
+    repair: &'a RepairSimParams,
+    tm: TrafficMatrix,
+    healthy_scale: f64,
+    total_capacity: f64,
+    /// Tray segments in decreasing cables-carried order.
+    tray_order: Vec<(RouteEdgeId, Vec<LinkId>)>,
+    /// Bundle link groups in decreasing size order.
+    bundle_order: Vec<Vec<LinkId>>,
+}
+
+impl<'a> Injector<'a> {
+    /// Builds an injector over a deployed design.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: &'a Network,
+        hall: &'a Hall,
+        placement: &'a Placement,
+        plan: &'a CablingPlan,
+        bundling: &'a BundlingReport,
+        calib: &'a LaborCalibration,
+        repair: &'a RepairSimParams,
+    ) -> Self {
+        let tm = TrafficMatrix::uniform_servers(net, Gbps::new(1.0));
+        let ap = AllPairs::compute(net);
+        let healthy_scale = EcmpLoads::compute(net, &ap, &tm).throughput_scale(net);
+        let total_capacity = net.links().map(|l| l.capacity().value()).sum();
+
+        let mut tray_order: Vec<(RouteEdgeId, Vec<LinkId>)> =
+            plan.links_per_tray_edge().into_iter().collect();
+        for (_, links) in &mut tray_order {
+            links.sort_unstable();
+            links.dedup();
+        }
+        tray_order.sort_by_key(|(edge, links)| (std::cmp::Reverse(links.len()), *edge));
+
+        let mut bundle_order: Vec<Vec<LinkId>> = {
+            let mut groups: Vec<&pd_cabling::Bundle> = bundling.bundles.iter().collect();
+            groups.sort_by_key(|b| {
+                (std::cmp::Reverse(b.members.len()), b.from_slot.0, b.to_slot.0)
+            });
+            groups
+                .into_iter()
+                .map(|b| {
+                    let mut links: Vec<LinkId> = b
+                        .members
+                        .iter()
+                        .filter_map(|&m| plan.runs.get(m).map(|r| r.link))
+                        .collect();
+                    links.sort_unstable();
+                    links.dedup();
+                    links
+                })
+                .collect()
+        };
+        bundle_order.retain(|g| !g.is_empty());
+
+        Self {
+            net,
+            hall,
+            placement,
+            plan,
+            calib,
+            repair,
+            tm,
+            healthy_scale,
+            total_capacity,
+            tray_order,
+            bundle_order,
+        }
+    }
+
+    /// Resolves one domain into concrete switch/link/card failures.
+    fn apply_domain(&self, domain: &FaultDomain, out: &mut FaultSet) {
+        match domain {
+            FaultDomain::PowerFeed { feed } => {
+                let feeds = self.placement.power.feed_count().max(1) as u32;
+                let dark: BTreeSet<SlotId> = self
+                    .placement
+                    .power
+                    .failover_dark_slots(FeedId(feed % feeds))
+                    .into_iter()
+                    .collect();
+                self.down_racks_in(&dark, out);
+            }
+            FaultDomain::PowerFeedPair { pair } => {
+                let feeds = self.placement.power.feed_count().max(1) as u32;
+                let a = FeedId((2 * pair) % feeds);
+                let b = FeedId((2 * pair + 1) % feeds);
+                let dark: BTreeSet<SlotId> = self
+                    .hall
+                    .slots()
+                    .iter()
+                    .filter(|s| {
+                        matches!(
+                            self.placement.power.feeds_of(s.id),
+                            Some((x, y)) if (x == a && y == b) || (x == b && y == a)
+                        )
+                    })
+                    .map(|s| s.id)
+                    .collect();
+                self.down_racks_in(&dark, out);
+            }
+            FaultDomain::TraySegments { count } => {
+                for (_, links) in self.tray_order.iter().take(*count) {
+                    out.cut_links.extend(links.iter().copied());
+                }
+            }
+            FaultDomain::BundleCut { count } => {
+                for links in self.bundle_order.iter().take(*count) {
+                    out.cut_links.extend(links.iter().copied());
+                }
+            }
+            FaultDomain::LinecardBatch { fraction, seed } => {
+                let ppl = u32::from(self.repair.ports_per_linecard.max(1));
+                let mut rng = SplitMix64::new(seed ^ 0x11EC0DE5_u64);
+                for s in self.net.switches() {
+                    let cards = u32::from(s.radix).div_ceil(ppl);
+                    let failed: Vec<u32> = (0..cards)
+                        .filter(|_| {
+                            (rng.next_u64() as f64 / u64::MAX as f64) < *fraction
+                        })
+                        .collect();
+                    if failed.is_empty() {
+                        continue;
+                    }
+                    let site = self.placement.slot_of(s.id).unwrap_or(SlotId(0));
+                    out.card_sites.extend(failed.iter().map(|_| site));
+                    // Ports 0..server_ports are server downlinks; network
+                    // links occupy the following ports, trunking each, in
+                    // link-id order. A link fails if any of its ports sit
+                    // on a failed card.
+                    let mut incident: Vec<LinkId> =
+                        self.net.incident_links(s.id).to_vec();
+                    incident.sort_unstable();
+                    let mut cursor = u32::from(s.server_ports);
+                    for l in incident {
+                        let t = self
+                            .net
+                            .link(l)
+                            .map(|l| u32::from(l.trunking))
+                            .unwrap_or(0);
+                        let hit = failed.iter().any(|&k| {
+                            let (lo, hi) = (k * ppl, (k + 1) * ppl);
+                            cursor < hi && cursor + t > lo
+                        });
+                        if hit {
+                            out.card_links.insert(l);
+                        }
+                        cursor += t;
+                    }
+                }
+            }
+            FaultDomain::RandomLinks { fraction, seed } => {
+                let mut ids: Vec<LinkId> = self.net.links().map(|l| l.id).collect();
+                let count = ((ids.len() as f64) * fraction.clamp(0.0, 1.0)).round()
+                    as usize;
+                let mut rng = SplitMix64::new(seed ^ 0x5EED4A11_u64);
+                rng.shuffle(&mut ids);
+                out.cut_links.extend(ids.into_iter().take(count.min(
+                    self.net.link_count(),
+                )));
+            }
+        }
+    }
+
+    /// Marks every switch racked at one of `dark` slots as down.
+    fn down_racks_in(&self, dark: &BTreeSet<SlotId>, out: &mut FaultSet) {
+        for rack in &self.placement.racks {
+            if dark.contains(&rack.slot) {
+                out.switches
+                    .extend(rack.switch_ids().into_iter().map(SwitchId));
+            }
+        }
+    }
+
+    /// Applies a scenario and evaluates the degraded design.
+    pub fn inject(&self, scenario: &FaultScenario) -> DegradedState {
+        let mut set = FaultSet::default();
+        for d in &scenario.domains {
+            self.apply_domain(d, &mut set);
+        }
+
+        // The full downed-link set: direct cuts, card losses, and every
+        // link incident to a downed switch.
+        let mut links_down: BTreeSet<LinkId> = &set.cut_links | &set.card_links;
+        for &s in &set.switches {
+            links_down.extend(self.net.incident_links(s).iter().copied());
+        }
+        links_down.retain(|l| self.net.link(*l).is_some());
+
+        let down_capacity: f64 = links_down
+            .iter()
+            .filter_map(|&l| self.net.link(l))
+            .map(|l| l.capacity().value())
+            .sum();
+        let capacity_retention = if self.total_capacity > 0.0 {
+            (1.0 - down_capacity / self.total_capacity).max(0.0)
+        } else {
+            1.0
+        };
+
+        // Degraded network for routing analysis.
+        let mut broken = self.net.clone();
+        for &s in &set.switches {
+            let _ = broken.remove_switch(s);
+        }
+        for &l in &links_down {
+            let _ = broken.remove_link(l);
+        }
+
+        let ap = AllPairs::compute(&broken);
+        let total_pairs = self.tm.demands().len();
+        let routable = self
+            .tm
+            .demands()
+            .iter()
+            .filter(|d| ap.distance(d.src, d.dst).is_some())
+            .count();
+        let healthy_ok = self.healthy_scale.is_finite() && self.healthy_scale > 0.0;
+        let throughput_retention = if total_pairs == 0 || !healthy_ok {
+            // No server traffic to degrade: fall back to the capacity view.
+            capacity_retention
+        } else if routable == 0 {
+            0.0
+        } else {
+            let scale =
+                EcmpLoads::compute(&broken, &ap, &self.tm).throughput_scale(&broken);
+            let per_pair = if scale.is_finite() {
+                (scale / self.healthy_scale).min(1.0)
+            } else {
+                1.0
+            };
+            per_pair * (routable as f64 / total_pairs as f64)
+        };
+
+        let disconnected_servers = self
+            .net
+            .server_count()
+            .saturating_sub(largest_component_servers(&broken));
+
+        // Recovery plan, priced by the repair calibration: a chassis swap
+        // per downed switch, a card swap per failed linecard, a cable
+        // re-pull per physically-cut run.
+        let depot = SlotId(0);
+        let walk = |slot: SlotId| {
+            self.calib
+                .walk_time(self.hall.slot_distance(depot, slot).unwrap_or(Meters::ZERO))
+        };
+        let mut recovery_hours = Hours::ZERO;
+        let mut recovery_repairs = 0usize;
+        for &s in &set.switches {
+            let slot = self.placement.slot_of(s).unwrap_or(depot);
+            recovery_hours += walk(slot) + self.repair.replace_chassis + self.repair.validate;
+            recovery_repairs += 1;
+        }
+        for &site in &set.card_sites {
+            recovery_hours += walk(site) + self.repair.replace_linecard + self.repair.validate;
+            recovery_repairs += 1;
+        }
+        for &l in &set.cut_links {
+            for run in self.plan.runs_of_link(l) {
+                recovery_hours += walk(run.from_slot)
+                    + self.calib.loose_cable_time(run.routed_length)
+                    + self.repair.validate;
+                recovery_repairs += 1;
+            }
+        }
+
+        DegradedState {
+            scenario: scenario.name.clone(),
+            switches_down: set.switches.into_iter().collect(),
+            links_down: links_down.into_iter().collect(),
+            failed_linecards: set.card_sites.len(),
+            capacity_retention,
+            throughput_retention,
+            disconnected_servers,
+            recovery_repairs,
+            recovery_hours,
+        }
+    }
+
+    /// Injects a seeded scenario ensemble and aggregates the retention
+    /// distribution; each physical scenario is paired with a random-link
+    /// scenario of equal failed-link count to measure the
+    /// physical-vs-logical resilience gap.
+    pub fn sweep(&self, params: &FaultSweepParams) -> FaultSweepReport {
+        let n = params.scenarios.max(1);
+        let links_total = self.net.link_count().max(1);
+
+        let mut cap_sum = 0.0;
+        let mut cap_worst = 1.0f64;
+        let mut tput_sum = 0.0;
+        let mut tput_worst = 1.0f64;
+        let mut disc_sum = 0.0;
+        let mut disc_worst = 0u32;
+        let mut hours_sum = Hours::ZERO;
+        let mut gap_sum = 0.0;
+
+        for i in 0..n {
+            let scenario = FaultScenario::random(params.seed, i, params.max_domains);
+            let d = self.inject(&scenario);
+
+            cap_sum += d.capacity_retention;
+            cap_worst = cap_worst.min(d.capacity_retention);
+            tput_sum += d.throughput_retention;
+            tput_worst = tput_worst.min(d.throughput_retention);
+            disc_sum += f64::from(d.disconnected_servers);
+            disc_worst = disc_worst.max(d.disconnected_servers);
+            hours_sum += d.recovery_hours;
+
+            // Equal-magnitude logical baseline: the same number of failed
+            // links, chosen uniformly at random.
+            let fraction = d.links_down.len() as f64 / links_total as f64;
+            let baseline = self.inject(&FaultScenario::single(
+                format!("logical-{i}"),
+                FaultDomain::RandomLinks {
+                    fraction,
+                    seed: params.seed ^ 0xBA5E11AE ^ (i as u64),
+                },
+            ));
+            gap_sum += baseline.throughput_retention - d.throughput_retention;
+        }
+
+        let nf = n as f64;
+        FaultSweepReport {
+            scenarios: n,
+            mean_capacity_retention: cap_sum / nf,
+            worst_capacity_retention: cap_worst,
+            mean_throughput_retention: tput_sum / nf,
+            worst_throughput_retention: tput_worst,
+            mean_disconnected_servers: disc_sum / nf,
+            worst_disconnected_servers: disc_worst,
+            mean_recovery_hours: hours_sum / nf,
+            resilience_gap: gap_sum / nf,
+        }
+    }
+}
+
+/// Server mass of the largest connected component of `net`.
+fn largest_component_servers(net: &Network) -> u32 {
+    let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
+    let mut best = 0u32;
+    for s in net.switches() {
+        if seen.contains(&s.id) {
+            continue;
+        }
+        let mut mass = 0u32;
+        let mut stack = vec![s.id];
+        seen.insert(s.id);
+        while let Some(u) = stack.pop() {
+            mass += net.switch(u).map(|sw| u32::from(sw.server_ports)).unwrap_or(0);
+            for v in net.neighbors(u) {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        best = best.max(mass);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_cabling::CablingPolicy;
+    use pd_physical::placement::EquipmentProfile;
+    use pd_physical::{HallSpec, PlacementStrategy};
+    use pd_topology::gen::fat_tree;
+
+    struct Fixture {
+        net: Network,
+        hall: Hall,
+        placement: Placement,
+        plan: CablingPlan,
+        bundling: BundlingReport,
+        calib: LaborCalibration,
+        repair: RepairSimParams,
+    }
+
+    fn fixture() -> Fixture {
+        let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hall = Hall::new(HallSpec::default());
+        let placement = Placement::place(
+            &net,
+            &hall,
+            PlacementStrategy::BlockLocal,
+            &EquipmentProfile::default(),
+        )
+        .unwrap();
+        let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+        let bundling = BundlingReport::analyze(&plan, 4);
+        Fixture {
+            net,
+            hall,
+            placement,
+            plan,
+            bundling,
+            calib: LaborCalibration::default(),
+            repair: RepairSimParams::default(),
+        }
+    }
+
+    impl Fixture {
+        fn injector(&self) -> Injector<'_> {
+            Injector::new(
+                &self.net,
+                &self.hall,
+                &self.placement,
+                &self.plan,
+                &self.bundling,
+                &self.calib,
+                &self.repair,
+            )
+        }
+    }
+
+    #[test]
+    fn empty_scenario_degrades_nothing() {
+        let f = fixture();
+        let d = f.injector().inject(&FaultScenario {
+            name: "nothing".into(),
+            domains: vec![],
+        });
+        assert!(d.switches_down.is_empty());
+        assert!(d.links_down.is_empty());
+        assert_eq!(d.capacity_retention, 1.0);
+        assert!((d.throughput_retention - 1.0).abs() < 1e-9);
+        assert_eq!(d.disconnected_servers, 0);
+        assert_eq!(d.recovery_repairs, 0);
+    }
+
+    #[test]
+    fn feed_pair_outage_downs_racked_rows() {
+        let f = fixture();
+        let inj = f.injector();
+        let d = inj.inject(&FaultScenario::single(
+            "pair0",
+            FaultDomain::PowerFeedPair { pair: 0 },
+        ));
+        // Default hall: 4 feeds, pair 0 covers the even rows, where the
+        // block-local placement put racks — switches must go down.
+        assert!(!d.switches_down.is_empty());
+        assert!(d.capacity_retention < 1.0);
+        assert!(d.throughput_retention < 1.0);
+        assert!(d.recovery_hours > Hours::ZERO);
+    }
+
+    #[test]
+    fn single_feed_outage_with_headroom_is_survived() {
+        let f = fixture();
+        let d = f.injector().inject(&FaultScenario::single(
+            "feed0",
+            FaultDomain::PowerFeed { feed: 0 },
+        ));
+        // A tiny fat-tree draws far below feed capacity: failover holds.
+        assert!(d.switches_down.is_empty());
+        assert_eq!(d.capacity_retention, 1.0);
+    }
+
+    #[test]
+    fn tray_cut_downs_the_loaded_segment() {
+        let f = fixture();
+        let inj = f.injector();
+        let d = inj.inject(&FaultScenario::single(
+            "tray1",
+            FaultDomain::TraySegments { count: 1 },
+        ));
+        assert!(!d.links_down.is_empty());
+        assert!(d.capacity_retention < 1.0);
+        // Cut cables need re-pulls: at least one repair per downed link.
+        assert!(d.recovery_repairs >= d.links_down.len());
+    }
+
+    #[test]
+    fn bundle_cut_severs_every_member() {
+        let f = fixture();
+        let inj = f.injector();
+        let d = inj.inject(&FaultScenario::single(
+            "bundle1",
+            FaultDomain::BundleCut { count: 1 },
+        ));
+        let largest = inj.bundle_order.first().map(Vec::len).unwrap_or(0);
+        assert!(largest > 0, "fat-tree cabling must form bundles");
+        assert_eq!(d.links_down.len(), largest);
+    }
+
+    #[test]
+    fn linecard_batch_downs_links_and_counts_cards() {
+        let f = fixture();
+        let d = f.injector().inject(&FaultScenario::single(
+            "batch",
+            FaultDomain::LinecardBatch {
+                fraction: 1.0,
+                seed: 9,
+            },
+        ));
+        // fraction 1.0: every card fails, so every network link is down.
+        assert_eq!(d.links_down.len(), f.net.link_count());
+        assert!(d.failed_linecards >= f.net.switch_count());
+        assert_eq!(d.capacity_retention, 0.0);
+        assert_eq!(d.throughput_retention, 0.0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let f = fixture();
+        let inj = f.injector();
+        let sc = FaultScenario::random(42, 3, 3);
+        let a = inj.inject(&sc);
+        let b = inj.inject(&sc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adding_domains_never_raises_capacity_retention() {
+        let f = fixture();
+        let inj = f.injector();
+        let domains = [
+            FaultDomain::TraySegments { count: 1 },
+            FaultDomain::PowerFeedPair { pair: 0 },
+            FaultDomain::BundleCut { count: 2 },
+            FaultDomain::LinecardBatch {
+                fraction: 0.2,
+                seed: 5,
+            },
+        ];
+        let mut prev = 1.0f64;
+        for k in 1..=domains.len() {
+            let d = inj.inject(&FaultScenario {
+                name: format!("compose-{k}"),
+                domains: domains[..k].to_vec(),
+            });
+            assert!(
+                d.capacity_retention <= prev + 1e-12,
+                "retention rose when domain {k} was added: {} > {prev}",
+                d.capacity_retention
+            );
+            prev = d.capacity_retention;
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_bounded() {
+        let f = fixture();
+        let inj = f.injector();
+        let params = FaultSweepParams {
+            scenarios: 6,
+            max_domains: 2,
+            seed: 7,
+        };
+        let a = inj.sweep(&params);
+        let b = inj.sweep(&params);
+        assert_eq!(a, b);
+        assert_eq!(a.scenarios, 6);
+        assert!(a.worst_capacity_retention <= a.mean_capacity_retention);
+        assert!(a.worst_throughput_retention <= a.mean_throughput_retention);
+        assert!((0.0..=1.0).contains(&a.mean_capacity_retention));
+        assert!((0.0..=1.0).contains(&a.mean_throughput_retention));
+        assert!(a.resilience_gap.abs() <= 1.0);
+    }
+}

@@ -14,6 +14,11 @@
 //!   per panel, panels/racks touched, walking distance, labor hours.
 //! * [`drain`] — capacity impact of taking racks/switches out of service,
 //!   and the largest safe concurrent drain (§4.3's low-impact chunks).
+//! * [`faults`] — correlated fault injection (§3.3): physically-derived
+//!   fault domains (power-feed pairs, tray segments, bundles, linecard
+//!   batches) applied to a deployed design, degraded-mode evaluation, and
+//!   seeded sweep ensembles measuring the physical-vs-logical resilience
+//!   gap.
 //! * [`repair`] — Monte-Carlo failure/repair simulation: FIT-driven
 //!   failures, detect → dispatch → drain → replace → validate → undrain,
 //!   MTTR and capacity-availability, and the §3.3 unit-of-repair analysis
@@ -33,6 +38,7 @@ pub mod convert;
 pub mod decom;
 pub mod drain;
 pub mod expansion;
+pub mod faults;
 pub mod metrics;
 pub mod phased;
 pub mod repair;
@@ -41,6 +47,9 @@ pub use convert::{ConversionParams, ConversionPlan};
 pub use decom::{DecomChecker, DecomError, PortState};
 pub use drain::{capacity_after_drain, max_safe_concurrent_drains, DrainImpact};
 pub use expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
+pub use faults::{
+    DegradedState, FaultDomain, FaultScenario, FaultSweepParams, FaultSweepReport, Injector,
+};
 pub use metrics::{LifecycleComplexity, RewireMove, RewirePlan, RewireSite};
 pub use phased::{simulate as simulate_phased, BuildStrategy, PhasedOutcome, PhasedParams};
 pub use repair::{ConcurrencyStats, RepairSimParams, RepairSimReport};

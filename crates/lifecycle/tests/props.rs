@@ -4,12 +4,63 @@ use pd_geometry::{Gbps, Hours};
 use pd_lifecycle::expansion::{
     clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams, IndirectionLevel,
 };
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy};
+use pd_costing::calib::LaborCalibration;
 use pd_lifecycle::phased::{simulate, BuildStrategy, PhasedParams};
-use pd_lifecycle::{DecomChecker, PortState};
-use pd_physical::{Hall, HallSpec, SlotId};
-use pd_topology::gen::{jellyfish, JellyfishParams};
-use pd_topology::LinkId;
+use pd_lifecycle::{DecomChecker, FaultDomain, FaultScenario, Injector, PortState, RepairSimParams};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, HallSpec, Placement, PlacementStrategy, SlotId};
+use pd_topology::gen::{fat_tree, jellyfish, JellyfishParams};
+use pd_topology::{LinkId, Network};
 use proptest::prelude::*;
+
+/// A deployed fat-tree design for fault-injection properties.
+struct Deployed {
+    net: Network,
+    hall: Hall,
+    placement: Placement,
+    plan: CablingPlan,
+    bundling: BundlingReport,
+    calib: LaborCalibration,
+    repair: RepairSimParams,
+}
+
+fn deployed() -> Deployed {
+    let net = fat_tree(4, Gbps::new(100.0)).unwrap();
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .unwrap();
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let bundling = BundlingReport::analyze(&plan, 4);
+    Deployed {
+        net,
+        hall,
+        placement,
+        plan,
+        bundling,
+        calib: LaborCalibration::default(),
+        repair: RepairSimParams::default(),
+    }
+}
+
+impl Deployed {
+    fn injector(&self) -> Injector<'_> {
+        Injector::new(
+            &self.net,
+            &self.hall,
+            &self.placement,
+            &self.plan,
+            &self.bundling,
+            &self.calib,
+            &self.repair,
+        )
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
@@ -176,6 +227,60 @@ proptest! {
         } else {
             prop_assert_eq!(c.software_steps, 0);
             prop_assert!(c.labor > Hours::ZERO);
+        }
+    }
+}
+
+proptest! {
+    // Fault-injection properties rebuild a full deployed design per case,
+    // so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Identical (scenario, seed) always yields byte-identical
+    /// `DegradedState` JSON — the sweep determinism contract.
+    #[test]
+    fn fault_injection_is_byte_deterministic(seed in 0u64..1000, index in 0usize..50, max_domains in 1usize..4) {
+        let d = deployed();
+        let inj = d.injector();
+        let scenario = FaultScenario::random(seed, index, max_domains);
+        let a = serde_json::to_vec(&inj.inject(&scenario)).unwrap();
+        let b = serde_json::to_vec(&inj.inject(&scenario)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Capacity retention is monotonically non-increasing as fault domains
+    /// are appended to a scenario: the failed set only grows.
+    #[test]
+    fn capacity_retention_monotone_in_domains(seed in 0u64..1000, picks in prop::collection::vec(0usize..4, 1..5)) {
+        let d = deployed();
+        let inj = d.injector();
+        let domains: Vec<FaultDomain> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| match k {
+                0 => FaultDomain::PowerFeedPair { pair: (seed % 4) as u32 },
+                1 => FaultDomain::TraySegments { count: 1 + i },
+                2 => FaultDomain::BundleCut { count: 1 + i },
+                _ => FaultDomain::LinecardBatch {
+                    fraction: 0.1 + 0.1 * i as f64,
+                    seed: seed.wrapping_add(i as u64),
+                },
+            })
+            .collect();
+        let mut prev = 1.0f64;
+        for k in 1..=domains.len() {
+            let state = inj.inject(&FaultScenario {
+                name: format!("prefix-{k}"),
+                domains: domains[..k].to_vec(),
+            });
+            prop_assert!(
+                state.capacity_retention <= prev + 1e-12,
+                "retention rose from {} to {} at domain {}",
+                prev,
+                state.capacity_retention,
+                k
+            );
+            prev = state.capacity_retention;
         }
     }
 }

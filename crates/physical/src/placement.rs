@@ -240,11 +240,14 @@ impl Placement {
                 }
             };
             let mut rest: Vec<SlotId> = slot_seq.iter().copied().skip(pod_rack_count).collect();
-            rest.sort_by(|a, b| {
-                let da = hall.slot(*a).unwrap().center.manhattan(centroid);
-                let db = hall.slot(*b).unwrap().center.manhattan(centroid);
-                da.total_cmp(&db).then(a.cmp(b))
-            });
+            // Total ordering even for stale slot ids: unknown slots sort
+            // last instead of panicking mid-comparison.
+            let dist = |id: SlotId| {
+                hall.slot(id)
+                    .map(|s| s.center.manhattan(centroid))
+                    .unwrap_or(Meters::new(f64::MAX))
+            };
+            rest.sort_by(|a, b| dist(*a).total_cmp(&dist(*b)).then(a.cmp(b)));
             rest.into_iter().take(spine_rack_count).collect()
         } else {
             Vec::new()
@@ -261,11 +264,23 @@ impl Placement {
                 .map(|s| s.layer >= 2)
                 .unwrap_or(false);
             let slot = if matches!(strategy, PlacementStrategy::BlockLocal) && is_spine_rack {
-                let s = spine_slots[spine_front];
+                let s = *spine_slots.get(spine_front).ok_or_else(|| {
+                    PlacementError::InstallFailed(format!(
+                        "no spine slot left for rack {} of {}",
+                        spine_front + 1,
+                        spine_rack_count
+                    ))
+                })?;
                 spine_front += 1;
                 s
             } else {
-                let s = slot_seq[front];
+                let s = *slot_seq.get(front).ok_or_else(|| {
+                    PlacementError::InstallFailed(format!(
+                        "no hall slot left for rack {} of {}",
+                        front + 1,
+                        rack_loads.len()
+                    ))
+                })?;
                 front += 1;
                 s
             };
@@ -273,7 +288,9 @@ impl Placement {
             let mut rack = Rack::new(rid, slot, hall.spec.rack);
             let mut rack_power = Watts::ZERO;
             for &sid in &rack_loads[load_idx] {
-                let sw = net.switch(sid).expect("placed switch exists");
+                let sw = net.switch(sid).ok_or_else(|| {
+                    PlacementError::InstallFailed(format!("{sid} vanished from the network"))
+                })?;
                 let (ru, weight, draw) = profile.switch_shape(sw.radix);
                 rack.install(EquipmentKind::Switch(sid.0), ru, weight, draw)
                     .map_err(|e| {

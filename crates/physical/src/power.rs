@@ -117,6 +117,40 @@ impl PowerPlan {
         (worst, self.feed_capacity)
     }
 
+    /// Slots that go dark if `failed` trips: those whose surviving partner
+    /// feed would be pushed past capacity by absorbing the failover load.
+    ///
+    /// Empty when the redundancy works (every partner feed has headroom for
+    /// its share of the moved load). Uses the same proportional-shift
+    /// approximation as [`PowerPlan::headroom_under_failure`]; the fault
+    /// injector (`pd-lifecycle`) turns the returned slots into downed
+    /// switches.
+    pub fn failover_dark_slots(&self, failed: FeedId) -> Vec<SlotId> {
+        let moved = self.feed_load(failed);
+        let partners: Vec<(SlotId, FeedId)> = self
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, b))| *a == failed || *b == failed)
+            .map(|(i, (a, b))| (SlotId(i), if *a == failed { *b } else { *a }))
+            .collect();
+        if partners.is_empty() {
+            return Vec::new();
+        }
+        let share = moved / partners.len() as f64;
+        let mut shifted: HashMap<FeedId, Watts> = HashMap::new();
+        for (_, p) in &partners {
+            *shifted.entry(*p).or_insert_with(|| self.feed_load(*p)) += share;
+        }
+        partners
+            .into_iter()
+            .filter(|(_, p)| {
+                shifted.get(p).copied().unwrap_or(Watts::ZERO) > self.feed_capacity
+            })
+            .map(|(s, _)| s)
+            .collect()
+    }
+
     /// Slots that share at least one feed with `slot` — the correlated
     /// failure domain exposed to SPOF analysis.
     pub fn shared_feed_slots(&self, slot: SlotId) -> Vec<SlotId> {
@@ -193,6 +227,20 @@ mod tests {
             assert!(row == 0 || row == 2, "unexpected row {row}");
         }
         assert_eq!(shared.len(), 7); // 3 other row-0 slots + 4 row-2 slots
+    }
+
+    #[test]
+    fn failover_dark_slots_only_past_capacity() {
+        let (_, mut plan) = plan();
+        plan.add_load(SlotId(0), Watts::new(10_000.0));
+        let (a, _) = plan.feeds_of(SlotId(0)).unwrap();
+        // 10 kW fits on the partner: redundancy holds, nothing goes dark.
+        assert!(plan.failover_dark_slots(a).is_empty());
+        // Load the slot's pair past a single feed's capacity (default
+        // HallSpec capacity is 400 kW; 900 kW split leaves 450 kW moved).
+        plan.add_load(SlotId(0), Watts::new(890_000.0));
+        let dark = plan.failover_dark_slots(a);
+        assert!(dark.contains(&SlotId(0)), "overloaded partner goes dark");
     }
 
     #[test]

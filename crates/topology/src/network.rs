@@ -123,12 +123,22 @@ impl Link {
     /// # Panics
     /// Panics if `s` is not an endpoint of this link.
     pub fn other(&self, s: SwitchId) -> SwitchId {
+        match self.try_other(s) {
+            Some(o) => o,
+            None => panic!("{s} is not an endpoint of {}", self.id),
+        }
+    }
+
+    /// The endpoint opposite `s`, or `None` if `s` is not an endpoint —
+    /// the total form of [`Link::other`] for callers traversing
+    /// user-supplied (possibly inconsistent) networks.
+    pub fn try_other(&self, s: SwitchId) -> Option<SwitchId> {
         if s == self.a {
-            self.b
+            Some(self.b)
         } else if s == self.b {
-            self.a
+            Some(self.a)
         } else {
-            panic!("{s} is not an endpoint of {}", self.id)
+            None
         }
     }
 
@@ -385,7 +395,7 @@ impl Network {
     pub fn neighbors(&self, id: SwitchId) -> impl Iterator<Item = SwitchId> + '_ {
         self.incident_links(id)
             .iter()
-            .filter_map(move |l| self.link(*l).map(|l| l.other(id)))
+            .filter_map(move |l| self.link(*l).and_then(|l| l.try_other(id)))
     }
 
     /// Ports consumed on a switch: incident link trunking + server downlinks.
@@ -511,7 +521,11 @@ impl Network {
         self.incident_links(a)
             .iter()
             .copied()
-            .find(|&l| self.link(l).map(|l| l.other(a) == b).unwrap_or(false))
+            .find(|&l| {
+                self.link(l)
+                    .and_then(|l| l.try_other(a))
+                    .is_some_and(|o| o == b)
+            })
     }
 }
 
@@ -538,6 +552,17 @@ mod tests {
         assert_eq!(n.find_link(a, c), Some(l2));
         assert_eq!(n.find_link(b, c), None);
         assert_eq!(n.neighbors(a).count(), 2);
+    }
+
+    #[test]
+    fn try_other_is_total() {
+        let (mut n, a, b, c) = tiny();
+        let l = n.add_link(a, b, Gbps::new(100.0), 1, false).unwrap();
+        let link = n.link(l).unwrap();
+        assert_eq!(link.try_other(a), Some(b));
+        assert_eq!(link.try_other(b), Some(a));
+        // A non-endpoint yields None instead of the panic `other` raises.
+        assert_eq!(link.try_other(c), None);
     }
 
     #[test]
