@@ -47,7 +47,7 @@ fn main() {
             for (name, desc, _) in all_experiments() {
                 println!("  {name:<4} {desc}");
             }
-            println!("\nusage: experiments <e1..e19 | all> [--jobs N]");
+            println!("\nusage: experiments <e1..e20 | all> [--jobs N]");
         }
         Some("all") => {
             for (_, report) in run_all(jobs) {

@@ -21,6 +21,7 @@
 //! | e17 | §3.5 §2.3 | incremental deployment under forecast error |
 //! | e18 | — | toolkit ablations (modeling-knob sensitivity) |
 //! | e19 | §3.3 | correlated fault domains vs abstract resilience |
+//! | e20 | §5.2 §5.4 | design-space search: Pareto frontiers, envelope map |
 
 pub mod e01_time;
 pub mod e02_cables;
@@ -41,6 +42,7 @@ pub mod e16_fso;
 pub mod e17_phased;
 pub mod e18_ablations;
 pub mod e19_faultdomains;
+pub mod e20_search;
 
 /// (name, description, runner) for every experiment.
 pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
@@ -64,6 +66,7 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
         ("e17", "§3.5: incremental deployment under forecast error", e17_phased::run),
         ("e18", "toolkit ablations: modeling-knob sensitivity", e18_ablations::run),
         ("e19", "§3.3: correlated fault domains vs abstract resilience", e19_faultdomains::run),
+        ("e20", "§5.2/§5.4: design-space search, Pareto frontiers, envelope map", e20_search::run),
     ]
 }
 
@@ -144,7 +147,7 @@ mod tests {
         let mut names: Vec<_> = all.iter().map(|(n, _, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         assert!(run_by_name("nope").is_none());
     }
 }

@@ -112,17 +112,91 @@ impl BatchOptions {
 /// it exactly once and everyone else clones the result. Failed generations
 /// are cached too ([`GenError`] is `Clone`), so a bad sub-spec fails every
 /// spec that shares it without re-running the generator.
+///
+/// An unbounded cache holds every generated [`Network`] alive for its own
+/// lifetime, which a multi-thousand-point design-space sweep cannot afford.
+/// Two relief valves exist: [`GenCache::with_capacity`] bounds the entry
+/// count with least-recently-used eviction, and [`GenCache::clear`] drops
+/// every entry at a batch boundary (e.g. between search waves) while
+/// keeping the hit/miss counters running. Eviction never breaks
+/// determinism — an evicted key simply regenerates, and generation is a
+/// pure function of the key — it only trades memory for repeated work.
 #[derive(Default)]
 pub struct GenCache {
-    slots: Mutex<HashMap<u64, Arc<OnceLock<Result<Network, GenError>>>>>,
+    slots: Mutex<Slots>,
+    /// Maximum distinct entries held (`None` = unbounded).
+    capacity: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
+type GenSlot = Arc<OnceLock<Result<Network, GenError>>>;
+
+/// The guarded interior: the key map plus a logical clock for LRU order.
+#[derive(Default)]
+struct Slots {
+    map: HashMap<u64, SlotEntry>,
+    /// Monotone access counter; every lookup stamps its entry, so the entry
+    /// with the smallest stamp is the least recently used.
+    tick: u64,
+}
+
+struct SlotEntry {
+    slot: GenSlot,
+    last_used: u64,
+}
+
 impl GenCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` distinct topologies
+    /// (clamped to ≥ 1), evicting the least recently used entry beyond
+    /// that. Entries still being generated by another thread stay alive
+    /// through their `Arc` even if evicted from the map.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Fetches (and recency-stamps) the slot for `key`, evicting the LRU
+    /// entry if inserting `key` pushed the map over capacity.
+    fn slot_for(&self, key: u64) -> GenSlot {
+        let mut inner = self.slots.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                e.get().slot.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => e
+                .insert(SlotEntry {
+                    slot: Default::default(),
+                    last_used: tick,
+                })
+                .slot
+                .clone(),
+        };
+        if let Some(cap) = self.capacity {
+            while inner.map.len() > cap {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .filter(|(&k, _)| k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k);
+                match oldest {
+                    Some(k) => inner.map.remove(&k),
+                    None => break,
+                };
+            }
+        }
+        slot
     }
 
     /// Builds (or clones the memoized) network for `topo`.
@@ -134,7 +208,7 @@ impl GenCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return topo.build();
         };
-        let slot = self.slots.lock().entry(key).or_default().clone();
+        let slot = self.slot_for(key);
         let mut generated = false;
         let result = slot.get_or_init(|| {
             generated = true;
@@ -160,12 +234,22 @@ impl GenCache {
 
     /// Distinct topologies held.
     pub fn len(&self) -> usize {
-        self.slots.lock().len()
+        self.slots.lock().map.len()
     }
 
     /// Whether the cache holds nothing yet.
     pub fn is_empty(&self) -> bool {
-        self.slots.lock().is_empty()
+        self.slots.lock().map.is_empty()
+    }
+
+    /// Drops every held entry (the hit/miss counters keep running).
+    ///
+    /// Long-lived callers — a search sweeping thousands of points through
+    /// [`evaluate_many_with_cache`] wave by wave — call this between waves
+    /// to stop the cache from holding every generated [`Network`] alive,
+    /// when a fixed [`GenCache::with_capacity`] bound isn't wanted.
+    pub fn clear(&self) {
+        self.slots.lock().map.clear();
     }
 }
 
@@ -405,6 +489,51 @@ mod tests {
         };
         assert_eq!(pattern(&serial), pattern(&parallel));
         assert!(matches!(&serial[1], Err(EvalError::Panicked(_))));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = GenCache::with_capacity(2);
+        let a = jellyfish(1);
+        let b = jellyfish(2);
+        let c = jellyfish(3);
+        cache.build(&a).unwrap(); // miss: {a}
+        cache.build(&b).unwrap(); // miss: {a, b}
+        cache.build(&a).unwrap(); // hit, refreshes a: {b, a}
+        cache.build(&c).unwrap(); // miss, evicts b (LRU): {a, c}
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        cache.build(&a).unwrap(); // still held
+        assert_eq!(cache.hits(), 2);
+        cache.build(&b).unwrap(); // evicted above: regenerates
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_does_not_change_results() {
+        let specs = mixed_batch();
+        let unbounded = GenCache::new();
+        let tiny = GenCache::with_capacity(1);
+        let a = evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &unbounded);
+        let b = evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &tiny);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_ref().unwrap().report, y.as_ref().unwrap().report);
+        }
+        assert!(tiny.len() <= 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = GenCache::new();
+        let topo = jellyfish(5);
+        cache.build(&topo).unwrap();
+        cache.build(&topo).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.build(&topo).unwrap(); // regenerates after clear
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use batch::{evaluate_many, BatchOptions, GenCache};
 pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
 pub use pipeline::{evaluate, Evaluation};
 pub use report::DeployabilityReport;
-pub use score::{pareto_front, weighted_score, Weights};
+pub use score::{pareto_front, pareto_front_points, weighted_score, Weights};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
     pub use crate::pipeline::{evaluate, Evaluation};
     pub use crate::report::DeployabilityReport;
-    pub use crate::score::{pareto_front, weighted_score, Weights};
+    pub use crate::score::{pareto_front, pareto_front_points, weighted_score, Weights};
     pub use pd_cabling::{CablingPolicy, IndirectionKind};
     pub use pd_costing::{ScheduleParams, YieldParams};
     pub use pd_geometry::{Dollars, Gbps, Hours, Meters};

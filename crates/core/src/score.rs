@@ -47,10 +47,17 @@ impl Default for Weights {
 
 /// Scores every report in `set` under `weights`; higher is better. Scores
 /// are comparable only within one call (normalization is per-set).
+///
+/// Non-finite metric values (an errored probe reporting `NaN`, an ∞ cost
+/// from a degenerate spec) contribute the *worst* normalized value, `0`,
+/// rather than poisoning the sum; a score that still ends up non-finite is
+/// clamped to `0`, so a finite design always outranks a broken one.
 pub fn weighted_score(set: &[&DeployabilityReport], weights: &Weights) -> Vec<f64> {
     if set.is_empty() {
         return Vec::new();
     }
+    // f64::max/min skip NaN operands, so the folds below settle on the
+    // best/worst *finite* value in the set (or the seed value if none is).
     let max = |f: &dyn Fn(&DeployabilityReport) -> f64| {
         set.iter().map(|r| f(r)).fold(f64::MIN, f64::max)
     };
@@ -73,9 +80,24 @@ pub fn weighted_score(set: &[&DeployabilityReport], weights: &Weights) -> Vec<f6
             .unwrap_or(worst_exp.max(1.0))
     };
 
-    // Higher-better: value / max. Lower-better: min / value.
-    let hi = |v: f64, m: f64| if m <= 0.0 { 0.0 } else { v / m };
-    let lo = |v: f64, m: f64| if v <= 0.0 { 1.0 } else { m / v };
+    // Higher-better: value / max. Lower-better: min / value. A non-finite
+    // value or normalizer yields the worst contribution instead of NaN.
+    let hi = |v: f64, m: f64| {
+        if !v.is_finite() || !m.is_finite() || m <= 0.0 {
+            0.0
+        } else {
+            v / m
+        }
+    };
+    let lo = |v: f64, m: f64| {
+        if !v.is_finite() || !m.is_finite() {
+            0.0
+        } else if v <= 0.0 {
+            1.0
+        } else {
+            m / v
+        }
+    };
 
     set.iter()
         .map(|r| {
@@ -87,11 +109,51 @@ pub fn weighted_score(set: &[&DeployabilityReport], weights: &Weights) -> Vec<f6
             s += weights.yield_ * hi(fy(r), max(fy));
             s += weights.expansion * lo(exp(r), set.iter().map(|x| exp(x)).fold(f64::MAX, f64::min));
             s += weights.availability * hi(avail(r), max(avail));
-            if !r.deployable() {
-                // An undeployable design's score is meaningless; sink it.
+            if !s.is_finite() || !r.deployable() {
+                // A non-finite or undeployable design's score is
+                // meaningless; sink it.
                 s = 0.0;
             }
             s
+        })
+        .collect()
+}
+
+/// Indices of the Pareto-optimal points over arbitrary axis tuples.
+///
+/// `points[i]` holds candidate `i`'s value on each axis;
+/// `higher_better[d]` gives axis `d`'s direction. A candidate is dominated
+/// if another is at least as good on every axis and strictly better on at
+/// least one.
+///
+/// Candidates with a non-finite axis value (NaN, ±∞) or the wrong axis
+/// count are excluded outright: they never appear on the front and never
+/// dominate a finite candidate, so one errored point cannot eject real
+/// designs from the frontier. This is the axis-generic engine behind
+/// [`pareto_front`]; `pd-search`'s frontier module drives it with
+/// configurable axes.
+pub fn pareto_front_points(points: &[Vec<f64>], higher_better: &[bool]) -> Vec<usize> {
+    let finite =
+        |p: &[f64]| p.len() == higher_better.len() && p.iter().all(|v| v.is_finite());
+    let dominates = |a: &[f64], b: &[f64]| {
+        let mut strictly = false;
+        for (d, (&x, &y)) in a.iter().zip(b).enumerate() {
+            let (x, y) = if higher_better[d] { (x, y) } else { (y, x) };
+            if x < y {
+                return false;
+            }
+            if x > y {
+                strictly = true;
+            }
+        }
+        strictly
+    };
+    (0..points.len())
+        .filter(|&i| {
+            finite(&points[i])
+                && !(0..points.len()).any(|j| {
+                    j != i && finite(&points[j]) && dominates(&points[j], &points[i])
+                })
         })
         .collect()
 }
@@ -100,22 +162,27 @@ pub fn weighted_score(set: &[&DeployabilityReport], weights: &Weights) -> Vec<f6
 /// throughput ↑, deployability = day-1 cost per server ↓ and deploy time ↓).
 /// A report is dominated if another is at least as good on all three and
 /// strictly better on one.
+///
+/// Undeployable reports and reports with non-finite values on any of the
+/// three axes are excluded — they neither appear on the front nor dominate
+/// a finite report (see [`pareto_front_points`]).
 pub fn pareto_front(set: &[&DeployabilityReport]) -> Vec<usize> {
-    let dominates = |a: &DeployabilityReport, b: &DeployabilityReport| {
-        let ge = a.throughput_per_server >= b.throughput_per_server
-            && a.day_one_per_server() <= b.day_one_per_server()
-            && a.time_to_deploy <= b.time_to_deploy;
-        let gt = a.throughput_per_server > b.throughput_per_server
-            || a.day_one_per_server() < b.day_one_per_server()
-            || a.time_to_deploy < b.time_to_deploy;
-        ge && gt
-    };
-    (0..set.len())
-        .filter(|&i| {
-            set[i].deployable()
-                && !(0..set.len()).any(|j| j != i && set[j].deployable() && dominates(set[j], set[i]))
+    let points: Vec<Vec<f64>> = set
+        .iter()
+        .map(|r| {
+            if r.deployable() {
+                vec![
+                    r.throughput_per_server,
+                    r.day_one_per_server().value(),
+                    r.time_to_deploy.value(),
+                ]
+            } else {
+                // Excluded by the non-finite rule.
+                vec![f64::NAN; 3]
+            }
         })
-        .collect()
+        .collect();
+    pareto_front_points(&points, &[true, false, false])
 }
 
 #[cfg(test)]
@@ -177,5 +244,68 @@ mod tests {
     fn empty_set() {
         assert!(weighted_score(&[], &Weights::default()).is_empty());
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn identical_reports_tie_onto_the_front_together() {
+        // Equal on every axis: neither dominates (no strict improvement),
+        // so both survive — ties never silently drop a design.
+        let a = base("a");
+        let b = base("b");
+        assert_eq!(pareto_front(&[&a, &b]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_axis_point_neither_dominates_nor_survives() {
+        let good = base("good");
+        let mut nan = base("nan");
+        nan.throughput_per_server = f64::NAN;
+        // NaN-on-an-axis point is excluded; the finite point keeps its spot
+        // even though NaN comparisons would defeat a naive dominance test.
+        assert_eq!(pareto_front(&[&good, &nan]), vec![0]);
+        assert_eq!(pareto_front(&[&nan, &good]), vec![1]);
+    }
+
+    #[test]
+    fn infinite_cost_point_is_excluded_from_front() {
+        let good = base("good");
+        let mut inf = base("inf");
+        inf.day_one_cost = Dollars::new(f64::INFINITY);
+        // ∞ cost can never dominate, and is not itself frontier material.
+        assert_eq!(pareto_front(&[&good, &inf]), vec![0]);
+    }
+
+    #[test]
+    fn nan_metrics_score_zero_not_nan() {
+        let good = base("good");
+        let mut nan = base("nan");
+        nan.throughput_per_server = f64::NAN;
+        nan.mean_path = f64::NAN;
+        let mut inf = base("inf");
+        inf.day_one_cost = Dollars::new(f64::INFINITY);
+        let scores = weighted_score(&[&good, &nan, &inf], &Weights::default());
+        for s in &scores {
+            assert!(s.is_finite(), "{scores:?}");
+        }
+        // The broken designs lose the poisoned components but the finite
+        // design is unaffected by their presence.
+        assert!(scores[0] > scores[1], "{scores:?}");
+        assert!(scores[0] > scores[2], "{scores:?}");
+    }
+
+    #[test]
+    fn pareto_front_points_respects_direction_and_nan() {
+        // Axis 0 higher-better, axis 1 lower-better.
+        let pts = vec![
+            vec![10.0, 5.0],      // 0: on front
+            vec![10.0, 7.0],      // 1: dominated by 0
+            vec![12.0, 9.0],      // 2: trades axis 1 for axis 0 — on front
+            vec![f64::NAN, 1.0],  // 3: excluded
+            vec![99.0, f64::NEG_INFINITY], // 4: excluded (would dominate all)
+        ];
+        assert_eq!(pareto_front_points(&pts, &[true, false]), vec![0, 2]);
+        // Wrong arity is excluded, not a panic.
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(pareto_front_points(&ragged, &[true, false]), vec![1]);
     }
 }

@@ -1,0 +1,269 @@
+//! Pareto frontiers over search records, with configurable axes.
+//!
+//! §5.4's position is that no single score captures deployability, so the
+//! search's headline output is a frontier, not a ranking: the set of
+//! evaluated points no other point beats on every axis at once. The
+//! dominance engine is [`pd_core::score::pareto_front_points`] — the same
+//! NaN/∞-hardened core `pareto_front` uses — driven here by named
+//! [`Axis`] extractors over [`PointRecord`]s.
+//!
+//! Points that never produced metrics (pruned, errored) or whose value on
+//! some axis is absent (fault sweep off → no retention) extract to `NaN`
+//! and are therefore excluded by the engine: they neither appear on the
+//! frontier nor dominate anything.
+
+use pd_core::score::pareto_front_points;
+
+use crate::record::PointRecord;
+
+/// One frontier axis: a name, a direction, and how to read it off a
+/// record. Extraction returns `None` when the record has no value on the
+/// axis, which excludes the record from dominance entirely.
+#[derive(Clone, Copy)]
+pub struct Axis {
+    /// Display name (also the CLI selector).
+    pub name: &'static str,
+    /// True if larger values are better.
+    pub higher_better: bool,
+    /// Reads the axis value off a record.
+    pub extract: fn(&PointRecord) -> Option<f64>,
+}
+
+impl std::fmt::Debug for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Axis({} {})",
+            self.name,
+            if self.higher_better { "↑" } else { "↓" }
+        )
+    }
+}
+
+fn metric(r: &PointRecord, f: fn(&crate::record::PointMetrics) -> f64) -> Option<f64> {
+    r.metrics.as_ref().map(f)
+}
+
+/// The axis catalog. Names are the CLI's `--axes` vocabulary.
+pub fn all_axes() -> Vec<Axis> {
+    vec![
+        Axis {
+            name: "cost",
+            higher_better: false,
+            extract: |r| metric(r, |m| m.cost_per_server),
+        },
+        Axis {
+            name: "tco",
+            higher_better: false,
+            extract: |r| metric(r, |m| m.tco_per_server),
+        },
+        Axis {
+            name: "bisection",
+            higher_better: true,
+            extract: |r| metric(r, |m| m.bisection),
+        },
+        Axis {
+            name: "fault",
+            higher_better: true,
+            extract: |r| r.metrics.as_ref().and_then(|m| m.fault_mean_retention),
+        },
+        Axis {
+            name: "throughput",
+            higher_better: true,
+            extract: |r| metric(r, |m| m.throughput_per_server),
+        },
+        Axis {
+            name: "deploy-time",
+            higher_better: false,
+            extract: |r| metric(r, |m| m.time_to_deploy_h),
+        },
+    ]
+}
+
+/// The default frontier: day-1 cost/server ↓, fault retention ↑,
+/// TCO/server ↓, bisection ↑ — the issue's four headline axes.
+pub fn default_axes() -> Vec<Axis> {
+    axes_by_name(&["cost", "fault", "tco", "bisection"]).expect("catalog covers defaults")
+}
+
+/// Looks axes up by catalog name; `None` if any name is unknown.
+pub fn axes_by_name(names: &[&str]) -> Option<Vec<Axis>> {
+    let catalog = all_axes();
+    names
+        .iter()
+        .map(|n| catalog.iter().find(|a| a.name == *n).copied())
+        .collect()
+}
+
+/// Indices (into `records`) of the Pareto-optimal records under `axes`.
+///
+/// Only [`PointRecord::feasible`] records compete: an undeployable or
+/// out-of-envelope design has no business on a deployability frontier,
+/// however cheap it prices. Records missing an axis value are likewise
+/// excluded (see module docs).
+pub fn frontier(records: &[PointRecord], axes: &[Axis]) -> Vec<usize> {
+    let points: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| {
+            axes.iter()
+                .map(|a| {
+                    if r.feasible() {
+                        (a.extract)(r).unwrap_or(f64::NAN)
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let dirs: Vec<bool> = axes.iter().map(|a| a.higher_better).collect();
+    pareto_front_points(&points, &dirs)
+}
+
+/// Per-family frontiers: `(family, indices into records)`, families in
+/// first-appearance order. Each family's frontier is computed over its own
+/// records only, so a strong family does not erase the others' tradeoff
+/// structure.
+pub fn frontier_by_family(records: &[PointRecord], axes: &[Axis]) -> Vec<(String, Vec<usize>)> {
+    let mut families: Vec<String> = Vec::new();
+    for r in records {
+        if !families.contains(&r.family) {
+            families.push(r.family.clone());
+        }
+    }
+    families
+        .into_iter()
+        .map(|fam| {
+            let idx: Vec<usize> = (0..records.len())
+                .filter(|&i| records[i].family == fam)
+                .collect();
+            let subset: Vec<PointRecord> = idx.iter().map(|&i| records[i].clone()).collect();
+            let front = frontier(&subset, axes).into_iter().map(|i| idx[i]).collect();
+            (fam, front)
+        })
+        .collect()
+}
+
+/// Renders a frontier as a markdown table (one row per frontier point).
+pub fn render_frontier(records: &[PointRecord], front: &[usize], axes: &[Axis]) -> String {
+    let mut out = String::new();
+    out.push_str("| point |");
+    for a in axes {
+        out.push_str(&format!(" {} {} |", a.name, if a.higher_better { "↑" } else { "↓" }));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in axes {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for &i in front {
+        let r = &records[i];
+        out.push_str(&format!("| {} |", r.label));
+        for a in axes {
+            match (a.extract)(r) {
+                Some(v) => out.push_str(&format!(" {v:.3} |")),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    if front.is_empty() {
+        out.push_str("| (no feasible points) |");
+        for _ in axes {
+            out.push_str(" — |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PointMetrics, PointStatus};
+    use crate::space::{Family, HallVariant, MediaPolicy, Point, TrialProfile};
+
+    fn rec(family: Family, cost: f64, fault: f64, tco: f64, bisection: f64) -> PointRecord {
+        let p = Point {
+            family,
+            servers: 128,
+            speed_gbps: 100.0,
+            seed: (cost * 10.0) as u64, // distinct labels/keys per fixture
+            hall: HallVariant::Standard,
+            media: MediaPolicy::Standard,
+            fault_scenarios: 2,
+        };
+        let mut r = PointRecord::pruned(&p, &TrialProfile::default(), "x");
+        r.status = PointStatus::Ok;
+        r.metrics = Some(PointMetrics {
+            servers_built: 128,
+            cost_per_server: cost,
+            tco_per_server: tco,
+            bisection,
+            throughput_per_server: 90.0,
+            time_to_deploy_h: 40.0,
+            fault_mean_retention: Some(fault),
+            deployable: true,
+            envelope_breaks: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn dominated_and_infeasible_points_stay_off_the_front() {
+        let axes = default_axes();
+        let good = rec(Family::FatTree, 1000.0, 0.95, 2000.0, 1.0);
+        let dominated = rec(Family::FatTree, 1200.0, 0.90, 2400.0, 0.9);
+        let tradeoff = rec(Family::FatTree, 1500.0, 0.99, 2500.0, 1.1);
+        let mut cheap_but_broken = rec(Family::FatTree, 1.0, 1.0, 1.0, 9.0);
+        cheap_but_broken.metrics.as_mut().unwrap().deployable = false;
+        let records = vec![good, dominated, tradeoff, cheap_but_broken];
+        let front = frontier(&records, &axes);
+        assert_eq!(front, vec![0, 2], "{front:?}");
+    }
+
+    #[test]
+    fn missing_axis_value_excludes_the_record() {
+        let axes = default_axes();
+        let with_fault = rec(Family::FatTree, 1000.0, 0.95, 2000.0, 1.0);
+        let mut no_fault = rec(Family::FatTree, 1.0, 0.0, 1.0, 9.0);
+        no_fault.metrics.as_mut().unwrap().fault_mean_retention = None;
+        let front = frontier(&[with_fault, no_fault], &axes);
+        assert_eq!(front, vec![0]);
+        // Drop the fault axis and the same record competes (and wins).
+        let axes = axes_by_name(&["cost", "tco", "bisection"]).unwrap();
+        let with_fault = rec(Family::FatTree, 1000.0, 0.95, 2000.0, 1.0);
+        let mut no_fault = rec(Family::FatTree, 1.0, 0.0, 1.0, 9.0);
+        no_fault.metrics.as_mut().unwrap().fault_mean_retention = None;
+        let front = frontier(&[with_fault, no_fault], &axes);
+        assert_eq!(front, vec![1]);
+    }
+
+    #[test]
+    fn per_family_frontiers_are_independent() {
+        let axes = default_axes();
+        // Jellyfish strictly dominates the fat-tree point globally, but the
+        // fat-tree still owns its family frontier.
+        let ft = rec(Family::FatTree, 2000.0, 0.80, 4000.0, 0.8);
+        let jf = rec(Family::Jellyfish, 1000.0, 0.95, 2000.0, 1.2);
+        let records = vec![ft, jf];
+        assert_eq!(frontier(&records, &axes), vec![1]);
+        let per = frontier_by_family(&records, &axes);
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0], ("fat-tree".to_string(), vec![0]));
+        assert_eq!(per[1], ("jellyfish".to_string(), vec![1]));
+    }
+
+    #[test]
+    fn axis_lookup_and_rendering() {
+        assert!(axes_by_name(&["cost", "nope"]).is_none());
+        let axes = default_axes();
+        let records = vec![rec(Family::FatTree, 1000.0, 0.95, 2000.0, 1.0)];
+        let table = render_frontier(&records, &[0], &axes);
+        assert!(table.contains("cost ↓"), "{table}");
+        assert!(table.contains("fat-tree/s128"), "{table}");
+        let empty = render_frontier(&records, &[], &axes);
+        assert!(empty.contains("no feasible points"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # pd-search — deterministic design-space exploration
+//!
+//! The paper's closing argument (§5.4, §6) is that deployability should be
+//! something you can *map*, not just assert: sweep candidate designs
+//! through the evaluation pipeline, see where each family's automation
+//! envelope ends, and present what's left as a tradeoff frontier rather
+//! than a winner. This crate is that sweep engine:
+//!
+//! * [`space`] — the knob product ([`ParamSpace`]): family × target
+//!   servers × link speed × seed × hall × media × fault ensemble; plus the
+//!   enumeration [`Strategy`] (full grid, seeded random subsample, or
+//!   successive-halving adaptive search that spends cheap generation and
+//!   placement proxies before full pipelines).
+//! * [`runner`] — [`run_search`] / [`run_search_to_path`]: wave-by-wave
+//!   execution through [`pd_core::batch::evaluate_many_with_cache`], with
+//!   the JSONL output file doubling as a kill-safe resume checkpoint.
+//! * [`record`] — the [`PointRecord`] JSONL schema and its tolerant
+//!   parser.
+//! * [`frontier`] — Pareto fronts over configurable [`frontier::Axis`]es
+//!   (cost/server, fault retention, TCO/server, bisection, …), built on
+//!   the NaN/∞-hardened [`pd_core::score::pareto_front_points`].
+//! * [`envelope_map`] — per-family feasibility boundaries along the
+//!   server-count axis: the swept rendering of the paper's capability
+//!   envelope.
+//!
+//! ## Determinism
+//!
+//! Everything here inherits the repo's batch-engine contract: a search's
+//! records — and therefore its JSONL bytes — are identical at any `--jobs`
+//! count, and a killed-and-resumed run produces the same file as an
+//! uninterrupted one. Strategies use the repo's own `SplitMix64`, never
+//! wall-clock or thread identity; cache statistics (which may legitimately
+//! vary under a bounded cache) stay out of the output file.
+//!
+//! ```
+//! use pd_search::prelude::*;
+//!
+//! let cfg = SearchConfig {
+//!     space: ParamSpace {
+//!         families: vec![Family::FatTree, Family::LeafSpine],
+//!         servers: vec![64],
+//!         fault_scenarios: vec![0],
+//!         trials: TrialProfile { yield_trials: 3, repair_trials: 2 },
+//!         ..ParamSpace::default()
+//!     },
+//!     strategy: Strategy::Grid { budget: None },
+//!     jobs: 2,
+//!     ..SearchConfig::default()
+//! };
+//! let out = run_search(&cfg);
+//! assert_eq!(out.records.len(), 2);
+//! let front = frontier::frontier(&out.records, &frontier::axes_by_name(&["cost", "bisection"]).unwrap());
+//! assert!(!front.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope_map;
+pub mod frontier;
+pub mod record;
+pub mod runner;
+pub mod space;
+
+pub use envelope_map::{map_envelopes, render_envelopes, FamilyEnvelope};
+pub use frontier::{axes_by_name, default_axes, frontier_by_family, Axis};
+pub use record::{parse_jsonl, PointMetrics, PointRecord, PointStatus};
+pub use runner::{run_search, run_search_to_path, run_search_with, SearchConfig, SearchOutcome};
+pub use space::{Family, HallVariant, MediaPolicy, ParamSpace, Point, Strategy, TrialProfile};
+
+/// One-stop imports for binaries and tests.
+pub mod prelude {
+    pub use crate::envelope_map::{self, map_envelopes, render_envelopes, FamilyEnvelope};
+    pub use crate::frontier::{self, axes_by_name, default_axes, frontier_by_family, Axis};
+    pub use crate::record::{parse_jsonl, PointMetrics, PointRecord, PointStatus};
+    pub use crate::runner::{
+        run_search, run_search_to_path, run_search_with, SearchConfig, SearchOutcome,
+    };
+    pub use crate::space::{
+        Family, HallVariant, MediaPolicy, ParamSpace, Point, Strategy, TrialProfile,
+    };
+}

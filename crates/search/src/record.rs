@@ -1,0 +1,282 @@
+//! One-line-per-point result records — the search's JSONL output format.
+//!
+//! A [`PointRecord`] is the durable trace of one design-space point: its
+//! coordinates, how the search disposed of it ([`PointStatus`]), and the
+//! frontier-relevant metric slice ([`PointMetrics`]) when the full
+//! pipeline ran. Records serialize one-per-line (JSONL), and **the output
+//! file doubles as the checkpoint**: a resumed run parses the file back
+//! with [`parse_jsonl`], reuses every record whose [`PointRecord::key`]
+//! matches a planned point, and only evaluates the gaps.
+//!
+//! Round-trip stability is the contract that makes that sound:
+//! `serde_json` prints `f64`s canonically (shortest round-trippable form),
+//! so a record parsed from disk re-serializes to the exact bytes it was
+//! written as, and a resumed run's file is byte-identical to an
+//! uninterrupted one.
+
+use pd_core::pipeline::{EvalError, Evaluation};
+use serde::{Deserialize, Serialize};
+
+use crate::space::{Point, TrialProfile};
+
+/// How the search disposed of a point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", content = "detail")]
+pub enum PointStatus {
+    /// Full pipeline ran; metrics are present.
+    Ok,
+    /// An adaptive rung dropped the point before the full pipeline. The
+    /// detail keeps the rung's reason — `generation: …` / `placement: …`
+    /// for proxy failures, `not promoted …` for budget cuts — so the
+    /// envelope mapper can tell a hard infeasibility from a budget cut.
+    Pruned(String),
+    /// The full pipeline returned an error (rendered [`EvalError`]).
+    Error(String),
+}
+
+impl PointStatus {
+    /// True for the rendering of a hard infeasibility: a pipeline error or
+    /// a proxy-stage failure — as opposed to a budget cut, which says
+    /// nothing about the design.
+    pub fn is_infeasible(&self) -> bool {
+        match self {
+            PointStatus::Ok => false,
+            PointStatus::Error(_) => true,
+            PointStatus::Pruned(reason) => {
+                reason.starts_with("generation:") || reason.starts_with("placement:")
+            }
+        }
+    }
+}
+
+/// The frontier-relevant metric slice of a full evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointMetrics {
+    /// Servers actually built (families round targets up).
+    pub servers_built: u32,
+    /// Day-1 cost per server ($).
+    pub cost_per_server: f64,
+    /// Lifetime (TCO-horizon) cost per server ($).
+    pub tco_per_server: f64,
+    /// Normalized sampled bisection (≥ 1 = full).
+    pub bisection: f64,
+    /// Per-server uniform-traffic throughput proxy (Gbps).
+    pub throughput_per_server: f64,
+    /// Time-to-deploy (hours).
+    pub time_to_deploy_h: f64,
+    /// Mean throughput retention over the correlated fault sweep (absent
+    /// when the point's fault knob is 0).
+    pub fault_mean_retention: Option<f64>,
+    /// Whether the design deploys at all (no twin errors, no unrealizable
+    /// links).
+    pub deployable: bool,
+    /// Out-of-envelope dimensions found by the capability-envelope check.
+    pub envelope_breaks: usize,
+}
+
+/// One design-space point's durable result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointRecord {
+    /// Stable identity (FNV-1a over the canonical point encoding +
+    /// trial profile); the checkpoint dedup key.
+    pub key: u64,
+    /// Human-readable point label (also the evaluated spec's name).
+    pub label: String,
+    /// Topology family name.
+    pub family: String,
+    /// Target server count (the swept knob, not the built count).
+    pub target_servers: usize,
+    /// Link speed (Gbps).
+    pub speed_gbps: f64,
+    /// Construction seed.
+    pub seed: u64,
+    /// Hall variant name.
+    pub hall: String,
+    /// Media policy name.
+    pub media: String,
+    /// Fault-sweep ensemble size.
+    pub fault_scenarios: usize,
+    /// Disposition.
+    pub status: PointStatus,
+    /// Metrics (present iff `status` is [`PointStatus::Ok`]).
+    pub metrics: Option<PointMetrics>,
+}
+
+impl PointRecord {
+    fn base(point: &Point, trials: &TrialProfile, status: PointStatus) -> Self {
+        Self {
+            key: point.key(trials),
+            label: point.label(),
+            family: point.family.name().to_string(),
+            target_servers: point.servers,
+            speed_gbps: point.speed_gbps,
+            seed: point.seed,
+            hall: point.hall.name().to_string(),
+            media: point.media.name().to_string(),
+            fault_scenarios: point.fault_scenarios,
+            status,
+            metrics: None,
+        }
+    }
+
+    /// Record for a completed full evaluation.
+    pub fn from_evaluation(point: &Point, trials: &TrialProfile, ev: &Evaluation) -> Self {
+        let r = &ev.report;
+        let per_server = |d: pd_geometry::Dollars| {
+            if r.servers == 0 {
+                f64::NAN
+            } else {
+                d.value() / f64::from(r.servers)
+            }
+        };
+        let mut rec = Self::base(point, trials, PointStatus::Ok);
+        rec.metrics = Some(PointMetrics {
+            servers_built: r.servers,
+            cost_per_server: r.day_one_per_server().value(),
+            tco_per_server: per_server(r.lifetime_cost),
+            bisection: r.bisection,
+            throughput_per_server: r.throughput_per_server,
+            time_to_deploy_h: r.time_to_deploy.value(),
+            fault_mean_retention: r.fault_mean_retention,
+            deployable: r.deployable(),
+            envelope_breaks: r.envelope_breaks,
+        });
+        rec
+    }
+
+    /// Record for a full-pipeline error.
+    pub fn from_error(point: &Point, trials: &TrialProfile, err: &EvalError) -> Self {
+        Self::base(point, trials, PointStatus::Error(err.to_string()))
+    }
+
+    /// Record for a point an adaptive rung dropped.
+    pub fn pruned(point: &Point, trials: &TrialProfile, reason: impl Into<String>) -> Self {
+        Self::base(point, trials, PointStatus::Pruned(reason.into()))
+    }
+
+    /// True iff the point is fully feasible: evaluated, deployable, and
+    /// inside the capability envelope. The envelope mapper's "inside"
+    /// predicate.
+    pub fn feasible(&self) -> bool {
+        matches!(self.status, PointStatus::Ok)
+            && self
+                .metrics
+                .as_ref()
+                .is_some_and(|m| m.deployable && m.envelope_breaks == 0)
+    }
+
+    /// Why the point is not [`Self::feasible`], for envelope summaries;
+    /// `None` when it is.
+    pub fn infeasibility(&self) -> Option<String> {
+        match &self.status {
+            PointStatus::Error(e) => Some(e.clone()),
+            PointStatus::Pruned(reason) => Some(reason.clone()),
+            PointStatus::Ok => {
+                let m = self.metrics.as_ref()?;
+                if !m.deployable {
+                    Some("undeployable (twin errors or unrealizable links)".into())
+                } else if m.envelope_breaks > 0 {
+                    Some(format!("{} envelope break(s)", m.envelope_breaks))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The record's JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("PointRecord serializes")
+    }
+}
+
+/// Parses JSONL text back into records, tolerantly: blank lines and
+/// unparseable lines — in particular a torn final line from a killed
+/// writer — are skipped, not errors. Used to load the checkpoint prefix.
+pub fn parse_jsonl(text: &str) -> Vec<PointRecord> {
+    text.lines()
+        .filter_map(|l| serde_json::from_str(l.trim()).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Family, HallVariant, MediaPolicy};
+
+    fn point() -> Point {
+        Point {
+            family: Family::FatTree,
+            servers: 64,
+            speed_gbps: 100.0,
+            seed: 5,
+            hall: HallVariant::Standard,
+            media: MediaPolicy::Standard,
+            fault_scenarios: 2,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_to_identical_bytes() {
+        let trials = TrialProfile::default();
+        let mut rec = PointRecord::pruned(&point(), &trials, "generation: q too small");
+        rec.metrics = Some(PointMetrics {
+            servers_built: 64,
+            cost_per_server: 1234.567891,
+            tco_per_server: 1.0 / 3.0, // exercises shortest-round-trip floats
+            bisection: 1.02,
+            throughput_per_server: 87.5,
+            time_to_deploy_h: 40.25,
+            fault_mean_retention: Some(0.93),
+            deployable: true,
+            envelope_breaks: 0,
+        });
+        let line = rec.to_json_line();
+        let parsed = parse_jsonl(&line);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0], rec);
+        // The checkpoint contract: parse → re-serialize is byte-identical.
+        assert_eq!(parsed[0].to_json_line(), line);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let trials = TrialProfile::default();
+        let a = PointRecord::pruned(&point(), &trials, "placement: hall full").to_json_line();
+        let torn = &a[..a.len() / 2];
+        let text = format!("{a}\n\n{torn}");
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.len(), 1, "whole line kept, torn line dropped");
+    }
+
+    #[test]
+    fn feasibility_classification() {
+        let trials = TrialProfile::default();
+        let p = point();
+        let pruned_hard = PointRecord::pruned(&p, &trials, "placement: no slots");
+        assert!(pruned_hard.status.is_infeasible());
+        assert!(!pruned_hard.feasible());
+        let pruned_budget = PointRecord::pruned(&p, &trials, "not promoted past rung A");
+        assert!(!pruned_budget.status.is_infeasible());
+        assert!(pruned_budget.infeasibility().is_some());
+
+        let mut ok = PointRecord::base(&p, &trials, PointStatus::Ok);
+        ok.metrics = Some(PointMetrics {
+            servers_built: 64,
+            cost_per_server: 1000.0,
+            tco_per_server: 2000.0,
+            bisection: 1.0,
+            throughput_per_server: 90.0,
+            time_to_deploy_h: 30.0,
+            fault_mean_retention: None,
+            deployable: true,
+            envelope_breaks: 0,
+        });
+        assert!(ok.feasible());
+        assert!(ok.infeasibility().is_none());
+        let mut broken = ok.clone();
+        broken.metrics.as_mut().unwrap().envelope_breaks = 2;
+        assert!(!broken.feasible());
+        assert!(broken.infeasibility().unwrap().contains("envelope"));
+    }
+}

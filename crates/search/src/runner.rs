@@ -1,0 +1,376 @@
+//! The search executor: plan → (optionally) prune → evaluate → record.
+//!
+//! All full-pipeline work goes through
+//! [`pd_core::batch::evaluate_many_with_cache`], inheriting the batch
+//! engine's determinism contract: records are byte-identical at any
+//! `jobs` count. Points are processed in plan order in fixed-size waves;
+//! after each wave the records are handed to the sink (the JSONL file),
+//! so a killed run leaves a clean prefix the next run resumes from.
+//!
+//! Resume reuses full-evaluation results by [`PointRecord::key`] and
+//! re-derives everything cheap (pruning decisions, pruned records) from
+//! scratch — proxy decisions are pure functions of the configuration, so
+//! a resumed run and an uninterrupted run write the same bytes.
+//!
+//! Generation-cache statistics (`hits`/`misses`) are reported in progress
+//! output and in [`SearchOutcome`], but deliberately **not** in the JSONL:
+//! under a bounded cache they can vary with thread scheduling, and the
+//! output file must not.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use pd_core::batch::{evaluate_many_with_cache, BatchOptions, GenCache};
+use pd_core::design::DesignSpec;
+use pd_physical::{Hall, Placement};
+
+use crate::record::{parse_jsonl, PointRecord, PointStatus};
+use crate::space::{ParamSpace, Point, Strategy};
+
+/// Everything a search run needs.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The space to explore.
+    pub space: ParamSpace,
+    /// How to draw candidates from it.
+    pub strategy: Strategy,
+    /// Worker threads for full evaluations (0 = all cores, as
+    /// [`BatchOptions`]).
+    pub jobs: usize,
+    /// Points per checkpoint wave (clamped ≥ 1). Smaller waves checkpoint
+    /// more often; the wave size never changes the output bytes.
+    pub wave: usize,
+    /// Bound the shared generation cache to this many networks
+    /// (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Emit per-wave progress lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            space: ParamSpace::default(),
+            strategy: Strategy::Grid { budget: None },
+            jobs: 0,
+            wave: 8,
+            cache_capacity: None,
+            progress: false,
+        }
+    }
+}
+
+/// What a run did, beyond the records themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// One record per planned point, in plan order — the JSONL contents.
+    pub records: Vec<PointRecord>,
+    /// Full-pipeline evaluations executed this run.
+    pub evaluated: usize,
+    /// Records reused from the checkpoint instead of re-evaluating.
+    pub reused: usize,
+    /// Points an adaptive rung pruned.
+    pub pruned: usize,
+    /// Generation-cache hits across proxies and full evaluations.
+    pub cache_hits: usize,
+    /// Generation-cache misses.
+    pub cache_misses: usize,
+}
+
+/// A planned point with the disposition the strategy already decided for
+/// it (`Some(reason)` = pruned before full evaluation).
+struct Planned {
+    point: Point,
+    prune: Option<String>,
+}
+
+/// Applies the strategy, running the adaptive proxies when asked.
+fn plan(cfg: &SearchConfig, cache: &GenCache) -> Vec<Planned> {
+    let points = cfg.strategy.plan(&cfg.space);
+    let (budget, eta) = match cfg.strategy {
+        Strategy::Adaptive { budget, eta } => (budget, eta.max(2)),
+        _ => {
+            return points
+                .into_iter()
+                .map(|point| Planned { point, prune: None })
+                .collect()
+        }
+    };
+
+    // Rung A: topology generation (through the shared cache, so promoted
+    // survivors regenerate for free in the full pipeline). A survivor's
+    // rank is how closely its built size matches the target — the cheap
+    // signal for "this family's granularity actually fits here".
+    let trials = cfg.space.trials;
+    let mut prune: Vec<Option<String>> = vec![None; points.len()];
+    let mut survivors: Vec<(usize, f64)> = Vec::new(); // (plan idx, closeness)
+    let mut nets = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let spec = p.spec(&trials);
+        match cache.build(&spec.topology) {
+            Ok(net) => {
+                let built = f64::from(net.server_count());
+                let target = p.servers.max(1) as f64;
+                survivors.push((i, (built - target).abs() / target));
+                nets.insert(i, (spec, net));
+            }
+            Err(e) => prune[i] = Some(format!("generation: {e}")),
+        }
+    }
+    let cut = |survivors: &mut Vec<(usize, f64)>,
+               keep: usize,
+               prune: &mut Vec<Option<String>>,
+               rung: &str| {
+        survivors.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        for &(i, _) in survivors.iter().skip(keep) {
+            prune[i] = Some(format!("not promoted past {rung} rung (budget)"));
+        }
+        survivors.truncate(keep);
+        // Back to plan order so the next rung walks deterministically.
+        survivors.sort_by_key(|&(i, _)| i);
+    };
+    cut(&mut survivors, budget.saturating_mul(eta).max(1), &mut prune, "generation");
+
+    // Rung B: placement feasibility — the cheapest physical test. A design
+    // that cannot even be racked into its hall is pruned with the real
+    // placement error, which the envelope mapper reads as a hard break.
+    let mut placed: Vec<(usize, f64)> = Vec::new();
+    for (i, closeness) in survivors {
+        let (spec, net) = &nets[&i];
+        let hall = Hall::new(spec.hall.clone());
+        match Placement::place(net, &hall, spec.placement, &spec.equipment) {
+            Ok(_) => placed.push((i, closeness)),
+            Err(e) => prune[i] = Some(format!("placement: {e}")),
+        }
+    }
+    cut(&mut placed, budget.max(1), &mut prune, "placement");
+
+    points
+        .into_iter()
+        .zip(prune)
+        .map(|(point, prune)| Planned { point, prune })
+        .collect()
+}
+
+/// Runs the search entirely in memory (no checkpoint file).
+pub fn run_search(cfg: &SearchConfig) -> SearchOutcome {
+    run_search_with(cfg, &HashMap::new(), |_| Ok(()))
+        .expect("in-memory sink cannot fail")
+}
+
+/// Runs the search with `path` as streaming JSONL output *and* checkpoint.
+///
+/// If `path` already exists, its parseable lines are loaded first and any
+/// full-evaluation record matching a planned point's key is reused without
+/// re-running the pipeline; the file is then rewritten from the start,
+/// wave by wave, so it always holds a clean prefix of the final output.
+pub fn run_search_to_path(cfg: &SearchConfig, path: &Path) -> std::io::Result<SearchOutcome> {
+    let reuse: HashMap<u64, PointRecord> = match std::fs::read_to_string(path) {
+        Ok(text) => parse_jsonl(&text).into_iter().map(|r| (r.key, r)).collect(),
+        Err(_) => HashMap::new(),
+    };
+    let mut file = std::fs::File::create(path)?;
+    let outcome = run_search_with(cfg, &reuse, |recs| {
+        for r in recs {
+            writeln!(file, "{}", r.to_json_line())?;
+        }
+        file.flush()
+    })?;
+    Ok(outcome)
+}
+
+/// The engine behind both entry points: plans, then walks the plan in
+/// waves, reusing checkpointed full evaluations and batch-evaluating the
+/// rest, handing each completed wave's records (in plan order) to `sink`.
+pub fn run_search_with(
+    cfg: &SearchConfig,
+    reuse: &HashMap<u64, PointRecord>,
+    mut sink: impl FnMut(&[PointRecord]) -> std::io::Result<()>,
+) -> std::io::Result<SearchOutcome> {
+    let cache = match cfg.cache_capacity {
+        Some(cap) => GenCache::with_capacity(cap),
+        None => GenCache::new(),
+    };
+    let planned = plan(cfg, &cache);
+    let trials = cfg.space.trials;
+    let opts = BatchOptions::jobs(cfg.jobs);
+    let wave_len = cfg.wave.max(1);
+    let total = planned.len();
+
+    let mut records: Vec<PointRecord> = Vec::with_capacity(total);
+    let (mut evaluated, mut reused, mut pruned) = (0usize, 0usize, 0usize);
+
+    for (w, wave) in planned.chunks(wave_len).enumerate() {
+        // Wave slots: either a ready record or a spec to evaluate.
+        let mut slots: Vec<Option<PointRecord>> = Vec::with_capacity(wave.len());
+        let mut todo: Vec<(usize, &Point, DesignSpec)> = Vec::new();
+        for (s, p) in wave.iter().enumerate() {
+            if let Some(reason) = &p.prune {
+                // Pruned records are cheap and pure — always re-derive, so
+                // a checkpoint written under another strategy can't leak a
+                // stale disposition in.
+                pruned += 1;
+                slots.push(Some(PointRecord::pruned(&p.point, &trials, reason.clone())));
+                continue;
+            }
+            let key = p.point.key(&trials);
+            match reuse.get(&key) {
+                // Only full-evaluation results are trusted from the
+                // checkpoint; a Pruned record under this key means the
+                // prior run's strategy cut it, and this run wants it run.
+                Some(r) if !matches!(r.status, PointStatus::Pruned(_)) => {
+                    reused += 1;
+                    slots.push(Some(r.clone()));
+                }
+                _ => {
+                    todo.push((s, &p.point, p.point.spec(&trials)));
+                    slots.push(None);
+                }
+            }
+        }
+        let specs: Vec<DesignSpec> = todo.iter().map(|(_, _, spec)| spec.clone()).collect();
+        let results = evaluate_many_with_cache(&specs, &opts, &cache);
+        evaluated += results.len();
+        for ((s, point, _), result) in todo.into_iter().zip(results) {
+            slots[s] = Some(match result {
+                Ok(ev) => PointRecord::from_evaluation(point, &trials, &ev),
+                Err(e) => PointRecord::from_error(point, &trials, &e),
+            });
+        }
+        let wave_records: Vec<PointRecord> =
+            slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        sink(&wave_records)?;
+        records.extend(wave_records);
+        if cfg.progress {
+            eprintln!(
+                "[search] wave {}/{}: {done}/{total} points ({evaluated} evaluated, {reused} reused, {pruned} pruned; gen-cache {hits} hits / {misses} misses)",
+                w + 1,
+                total.div_ceil(wave_len),
+                done = records.len(),
+                hits = cache.hits(),
+                misses = cache.misses(),
+            );
+        }
+    }
+
+    Ok(SearchOutcome {
+        records,
+        evaluated,
+        reused,
+        pruned,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Family, HallVariant, MediaPolicy, TrialProfile};
+
+    fn small_cfg() -> SearchConfig {
+        SearchConfig {
+            space: ParamSpace {
+                families: vec![Family::FatTree, Family::LeafSpine, Family::Jellyfish],
+                servers: vec![64, 128],
+                speeds: vec![100.0],
+                seeds: vec![7],
+                halls: vec![HallVariant::Standard],
+                media: vec![MediaPolicy::Standard],
+                fault_scenarios: vec![0],
+                trials: TrialProfile {
+                    yield_trials: 3,
+                    repair_trials: 2,
+                },
+            },
+            strategy: Strategy::Grid { budget: None },
+            jobs: 2,
+            wave: 4,
+            cache_capacity: None,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn grid_run_records_every_point_in_plan_order() {
+        let cfg = small_cfg();
+        let out = run_search(&cfg);
+        assert_eq!(out.records.len(), cfg.space.len());
+        assert_eq!(out.evaluated, cfg.space.len());
+        assert_eq!(out.reused, 0);
+        assert_eq!(out.pruned, 0);
+        let labels: Vec<&str> = out.records.iter().map(|r| r.label.as_str()).collect();
+        let expected: Vec<String> = cfg.space.points().map(|p| p.label()).collect();
+        assert_eq!(labels, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        assert!(out.records.iter().all(|r| r.feasible()), "{labels:?}");
+        // The two sizes share nothing, but seeds within a family would; at
+        // minimum every generation missed exactly once.
+        assert!(out.cache_misses >= 1);
+    }
+
+    #[test]
+    fn job_count_does_not_change_records() {
+        let mut cfg = small_cfg();
+        cfg.jobs = 1;
+        let serial = run_search(&cfg);
+        cfg.jobs = 8;
+        cfg.wave = 2; // different wave size must not matter either
+        let parallel = run_search(&cfg);
+        assert_eq!(serial.records, parallel.records);
+    }
+
+    #[test]
+    fn adaptive_prunes_to_budget_and_records_reasons() {
+        let mut cfg = small_cfg();
+        cfg.strategy = Strategy::Adaptive { budget: 2, eta: 2 };
+        let out = run_search(&cfg);
+        assert_eq!(out.records.len(), cfg.space.len());
+        let ok = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, PointStatus::Ok))
+            .count();
+        assert!(ok <= 2, "budget bounds full evaluations: {ok}");
+        assert_eq!(out.pruned, cfg.space.len() - ok);
+        for r in &out.records {
+            if let PointStatus::Pruned(reason) = &r.status {
+                assert!(
+                    reason.starts_with("generation:")
+                        || reason.starts_with("placement:")
+                        || reason.starts_with("not promoted"),
+                    "{reason}"
+                );
+            }
+        }
+        // Determinism: same config, same dispositions.
+        let again = run_search(&cfg);
+        assert_eq!(out.records, again.records);
+    }
+
+    #[test]
+    fn checkpoint_reuse_skips_completed_evaluations() {
+        let cfg = small_cfg();
+        let full = run_search(&cfg);
+        // Pretend the first 4 points were checkpointed.
+        let reuse: HashMap<u64, PointRecord> = full
+            .records
+            .iter()
+            .take(4)
+            .map(|r| (r.key, r.clone()))
+            .collect();
+        let resumed = run_search_with(&cfg, &reuse, |_| Ok(())).unwrap();
+        assert_eq!(resumed.records, full.records, "resume is invisible in output");
+        assert_eq!(resumed.reused, 4);
+        assert_eq!(resumed.evaluated, full.records.len() - 4);
+    }
+
+    #[test]
+    fn bounded_cache_changes_stats_not_records() {
+        let mut cfg = small_cfg();
+        let unbounded = run_search(&cfg);
+        cfg.cache_capacity = Some(1);
+        let bounded = run_search(&cfg);
+        assert_eq!(unbounded.records, bounded.records);
+    }
+}

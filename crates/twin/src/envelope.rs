@@ -13,12 +13,20 @@ use pd_topology::Network;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-/// An inclusive numeric range.
+/// A numeric range with **both endpoints inclusive**: `[min, max]`.
+///
+/// The closed-interval semantics are load-bearing for envelope-boundary
+/// detection (`pd-search`'s envelope mapper): a design sitting *exactly at*
+/// a capability limit — a radix-64 switch against a `radix ≤ 64` envelope,
+/// a 150 m run against a 150 m reach — is **inside** the envelope; the
+/// first value strictly beyond an endpoint is outside. Boundary walks may
+/// therefore report the endpoint itself as feasible and only the next
+/// swept value as the break.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Range {
-    /// Lower bound.
+    /// Lower bound (inclusive).
     pub min: f64,
-    /// Upper bound.
+    /// Upper bound (inclusive).
     pub max: f64,
 }
 
@@ -28,9 +36,19 @@ impl Range {
         Self { min, max }
     }
 
-    /// Containment.
+    /// True iff `min ≤ v ≤ max` — both endpoints contained.
+    ///
+    /// `NaN` is never contained (every comparison with it is false), and an
+    /// inverted range (`min > max`) contains nothing; neither is an error,
+    /// so envelope checks degrade to "outside" rather than panicking on
+    /// degenerate inputs.
     pub fn contains(&self, v: f64) -> bool {
         v >= self.min && v <= self.max
+    }
+
+    /// True iff the range contains nothing (`min > max`, or a `NaN` bound).
+    pub fn is_empty(&self) -> bool {
+        !(self.min <= self.max)
     }
 }
 
@@ -256,6 +274,38 @@ mod tests {
         .unwrap();
         let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
         DesignFacts::extract(&net, &plan)
+    }
+
+    #[test]
+    fn range_endpoints_are_inclusive() {
+        let r = Range::new(4.0, 64.0);
+        // Exactly at a limit is *inside* — the envelope-mapper contract.
+        assert!(r.contains(4.0));
+        assert!(r.contains(64.0));
+        assert!(!r.contains(4.0 - f64::EPSILON * 8.0));
+        assert!(!r.contains(64.0 + f64::EPSILON * 128.0));
+        assert!(!r.is_empty());
+        // A design at the exact radix limit produces no envelope check.
+        let mut f = facts();
+        f.radixes.insert(64);
+        let checks = CapabilityEnvelope::default().check(&f);
+        assert!(
+            !checks.iter().any(|c| c.dimension == "radix"),
+            "radix 64 is on the inclusive boundary: {checks:?}"
+        );
+    }
+
+    #[test]
+    fn range_degenerate_inputs_are_outside_not_panics() {
+        let r = Range::new(1.0, 10.0);
+        assert!(!r.contains(f64::NAN));
+        let inverted = Range::new(10.0, 1.0);
+        assert!(inverted.is_empty());
+        assert!(!inverted.contains(5.0));
+        assert!(Range::new(f64::NAN, 1.0).is_empty());
+        // A single-point range contains exactly its value.
+        let point = Range::new(3.0, 3.0);
+        assert!(point.contains(3.0) && !point.contains(3.1) && !point.is_empty());
     }
 
     #[test]

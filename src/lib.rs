@@ -39,6 +39,7 @@ pub use pd_costing as costing;
 pub use pd_geometry as geometry;
 pub use pd_lifecycle as lifecycle;
 pub use pd_physical as physical;
+pub use pd_search as search;
 pub use pd_topology as topology;
 pub use pd_twin as twin;
 

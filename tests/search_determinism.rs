@@ -1,0 +1,100 @@
+//! Determinism regression for the design-space search engine.
+//!
+//! Two contracts, both stated in `docs/ARCHITECTURE.md`:
+//! 1. the JSONL result file is byte-identical at any `--jobs` count;
+//! 2. a run killed mid-stream and resumed from its own output file
+//!    produces the same bytes as an uninterrupted run, without
+//!    re-evaluating the completed prefix.
+
+use std::path::PathBuf;
+
+use physnet::search::prelude::*;
+
+fn small_cfg(jobs: usize) -> SearchConfig {
+    SearchConfig {
+        space: ParamSpace {
+            families: vec![Family::FatTree, Family::LeafSpine, Family::Jellyfish],
+            servers: vec![64, 128],
+            speeds: vec![100.0],
+            seeds: vec![7],
+            halls: vec![HallVariant::Standard],
+            media: vec![MediaPolicy::Standard],
+            fault_scenarios: vec![0],
+            trials: TrialProfile {
+                yield_trials: 3,
+                repair_trials: 2,
+            },
+        },
+        strategy: Strategy::Grid { budget: None },
+        jobs,
+        wave: 2,
+        cache_capacity: None,
+        progress: false,
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("physnet-search-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.jsonl"))
+}
+
+#[test]
+fn jsonl_bytes_identical_at_any_job_count() {
+    let serial_path = temp_path("serial");
+    let parallel_path = temp_path("parallel");
+    let serial = run_search_to_path(&small_cfg(1), &serial_path).expect("serial run");
+    let parallel = run_search_to_path(&small_cfg(8), &parallel_path).expect("parallel run");
+    assert_eq!(serial.records, parallel.records);
+
+    let serial_bytes = std::fs::read(&serial_path).expect("serial file");
+    let parallel_bytes = std::fs::read(&parallel_path).expect("parallel file");
+    assert!(!serial_bytes.is_empty());
+    assert_eq!(serial_bytes, parallel_bytes, "JSONL must not depend on --jobs");
+
+    // And the file parses back into exactly the in-memory records.
+    let parsed = parse_jsonl(&String::from_utf8(serial_bytes).unwrap());
+    assert_eq!(parsed, serial.records);
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_run() {
+    let full_path = temp_path("full");
+    let resumed_path = temp_path("resumed");
+    let full = run_search_to_path(&small_cfg(2), &full_path).expect("full run");
+    let full_bytes = std::fs::read_to_string(&full_path).expect("full file");
+    assert!(full.records.len() >= 4, "fixture too small to truncate");
+
+    // Simulate a kill mid-write: the first three complete records plus a
+    // torn half-line of the fourth survive on disk.
+    let lines: Vec<&str> = full_bytes.lines().collect();
+    let torn = format!(
+        "{}\n{}\n{}\n{}",
+        lines[0],
+        lines[1],
+        lines[2],
+        &lines[3][..lines[3].len() / 2]
+    );
+    std::fs::write(&resumed_path, &torn).expect("write truncated checkpoint");
+
+    let resumed = run_search_to_path(&small_cfg(2), &resumed_path).expect("resumed run");
+    assert_eq!(resumed.reused, 3, "the three intact records are reused");
+    assert_eq!(
+        resumed.evaluated,
+        full.records.len() - 3,
+        "only the gap is re-evaluated"
+    );
+    assert_eq!(resumed.records, full.records);
+    let resumed_bytes = std::fs::read_to_string(&resumed_path).expect("resumed file");
+    assert_eq!(resumed_bytes, full_bytes, "resume is invisible in the output bytes");
+}
+
+#[test]
+fn rerunning_a_complete_file_reuses_everything() {
+    let path = temp_path("rerun");
+    let first = run_search_to_path(&small_cfg(2), &path).expect("first run");
+    let second = run_search_to_path(&small_cfg(2), &path).expect("second run");
+    assert_eq!(second.evaluated, 0);
+    assert_eq!(second.reused, first.records.len());
+    assert_eq!(second.records, first.records);
+}
