@@ -6,15 +6,21 @@
 //! experiments all                # run every experiment in order
 //! experiments all --jobs 8       # same output, 8 worker threads
 //! experiments all --jobs 0       # one worker per core
+//! experiments e6 --trace         # + per-stage timing table on stderr
 //! ```
 //!
 //! Experiments are independent and deterministic, so `--jobs` changes only
 //! wall-clock time: the output is byte-identical at any job count.
+//! `--trace` turns on the process-wide stage trace
+//! ([`pd_core::stages::enable_global_trace`]) and prints the per-stage
+//! wall-time/artifact table to **stderr** when the run finishes — stdout
+//! stays the canonical, deterministic experiment output.
 
 use pd_bench::{all_experiments, run_all, run_by_name};
 
 fn main() {
     let mut jobs: usize = 1;
+    let mut trace = false;
     let mut command: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,6 +39,8 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+        } else if arg == "--trace" {
+            trace = true;
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -41,13 +49,15 @@ fn main() {
         }
     }
 
+    let stage_trace = trace.then(pd_core::stages::enable_global_trace);
+
     match command.as_deref() {
         None | Some("list") => {
             println!("physnet experiments (see EXPERIMENTS.md):\n");
             for (name, desc, _) in all_experiments() {
                 println!("  {name:<4} {desc}");
             }
-            println!("\nusage: experiments <e1..e20 | all> [--jobs N]");
+            println!("\nusage: experiments <e1..e20 | all> [--jobs N] [--trace]");
         }
         Some("all") => {
             for (_, report) in run_all(jobs) {
@@ -61,5 +71,10 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+
+    if let Some(stage_trace) = stage_trace {
+        eprintln!("\nper-stage timing (wall clock; diagnostics only, not part of the output):");
+        eprint!("{}", stage_trace.render_table());
     }
 }

@@ -13,7 +13,10 @@
 //! The JSONL output is byte-identical at any `--jobs` count, and a killed
 //! run rerun with the same `--out` resumes from the file instead of
 //! re-evaluating completed points. Progress (with generation-cache
-//! hit/miss counters) goes to stderr; tables go to stdout.
+//! hit/miss counters) goes to stderr; tables go to stdout. `--trace`
+//! additionally prints the per-stage timing table on stderr when the run
+//! finishes — like the cache counters, stage timings are
+//! scheduling-dependent and never enter the JSONL records.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -24,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: search [--strategy grid|random|adaptive] [--budget N] [--eta N] \
          [--seed N] [--jobs N] [--wave N] [--cache-cap N] [--out PATH] \
-         [--axes a,b,...] [--quiet]\n\
+         [--axes a,b,...] [--trace] [--quiet]\n\
          axes: cost, tco, bisection, fault, throughput, deploy-time"
     );
     exit(2)
@@ -48,6 +51,7 @@ fn main() {
     let mut out_path: Option<PathBuf> = None;
     let mut axis_names = "cost,fault,tco,bisection".to_string();
     let mut progress = true;
+    let mut trace = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +65,7 @@ fn main() {
             "--cache-cap" => cache_cap = Some(parse("--cache-cap", args.next())),
             "--out" => out_path = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--axes" => axis_names = parse("--axes", args.next()),
+            "--trace" => trace = true,
             "--quiet" => progress = false,
             "--help" | "-h" => usage(),
             other => {
@@ -107,6 +112,10 @@ fn main() {
         progress,
     };
 
+    // Stage timings go to stderr only: the JSONL records and stdout tables
+    // are deterministic, and scheduling-dependent timings must stay out.
+    let stage_trace = trace.then(pd_core::stages::enable_global_trace);
+
     let outcome = match &out_path {
         Some(path) => run_search_to_path(&cfg, path).unwrap_or_else(|e| {
             eprintln!("search: cannot write {}: {e}", path.display());
@@ -114,6 +123,11 @@ fn main() {
         }),
         None => run_search(&cfg),
     };
+
+    if let Some(stage_trace) = stage_trace {
+        eprintln!("per-stage timing (wall clock; diagnostics only, not in the JSONL):");
+        eprint!("{}", stage_trace.render_table());
+    }
 
     println!(
         "search: {} strategy over {} grid points → {} records \

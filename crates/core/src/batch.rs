@@ -21,9 +21,15 @@
 //!   cold path would, so reports are byte-identical at any job count.
 //! * **Failure isolation.** A spec that panics mid-evaluation (e.g. a
 //!   zero-technician schedule) is caught with [`std::panic::catch_unwind`]
-//!   and lands as `Err(EvalError::Panicked(..))` in its own slot — serial
-//!   and parallel paths alike — so a thousand-scenario sweep degrades by
-//!   one result instead of aborting the batch.
+//!   and lands as `Err(EvalError::Panicked { .. })` in its own slot —
+//!   serial and parallel paths alike — so a thousand-scenario sweep
+//!   degrades by one result instead of aborting the batch. The stage
+//!   executor ([`crate::stages`]) marks the running stage in a
+//!   thread-local, so the error names the stage that died.
+//! * **Per-stage observability.** [`evaluate_many_traced`] threads a
+//!   [`StageTrace`] through every evaluation, accumulating per-stage wall
+//!   time and artifact counts across the whole batch — diagnostics only,
+//!   never part of the deterministic results.
 //!
 //! ```
 //! use pd_core::batch::{evaluate_many, BatchOptions};
@@ -55,7 +61,8 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::design::{DesignSpec, TopologySpec};
-use crate::pipeline::{evaluate_prebuilt, EvalError, Evaluation};
+use crate::pipeline::{EvalError, Evaluation};
+use crate::stages::{take_current_stage, Stage, StageState, StageTrace};
 use pd_topology::gen::GenError;
 use pd_topology::Network;
 
@@ -261,8 +268,9 @@ pub fn evaluate_with_cache(
     spec: &DesignSpec,
     cache: &GenCache,
 ) -> Result<Evaluation, EvalError> {
-    let net = cache.build(&spec.topology).map_err(EvalError::Generation)?;
-    evaluate_prebuilt(spec, net)
+    let mut state = StageState::new(spec).with_gen_cache(cache);
+    state.run_to(Stage::Report)?;
+    Ok(state.into_evaluation())
 }
 
 /// Evaluates a batch of designs in parallel.
@@ -288,24 +296,48 @@ pub fn evaluate_many_with_cache(
     opts: &BatchOptions,
     cache: &GenCache,
 ) -> Vec<Result<Evaluation, EvalError>> {
+    evaluate_many_traced(specs, opts, cache, None)
+}
+
+/// [`evaluate_many_with_cache`] with an optional per-stage trace.
+///
+/// Every evaluation in the batch records its stage wall times and artifact
+/// counts into `trace` (atomics, shared safely across workers). The trace
+/// is observability only — it never changes results, which stay
+/// byte-identical to an untraced run at any job count.
+pub fn evaluate_many_traced(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+    cache: &GenCache,
+    trace: Option<&StageTrace>,
+) -> Vec<Result<Evaluation, EvalError>> {
     let eval_one = |spec: &DesignSpec| {
+        let mut state = StageState::new(spec);
         if opts.share_generation {
-            evaluate_with_cache(spec, cache)
-        } else {
-            crate::pipeline::evaluate(spec)
+            state = state.with_gen_cache(cache);
         }
+        if let Some(trace) = trace {
+            state = state.traced(trace);
+        }
+        state.run_to(Stage::Report)?;
+        Ok(state.into_evaluation())
     };
     // Isolate per-spec panics: a panicking evaluation must cost exactly its
-    // own slot, and must do so identically at every job count.
+    // own slot, and must do so identically at every job count. The stage
+    // executor notes the running stage in a thread-local, so the unwind
+    // handler can attribute the panic to the stage that died.
     let eval_caught = |spec: &DesignSpec| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(spec)))
             .unwrap_or_else(|payload| {
-                let msg = payload
+                let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(EvalError::Panicked(msg))
+                Err(EvalError::Panicked {
+                    stage: take_current_stage(),
+                    message,
+                })
             })
     };
 
@@ -356,9 +388,10 @@ pub fn evaluate_many_with_cache(
         .into_iter()
         .map(|r| {
             r.unwrap_or_else(|| {
-                Err(EvalError::Panicked(
-                    "batch worker died before recording a result".into(),
-                ))
+                Err(EvalError::Panicked {
+                    stage: None,
+                    message: "batch worker died before recording a result".into(),
+                })
             })
         })
         .collect()
@@ -472,8 +505,13 @@ mod tests {
         for (i, r) in parallel.iter().enumerate() {
             if i == 1 {
                 match r {
-                    Err(EvalError::Panicked(msg)) => {
-                        assert!(msg.contains("technician"), "unexpected payload: {msg}")
+                    Err(EvalError::Panicked { stage, message }) => {
+                        assert!(
+                            message.contains("technician"),
+                            "unexpected payload: {message}"
+                        );
+                        // The unwind was observed inside the schedule stage.
+                        assert_eq!(*stage, Some(Stage::Schedule));
                     }
                     other => panic!("expected Panicked at slot 1, got {other:?}"),
                 }
@@ -488,7 +526,34 @@ mod tests {
             rs.iter().map(Result::is_ok).collect()
         };
         assert_eq!(pattern(&serial), pattern(&parallel));
-        assert!(matches!(&serial[1], Err(EvalError::Panicked(_))));
+        assert!(matches!(
+            &serial[1],
+            Err(EvalError::Panicked {
+                stage: Some(Stage::Schedule),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn traced_batch_counts_stage_runs_without_changing_results() {
+        let specs = mixed_batch();
+        let cache = GenCache::new();
+        let trace = StageTrace::new();
+        let traced =
+            evaluate_many_traced(&specs, &BatchOptions::jobs(3), &cache, Some(&trace));
+        let n = specs.len() as u64;
+        for stage in Stage::ALL {
+            assert_eq!(trace.runs(stage), n, "every spec runs {stage} once");
+        }
+        // Fault sweeps are disabled in these specs: stage ran, zero work.
+        assert_eq!(trace.artifacts(Stage::Faults), 0);
+        assert!(trace.artifacts(Stage::Generate) > 0);
+        // Tracing never changes the results.
+        let plain = evaluate_many(&specs, &BatchOptions::jobs(1));
+        for (a, b) in traced.iter().zip(&plain) {
+            assert_eq!(a.as_ref().unwrap().report, b.as_ref().unwrap().report);
+        }
     }
 
     #[test]

@@ -198,7 +198,9 @@ pub fn all_families(target_servers: usize, speed: Gbps, seed: u64) -> Vec<(Strin
 /// ([`evaluate_many`]), so an E6-style family sweep pays roughly one
 /// evaluation of wall-clock per core instead of the whole batch serially,
 /// and specs sharing a topology sub-spec generate their network once.
-/// Evaluations are in spec order.
+/// Evaluations are in spec order and keep every stage artifact
+/// ([`Evaluation`] holds the full store, down to the harness analysis), so
+/// matrix consumers can dig past the summary reports.
 pub struct ComparisonMatrix {
     /// One evaluation per input spec, in input order.
     pub evaluations: Vec<Evaluation>,

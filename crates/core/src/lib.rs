@@ -12,6 +12,11 @@
 //! * [`pipeline`] — the end-to-end evaluation: generate → place → route →
 //!   bundle → cost → schedule → yield → lifecycle → twin-validate. Fully
 //!   deterministic given the spec's seeds.
+//! * [`stages`] — the typed stage graph behind the pipeline:
+//!   [`stages::StageState`] runs named [`stages::Stage`]s to any depth
+//!   (partial evaluation with resume), attributes panics to the stage that
+//!   died, and can record per-stage wall time into a
+//!   [`stages::StageTrace`].
 //! * [`batch`] — [`batch::evaluate_many`]: the same pipeline fanned out
 //!   over a scoped worker pool with a shared topology-generation memo
 //!   cache. Results are byte-identical to serial evaluation at any job
@@ -72,12 +77,14 @@ pub mod design;
 pub mod pipeline;
 pub mod report;
 pub mod score;
+pub mod stages;
 
 pub use batch::{evaluate_many, BatchOptions, GenCache};
 pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
 pub use pipeline::{evaluate, Evaluation};
 pub use report::DeployabilityReport;
 pub use score::{pareto_front, pareto_front_points, weighted_score, Weights};
+pub use stages::{Stage, StageState, StageTrace, StopAfter};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -87,6 +94,7 @@ pub mod prelude {
     pub use crate::pipeline::{evaluate, Evaluation};
     pub use crate::report::DeployabilityReport;
     pub use crate::score::{pareto_front, pareto_front_points, weighted_score, Weights};
+    pub use crate::stages::{Stage, StageState, StageTrace, StopAfter};
     pub use pd_cabling::{CablingPolicy, IndirectionKind};
     pub use pd_costing::{ScheduleParams, YieldParams};
     pub use pd_geometry::{Dollars, Gbps, Hours, Meters};

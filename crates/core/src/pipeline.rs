@@ -11,19 +11,23 @@
 //! Everything is deterministic given the spec's seeds; the returned
 //! [`Evaluation`] keeps every intermediate artifact so experiments can dig
 //! past the summary report.
+//!
+//! The pipeline itself lives in [`crate::stages`] as a typed stage graph:
+//! [`evaluate`] is exactly `StageState::new(spec)` driven to
+//! `Stage::Report` and surrendered as an [`Evaluation`]. Callers who want
+//! partial evaluation (stop after any stage, resume later) or per-stage
+//! timing use [`crate::stages::StageState`] directly; the functions here
+//! are the whole-pipeline convenience wrappers.
 
-use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
+use crate::design::DesignSpec;
 use crate::report::DeployabilityReport;
-use pd_cabling::{BundlingReport, CablingPlan};
+use crate::stages::{Stage, StageState};
+use pd_cabling::{BundlingReport, CablingPlan, HarnessReport};
 use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
-use pd_geometry::{Hours, Watts};
-use pd_lifecycle::expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
-use pd_lifecycle::faults::{FaultSweepReport, Injector};
+use pd_lifecycle::faults::FaultSweepReport;
 use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
 use pd_physical::{Hall, Placement};
-use pd_topology::metrics::{goodness, GoodnessParams};
-use pd_topology::{Network, SwitchRole};
-use pd_twin::{check_design, CapabilityEnvelope, DesignFacts, Severity};
+use pd_topology::Network;
 
 /// Everything the pipeline produced for one design.
 #[derive(Debug, Clone)]
@@ -38,6 +42,9 @@ pub struct Evaluation {
     pub cabling: CablingPlan,
     /// Bundling analysis.
     pub bundling: BundlingReport,
+    /// Harness (pre-terminated multi-cable assembly) analysis; the
+    /// report's `harness_fraction` is its summary.
+    pub harness: HarnessReport,
     /// Task graph.
     pub deployment: DeploymentPlan,
     /// Executed schedule.
@@ -77,10 +84,16 @@ pub enum EvalError {
     /// A supplied network is structurally invalid (dangling link
     /// endpoints, over-subscribed ports, duplicate names).
     Network(pd_topology::NetworkError),
-    /// A post-placement stage panicked while evaluating this spec. The
-    /// payload is the panic message; sibling specs in the same batch are
-    /// unaffected.
-    Panicked(String),
+    /// A stage panicked while evaluating this spec; sibling specs in the
+    /// same batch are unaffected.
+    Panicked {
+        /// The stage the executor was inside when the panic unwound, when
+        /// the batch engine could observe it (`None` e.g. when a worker
+        /// died outside any stage).
+        stage: Option<Stage>,
+        /// The panic payload message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -89,7 +102,14 @@ impl std::fmt::Display for EvalError {
             EvalError::Generation(e) => write!(f, "generation: {e}"),
             EvalError::Placement(e) => write!(f, "placement: {e}"),
             EvalError::Network(e) => write!(f, "network: {e}"),
-            EvalError::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
+            EvalError::Panicked {
+                stage: Some(stage),
+                message,
+            } => write!(f, "evaluation panicked: stage {stage}: {message}"),
+            EvalError::Panicked {
+                stage: None,
+                message,
+            } => write!(f, "evaluation panicked: {message}"),
         }
     }
 }
@@ -98,9 +118,9 @@ impl std::error::Error for EvalError {}
 
 /// Runs the full pipeline.
 pub fn evaluate(spec: &DesignSpec) -> Result<Evaluation, EvalError> {
-    // 1. Topology.
-    let net = spec.topology.build().map_err(EvalError::Generation)?;
-    evaluate_prebuilt(spec, net)
+    let mut state = StageState::new(spec);
+    state.run_to(Stage::Report)?;
+    Ok(state.into_evaluation())
 }
 
 /// Runs the pipeline stages after generation on an already-built network.
@@ -110,304 +130,20 @@ pub fn evaluate(spec: &DesignSpec) -> Result<Evaluation, EvalError> {
 /// ([`crate::batch::GenCache`]) builds each distinct topology sub-spec once
 /// and feeds clones through here. [`evaluate`] is exactly `build()` followed
 /// by this function.
-pub fn evaluate_prebuilt(spec: &DesignSpec, mut net: Network) -> Result<Evaluation, EvalError> {
-    // 1b. Structural guard for user-supplied networks. Generated
-    // topologies are correct by construction; a hand-built
-    // `TopologySpec::Custom` network can carry dangling link endpoints or
-    // over-subscribed ports that would otherwise surface as panics deep in
-    // placement or routing.
-    if matches!(spec.topology, TopologySpec::Custom(_)) {
-        for l in net.links() {
-            for end in [l.a, l.b] {
-                if net.switch(end).is_none() {
-                    return Err(EvalError::Network(
-                        pd_topology::NetworkError::UnknownSwitch(end),
-                    ));
-                }
-            }
-        }
-        net.validate().map_err(EvalError::Network)?;
-    }
-
-    // 2. Physical plant + placement.
-    let hall = Hall::new(spec.hall.clone());
-    let mut placement = Placement::place(&net, &hall, spec.placement, &spec.equipment)
-        .map_err(EvalError::Placement)?;
-    if spec.placement_improvement > 0 {
-        placement.improve(&net, &hall, spec.placement_improvement, spec.seed);
-    }
-
-    // 3. Cabling.
-    let cabling = CablingPlan::build(&net, &hall, &placement, &spec.cabling);
-    let bundling = BundlingReport::analyze(&cabling, spec.min_bundle_size);
-    let harness = pd_cabling::HarnessReport::analyze(&cabling, &net, spec.min_bundle_size);
-
-    // 4. Deployment, schedule, yield.
-    let deployment = DeploymentPlan::from_cabling(
-        &net,
-        &placement,
-        &cabling,
-        spec.use_bundles.then_some(&bundling),
-    );
-    let schedule = Schedule::run(&deployment, &hall, &spec.schedule);
-    let yields = YieldReport::simulate(&deployment, &spec.schedule.calib, &spec.yields);
-
-    // 5. Costs.
-    let capex = CapexReport::compute(&net, &placement, &cabling);
-    let switch_power: Watts = net
-        .switches()
-        .map(|s| spec.equipment.switch_shape(s.radix).2)
-        .sum();
-    let network_power = switch_power + cabling.total_end_power();
-    let components = net.switch_count() + cabling.runs.len();
-    let tco = TcoReport::build(
-        &capex,
-        &spec.schedule.calib,
-        &pd_costing::TcoParams::default(),
-        schedule.makespan,
-        deployment.total_work(&spec.schedule.calib),
-        network_power,
-        net.server_count(),
-        components,
-    );
-
-    // 6. Lifecycle probes.
-    let repair = RepairSimReport::simulate(
-        &net,
-        &hall,
-        &placement,
-        &cabling,
-        &spec.schedule.calib,
-        &spec.repair,
-    );
-    // 6b. Correlated fault injection (§3.3), on the as-built network:
-    // must run before the expansion probe, which mutates `net` for
-    // flat-ToR growth.
-    let faults = (spec.fault_scenarios.scenarios > 0).then(|| {
-        Injector::new(
-            &net,
-            &hall,
-            &placement,
-            &cabling,
-            &bundling,
-            &spec.schedule.calib,
-            &spec.repair,
-        )
-        .sweep(&spec.fault_scenarios)
-    });
-
-    let expansion = run_expansion_probe(spec, &mut net, &hall, &placement);
-
-    // 7. Twin.
-    let violations = check_design(&net, &hall, &placement, &cabling);
-    let envelope = CapabilityEnvelope::default().check(&DesignFacts::extract(&net, &cabling));
-
-    // 8. Goodness (+ optional resilience probe).
-    let resilience = (spec.resilience_samples > 0).then(|| {
-        pd_topology::metrics::failure_resilience(&net, 0.10, spec.resilience_samples, spec.seed)
-            .mean_retention
-    });
-    let good = goodness(
-        &net,
-        &GoodnessParams {
-            seed: spec.seed,
-            ..GoodnessParams::default()
-        },
-    );
-
-    let twin_errors = violations
-        .iter()
-        .filter(|v| v.severity == Severity::Error)
-        .count();
-    let twin_warnings = violations.len() - twin_errors;
-
-    let max_radix = net.switches().map(|s| s.radix).max().unwrap_or(0);
-    let report = DeployabilityReport {
-        name: spec.name.clone(),
-        family: spec.topology.family().to_string(),
-        switches: net.switch_count(),
-        links: net.link_count(),
-        servers: net.server_count(),
-        racks: placement.rack_count() + cabling.sites.len(),
-        diameter: good.diameter,
-        mean_path: good.mean_server_distance,
-        bisection: good.bisection_per_server,
-        throughput_per_server: good.uniform_throughput_per_server,
-        path_diversity: good.min_edge_disjoint_paths,
-        spectral_gap: good.spectral_gap,
-        resilience,
-        capex: capex.total(),
-        cabling_fraction: capex.cabling_fraction(),
-        time_to_deploy: schedule.makespan,
-        labor: deployment.total_work(&spec.schedule.calib),
-        first_pass_yield: yields.first_pass_yield,
-        rework: yields.mean_rework,
-        day_one_cost: tco.day_one(),
-        lifetime_cost: tco.lifetime(),
-        cables: cabling.runs.len(),
-        cable_length: cabling.total_ordered_length(),
-        mean_cable_length: cabling.mean_routed_length(),
-        optical_fraction: cabling.optical_fraction(),
-        distinct_skus: cabling.distinct_skus(),
-        bundled_fraction: bundling.bundled_fraction(),
-        harness_fraction: harness.harness_fraction(),
-        bundle_skus: bundling.bundle_sku_count(),
-        max_tray_fill: cabling.max_tray_fill(),
-        unrealizable_links: cabling.failures.len(),
-        expansion_rewires: expansion.as_ref().map(|c| c.rewiring_steps),
-        expansion_new_cables: expansion.as_ref().map(|c| c.new_cables),
-        expansion_panels_touched: expansion.as_ref().map(|c| c.panels_touched),
-        expansion_labor: expansion.as_ref().map(|c| c.labor),
-        fault_worst_retention: faults.as_ref().map(|f| f.worst_throughput_retention),
-        fault_mean_retention: faults.as_ref().map(|f| f.mean_throughput_retention),
-        fault_resilience_gap: faults.as_ref().map(|f| f.resilience_gap),
-        availability: repair.port_availability,
-        mttr: repair.mean_mttr,
-        unit_of_repair_ports: pd_lifecycle::repair::unit_of_repair_ports(
-            max_radix,
-            spec.repair.ports_per_linecard,
-        ),
-        distinct_radixes: net.distinct_radixes().len(),
-        distinct_speeds: net.distinct_speeds().len(),
-        twin_errors,
-        twin_warnings,
-        envelope_breaks: envelope.len(),
-    };
-
-    Ok(Evaluation {
-        network: net,
-        hall,
-        placement,
-        cabling,
-        bundling,
-        deployment,
-        schedule,
-        yields,
-        capex,
-        tco,
-        repair,
-        expansion,
-        faults,
-        violations,
-        envelope,
-        report,
-    })
-}
-
-fn run_expansion_probe(
-    spec: &DesignSpec,
-    net: &mut Network,
-    hall: &Hall,
-    placement: &Placement,
-) -> Option<LifecycleComplexity> {
-    let per_move = Hours::from_minutes(4.0);
-    let per_pull = spec
-        .schedule
-        .calib
-        .loose_cable_time(pd_geometry::Meters::new(20.0));
-    match &spec.expansion {
-        ExpansionProbe::None => None,
-        ExpansionProbe::ClosPods {
-            to_pods,
-            indirection,
-        } => {
-            // Derive current pod structure from blocks with aggregation
-            // switches.
-            let mut pods = 0usize;
-            let mut aggs_per_pod = 0usize;
-            let mut pod_slots = Vec::new();
-            for b in net.blocks() {
-                let members = net.block_members(b);
-                let aggs: Vec<_> = members
-                    .iter()
-                    .filter(|&&s| {
-                        net.switch(s)
-                            .map(|s| s.role == SwitchRole::Aggregation)
-                            .unwrap_or(false)
-                    })
-                    .collect();
-                if !aggs.is_empty()
-                    && members.iter().any(|&s| {
-                        net.switch(s).map(|s| s.role == SwitchRole::Tor).unwrap_or(false)
-                    })
-                {
-                    pods += 1;
-                    aggs_per_pod = aggs.len();
-                    if let Some(slot) = placement.slot_of(*aggs[0]) {
-                        pod_slots.push(slot);
-                    }
-                }
-            }
-            let spines: Vec<_> = net
-                .switches()
-                .filter(|s| s.role == SwitchRole::Spine)
-                .collect();
-            if pods == 0 || spines.is_empty() || *to_pods <= pods {
-                return None;
-            }
-            let spine_ports = usize::from(spines[0].radix);
-            let spine_count = spines.len();
-            // Panel slots: centre slots (where the sites would be).
-            let panel_slots: Vec<_> = (0..spine_count.min(4))
-                .filter_map(|i| hall.slots().get(hall.slot_count() / 2 + i).map(|s| s.id))
-                .collect();
-            let new_pod_slots: Vec<_> = (0..(*to_pods - pods).max(1))
-                .filter_map(|i| {
-                    hall.slots()
-                        .get(hall.slot_count().saturating_sub(1 + i))
-                        .map(|s| s.id)
-                })
-                .collect();
-            let plan = clos_add_pods(&ClosExpansionParams {
-                old_pods: pods,
-                new_pods: *to_pods,
-                aggs_per_pod,
-                spines: spine_count,
-                spine_ports,
-                indirection: *indirection,
-                panel_slots,
-                pod_slots,
-                new_pod_slots,
-            });
-            Some(plan.complexity(hall, per_move, per_pull))
-        }
-        ExpansionProbe::FlatTors { count, seed } => {
-            let degree = net
-                .switches()
-                .find(|s| s.role == SwitchRole::FlatTor)
-                .map(|s| usize::from(s.radix - s.server_ports))?;
-            let servers = net
-                .switches()
-                .find(|s| s.role == SwitchRole::FlatTor)
-                .map(|s| s.server_ports)
-                .unwrap_or(0);
-            let mut total = pd_lifecycle::RewirePlan::default();
-            for i in 0..*count {
-                let (_, plan) = flat_add_tor(
-                    net,
-                    |s| placement.slot_of(s),
-                    &FlatExpansionParams {
-                        degree,
-                        seed: seed.wrapping_add(i as u64),
-                        servers_per_tor: servers,
-                    },
-                );
-                total.moves.extend(plan.moves);
-                total.new_cables += plan.new_cables;
-                total.abandoned_cables += plan.abandoned_cables;
-            }
-            Some(total.complexity(hall, per_move, per_pull))
-        }
-    }
+pub fn evaluate_prebuilt(spec: &DesignSpec, net: Network) -> Result<Evaluation, EvalError> {
+    let mut state = StageState::with_network(spec, net);
+    state.run_to(Stage::Report)?;
+    Ok(state.into_evaluation())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design::TopologySpec;
-    use pd_geometry::{Dollars, Gbps};
+    use crate::design::{ExpansionProbe, TopologySpec};
+    use pd_geometry::{Dollars, Gbps, Hours};
     use pd_lifecycle::expansion::IndirectionLevel;
     use pd_topology::gen::JellyfishParams;
+    use pd_topology::SwitchRole;
 
     fn fat_tree_spec() -> DesignSpec {
         DesignSpec::new(
@@ -448,6 +184,15 @@ mod tests {
         let a = evaluate(&fat_tree_spec()).unwrap();
         let b = evaluate(&fat_tree_spec()).unwrap();
         assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn harness_analysis_is_kept_on_the_evaluation() {
+        let ev = evaluate(&fat_tree_spec()).unwrap();
+        // The stored artifact backs the report's summary fraction and lets
+        // experiments dig past it.
+        assert_eq!(ev.harness.total_cables, ev.report.cables);
+        assert_eq!(ev.harness.harness_fraction(), ev.report.harness_fraction);
     }
 
     #[test]
@@ -554,7 +299,14 @@ mod tests {
                 available: 2,
             }),
             EvalError::Network(pd_topology::NetworkError::DuplicateName("s0".into())),
-            EvalError::Panicked("need at least one technician".into()),
+            EvalError::Panicked {
+                stage: Some(Stage::Schedule),
+                message: "need at least one technician".into(),
+            },
+            EvalError::Panicked {
+                stage: None,
+                message: "batch worker died before recording a result".into(),
+            },
         ];
         for e in errors {
             let rendered = e.to_string();
@@ -566,5 +318,17 @@ mod tests {
                 || rendered.starts_with("evaluation panicked:");
             assert!(tagged, "untagged error rendering: {rendered}");
         }
+    }
+
+    #[test]
+    fn panic_attribution_names_the_stage() {
+        let e = EvalError::Panicked {
+            stage: Some(Stage::Schedule),
+            message: "need at least one technician".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "evaluation panicked: stage schedule: need at least one technician"
+        );
     }
 }

@@ -1,0 +1,1087 @@
+//! The staged pipeline engine: a typed stage graph over the evaluation.
+//!
+//! [`crate::pipeline::evaluate`] used to be one monolithic function; it is
+//! now a thin wrapper over this module, which names each pipeline step as a
+//! [`Stage`], accumulates intermediate artifacts in a [`StageState`] store,
+//! and drives them with a small executor ([`StageState::run_to`] /
+//! [`StopAfter`]). That buys three things the monolith could not offer:
+//!
+//! * **Partial evaluation.** `run_to(Stage::Place)` runs exactly the cheap
+//!   prefix (generate → validate → place) and stops; calling `run_to`
+//!   again with a deeper target resumes from where it left off without
+//!   redoing work. The search engine's adaptive rungs are built on this —
+//!   the "cheap proxy" *is* the real pipeline prefix, so the two can never
+//!   drift apart.
+//! * **Stage-attributed failures.** The executor notes the running stage in
+//!   a thread-local before each step; when the batch engine's
+//!   `catch_unwind` observes a panic, [`take_current_stage`] tells it which
+//!   stage died, and `EvalError::Panicked` carries the name.
+//! * **Per-stage observability.** A [`StageTrace`] records wall time and
+//!   artifact counts per stage — attach one per state with
+//!   [`StageState::traced`], or process-wide with [`enable_global_trace`]
+//!   (the `--trace` flag of the CLI bins). Traces are diagnostics only:
+//!   they never feed back into evaluation and never enter deterministic
+//!   outputs (reports, JSONL records), the same rule that keeps
+//!   generation-cache counters out of checkpoint files.
+//!
+//! Stage bodies are byte-for-byte the computations the monolith performed,
+//! in the same order, so `run_to(Stage::Report)` produces reports identical
+//! to the pre-refactor `evaluate()` — pinned by the determinism tests and
+//! `tests/stage_equivalence.rs`.
+//!
+//! ```
+//! use pd_core::stages::{Stage, StageState};
+//! use pd_core::{DesignSpec, TopologySpec};
+//! use pd_geometry::Gbps;
+//!
+//! let mut spec = DesignSpec::new(
+//!     "demo",
+//!     TopologySpec::FatTree { k: 4, speed: Gbps::new(100.0) },
+//! );
+//! spec.yields.trials = 5; // keep the doctest quick
+//! spec.repair.trials = 2;
+//!
+//! let mut st = StageState::new(&spec);
+//! st.run_to(Stage::Place).unwrap(); // cheap prefix only
+//! assert!(st.network().is_some() && st.cabling().is_none());
+//! st.run_to(Stage::Report).unwrap(); // resume to the end
+//! let ev = st.into_evaluation();
+//! assert_eq!(ev.report.servers, 16);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::batch::GenCache;
+use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
+use crate::pipeline::{EvalError, Evaluation};
+use crate::report::DeployabilityReport;
+use pd_cabling::{BundlingReport, CablingPlan, HarnessReport};
+use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
+use pd_geometry::{Hours, Watts};
+use pd_lifecycle::expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, FlatExpansionParams};
+use pd_lifecycle::faults::{FaultSweepReport, Injector};
+use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
+use pd_physical::{Hall, Placement};
+use pd_topology::metrics::{goodness, GoodnessParams, GoodnessReport};
+use pd_topology::{Network, SwitchRole};
+use pd_twin::{check_design, CapabilityEnvelope, DesignFacts, EnvelopeCheck, Severity, Violation};
+
+/// One named step of the evaluation pipeline, in execution order.
+///
+/// The order is the data-dependency order the monolith ran in; notably
+/// [`Stage::Faults`] precedes [`Stage::Expansion`] because the fault sweep
+/// measures the as-built network and the expansion probe mutates it for
+/// flat-ToR growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Build the [`Network`] from the topology spec (memoized when a
+    /// [`GenCache`] is attached).
+    Generate,
+    /// Structural guard for user-supplied ([`TopologySpec::Custom`])
+    /// networks; a no-op for generated topologies, which are correct by
+    /// construction.
+    Validate,
+    /// Build the [`Hall`] and place racks into it.
+    Place,
+    /// Route every link through the tray graph into a [`CablingPlan`].
+    Cable,
+    /// Bundling and harness analysis over the cabling plan.
+    Bundle,
+    /// Deployment task graph + technician schedule.
+    Schedule,
+    /// First-pass-yield simulation.
+    Yield,
+    /// Capex bill of materials + TCO aggregation.
+    Cost,
+    /// Repair/availability simulation.
+    Repair,
+    /// Correlated fault-injection sweep (skipped when the spec's
+    /// `fault_scenarios` ensemble is empty).
+    Faults,
+    /// Expansion probe (may mutate the network for flat-ToR growth).
+    Expansion,
+    /// Twin lowering: constraint check + capability-envelope check.
+    Twin,
+    /// Abstract-goodness metrics (+ optional resilience probe).
+    Goodness,
+    /// Assemble the [`DeployabilityReport`].
+    Report,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Generate,
+        Stage::Validate,
+        Stage::Place,
+        Stage::Cable,
+        Stage::Bundle,
+        Stage::Schedule,
+        Stage::Yield,
+        Stage::Cost,
+        Stage::Repair,
+        Stage::Faults,
+        Stage::Expansion,
+        Stage::Twin,
+        Stage::Goodness,
+        Stage::Report,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = 14;
+
+    /// Position in execution order (`Generate` = 0, `Report` = 13).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name, used in panic attributions and trace tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Generate => "generate",
+            Stage::Validate => "validate",
+            Stage::Place => "place",
+            Stage::Cable => "cable",
+            Stage::Bundle => "bundle",
+            Stage::Schedule => "schedule",
+            Stage::Yield => "yield",
+            Stage::Cost => "cost",
+            Stage::Repair => "repair",
+            Stage::Faults => "faults",
+            Stage::Expansion => "expansion",
+            Stage::Twin => "twin",
+            Stage::Goodness => "goodness",
+            Stage::Report => "report",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Depth control for the executor: run stages up to and including the
+/// wrapped stage, then stop. `StopAfter(Stage::Report)` is a full
+/// evaluation; `StopAfter(Stage::Place)` is the search engine's
+/// placement-feasibility proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopAfter(pub Stage);
+
+thread_local! {
+    /// The stage the executor on this thread is currently inside. Set
+    /// before each stage body and cleared on ordinary (Ok *or* Err) exit —
+    /// only a panic leaves it populated, which is exactly when the batch
+    /// engine wants to read it.
+    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+}
+
+fn set_current_stage(stage: Option<Stage>) {
+    CURRENT_STAGE.with(|c| c.set(stage));
+}
+
+/// Takes (and clears) the stage a panicking executor on this thread was
+/// inside. `None` when no stage was running — ordinary completion clears
+/// the marker, so a populated value is only observable after an unwind.
+/// The batch engine calls this inside its `catch_unwind` handler to
+/// attribute the panic; taking rather than peeking keeps pooled worker
+/// threads from leaking a stale stage into a later spec's attribution.
+pub fn take_current_stage() -> Option<Stage> {
+    CURRENT_STAGE.with(|c| c.replace(None))
+}
+
+/// Per-stage wall-time and artifact-count accumulator.
+///
+/// Cells are atomics, so one trace can be shared across a whole parallel
+/// batch. **Diagnostics only**: timings are scheduling-dependent, so traces
+/// must never influence evaluation or enter deterministic outputs — the
+/// CLI bins print the table to stderr for exactly that reason.
+pub struct StageTrace {
+    cells: [TraceCell; Stage::COUNT],
+}
+
+#[derive(Default)]
+struct TraceCell {
+    runs: AtomicU64,
+    nanos: AtomicU64,
+    artifacts: AtomicU64,
+}
+
+impl Default for StageTrace {
+    fn default() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| TraceCell::default()),
+        }
+    }
+}
+
+impl StageTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed run of `stage`.
+    pub fn record(&self, stage: Stage, elapsed: std::time::Duration, artifacts: u64) {
+        let cell = &self.cells[stage.index()];
+        cell.runs.fetch_add(1, Ordering::Relaxed);
+        cell.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        cell.artifacts.fetch_add(artifacts, Ordering::Relaxed);
+    }
+
+    /// Completed runs of `stage`.
+    pub fn runs(&self, stage: Stage) -> u64 {
+        self.cells[stage.index()].runs.load(Ordering::Relaxed)
+    }
+
+    /// Total wall time spent in `stage`, in nanoseconds.
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.cells[stage.index()].nanos.load(Ordering::Relaxed)
+    }
+
+    /// Total artifacts produced by `stage` (stage-specific work counts:
+    /// switches+links generated, racks placed, cable runs routed, …).
+    pub fn artifacts(&self, stage: Stage) -> u64 {
+        self.cells[stage.index()].artifacts.load(Ordering::Relaxed)
+    }
+
+    /// Total wall time across all stages, in nanoseconds. Under a parallel
+    /// batch this is summed worker time, not elapsed time.
+    pub fn total_nanos(&self) -> u64 {
+        self.cells.iter().map(|c| c.nanos.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes every cell (e.g. between experiment runs sharing the global
+    /// trace).
+    pub fn reset(&self) {
+        for cell in &self.cells {
+            cell.runs.store(0, Ordering::Relaxed);
+            cell.nanos.store(0, Ordering::Relaxed);
+            cell.artifacts.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the per-stage timing table (stages with zero runs omitted).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "stage          runs   total (ms)    mean (ms)    artifacts\n",
+        );
+        let (mut runs_total, mut ms_total, mut artifacts_total) = (0u64, 0.0f64, 0u64);
+        for stage in Stage::ALL {
+            let runs = self.runs(stage);
+            if runs == 0 {
+                continue;
+            }
+            let ms = self.nanos(stage) as f64 / 1e6;
+            let artifacts = self.artifacts(stage);
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>12.3} {:>12.3} {:>12}\n",
+                stage.name(),
+                runs,
+                ms,
+                ms / runs as f64,
+                artifacts,
+            ));
+            runs_total += runs;
+            ms_total += ms;
+            artifacts_total += artifacts;
+        }
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>12.3} {:>12} {:>12}\n",
+            "total", runs_total, ms_total, "", artifacts_total,
+        ));
+        out
+    }
+}
+
+static GLOBAL_TRACE: OnceLock<StageTrace> = OnceLock::new();
+static GLOBAL_TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+/// Turns on the process-wide stage trace and returns it. Every
+/// [`StageState`] without an explicit [`StageState::traced`] trace records
+/// into it from then on — this is what the CLI bins' `--trace` flag flips.
+pub fn enable_global_trace() -> &'static StageTrace {
+    let trace = GLOBAL_TRACE.get_or_init(StageTrace::default);
+    GLOBAL_TRACE_ON.store(true, Ordering::Release);
+    trace
+}
+
+/// The process-wide trace, if [`enable_global_trace`] has been called.
+pub fn global_trace() -> Option<&'static StageTrace> {
+    if GLOBAL_TRACE_ON.load(Ordering::Acquire) {
+        GLOBAL_TRACE.get()
+    } else {
+        None
+    }
+}
+
+const ARTIFACT: &str = "stage ordering guarantees earlier artifacts exist";
+
+/// The growing artifact store one evaluation accumulates, plus the executor
+/// that fills it stage by stage.
+///
+/// Borrows its [`DesignSpec`] (and optional cache/trace) rather than owning
+/// them, so partially evaluating thousands of candidate specs — the search
+/// engine's rungs — never clones a spec. Accessors return `Some` once the
+/// producing stage has run. After `run_to(Stage::Report)`,
+/// [`StageState::into_evaluation`] surrenders the store as the familiar
+/// [`Evaluation`].
+pub struct StageState<'a> {
+    spec: &'a DesignSpec,
+    gen_cache: Option<&'a GenCache>,
+    trace: Option<&'a StageTrace>,
+    /// Index (into [`Stage::ALL`]) of the next stage to run.
+    next: usize,
+    network: Option<Network>,
+    hall: Option<Hall>,
+    placement: Option<Placement>,
+    cabling: Option<CablingPlan>,
+    bundling: Option<BundlingReport>,
+    harness: Option<HarnessReport>,
+    deployment: Option<DeploymentPlan>,
+    schedule: Option<Schedule>,
+    yields: Option<YieldReport>,
+    capex: Option<CapexReport>,
+    tco: Option<TcoReport>,
+    repair: Option<RepairSimReport>,
+    /// `Some(None)` = stage ran, sweep disabled by the spec.
+    faults: Option<Option<FaultSweepReport>>,
+    /// `Some(None)` = stage ran, no probe configured / probe inapplicable.
+    expansion: Option<Option<LifecycleComplexity>>,
+    violations: Option<Vec<Violation>>,
+    envelope: Option<Vec<EnvelopeCheck>>,
+    resilience: Option<Option<f64>>,
+    good: Option<GoodnessReport>,
+    report: Option<DeployabilityReport>,
+}
+
+impl<'a> StageState<'a> {
+    /// A fresh state; [`Stage::Generate`] will build the network from
+    /// `spec.topology`.
+    pub fn new(spec: &'a DesignSpec) -> Self {
+        Self {
+            spec,
+            gen_cache: None,
+            trace: None,
+            next: 0,
+            network: None,
+            hall: None,
+            placement: None,
+            cabling: None,
+            bundling: None,
+            harness: None,
+            deployment: None,
+            schedule: None,
+            yields: None,
+            capex: None,
+            tco: None,
+            repair: None,
+            faults: None,
+            expansion: None,
+            violations: None,
+            envelope: None,
+            resilience: None,
+            good: None,
+            report: None,
+        }
+    }
+
+    /// A state with [`Stage::Generate`] already satisfied by `net`, which
+    /// must be the network `spec.topology` generates (generation is
+    /// deterministic, so a memoized clone qualifies). The executor starts
+    /// at [`Stage::Validate`].
+    pub fn with_network(spec: &'a DesignSpec, net: Network) -> Self {
+        let mut st = Self::new(spec);
+        st.network = Some(net);
+        st.next = Stage::Validate.index();
+        st
+    }
+
+    /// Routes [`Stage::Generate`] through a shared memo cache, so equal
+    /// topology sub-specs across many states generate once.
+    pub fn with_gen_cache(mut self, cache: &'a GenCache) -> Self {
+        self.gen_cache = Some(cache);
+        self
+    }
+
+    /// Attaches an explicit trace, overriding the global one for this
+    /// state.
+    pub fn traced(mut self, trace: &'a StageTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The deepest stage that has completed, if any.
+    pub fn completed(&self) -> Option<Stage> {
+        self.next.checked_sub(1).map(|i| Stage::ALL[i])
+    }
+
+    /// The spec this state evaluates.
+    pub fn spec(&self) -> &DesignSpec {
+        self.spec
+    }
+
+    /// The generated network (post-probe state once [`Stage::Expansion`]
+    /// has run a flat-ToR probe).
+    pub fn network(&self) -> Option<&Network> {
+        self.network.as_ref()
+    }
+
+    /// The hall, after [`Stage::Place`].
+    pub fn hall(&self) -> Option<&Hall> {
+        self.hall.as_ref()
+    }
+
+    /// The placement, after [`Stage::Place`].
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
+    }
+
+    /// The cabling plan, after [`Stage::Cable`].
+    pub fn cabling(&self) -> Option<&CablingPlan> {
+        self.cabling.as_ref()
+    }
+
+    /// The bundling analysis, after [`Stage::Bundle`].
+    pub fn bundling(&self) -> Option<&BundlingReport> {
+        self.bundling.as_ref()
+    }
+
+    /// The harness analysis, after [`Stage::Bundle`].
+    pub fn harness(&self) -> Option<&HarnessReport> {
+        self.harness.as_ref()
+    }
+
+    /// The summary report, after [`Stage::Report`].
+    pub fn report(&self) -> Option<&DeployabilityReport> {
+        self.report.as_ref()
+    }
+
+    /// Runs every not-yet-run stage up to and including `target`, in
+    /// order. Already-completed stages are never re-run, so calling this
+    /// repeatedly with deepening targets resumes instead of restarting; a
+    /// `target` at or above the completed depth is a no-op. On `Err` the
+    /// failing stage stays pending and the artifacts of earlier stages
+    /// remain readable.
+    pub fn run_to(&mut self, target: Stage) -> Result<(), EvalError> {
+        self.run(StopAfter(target))
+    }
+
+    /// [`StageState::run_to`] with the explicit depth-control type.
+    pub fn run(&mut self, stop: StopAfter) -> Result<(), EvalError> {
+        while self.next <= stop.0.index() {
+            let stage = Stage::ALL[self.next];
+            let started = Instant::now();
+            set_current_stage(Some(stage));
+            let outcome = self.run_stage(stage);
+            set_current_stage(None);
+            let artifacts = outcome?;
+            let trace = match self.trace {
+                Some(t) => Some(t),
+                None => global_trace(),
+            };
+            if let Some(trace) = trace {
+                trace.record(stage, started.elapsed(), artifacts);
+            }
+            self.next += 1;
+        }
+        Ok(())
+    }
+
+    /// Consumes the store into an [`Evaluation`].
+    ///
+    /// # Panics
+    ///
+    /// If [`Stage::Report`] has not completed — run `run_to(Stage::Report)`
+    /// first.
+    pub fn into_evaluation(self) -> Evaluation {
+        assert!(
+            self.report.is_some(),
+            "into_evaluation requires run_to(Stage::Report) to have completed"
+        );
+        Evaluation {
+            network: self.network.expect(ARTIFACT),
+            hall: self.hall.expect(ARTIFACT),
+            placement: self.placement.expect(ARTIFACT),
+            cabling: self.cabling.expect(ARTIFACT),
+            bundling: self.bundling.expect(ARTIFACT),
+            harness: self.harness.expect(ARTIFACT),
+            deployment: self.deployment.expect(ARTIFACT),
+            schedule: self.schedule.expect(ARTIFACT),
+            yields: self.yields.expect(ARTIFACT),
+            capex: self.capex.expect(ARTIFACT),
+            tco: self.tco.expect(ARTIFACT),
+            repair: self.repair.expect(ARTIFACT),
+            expansion: self.expansion.expect(ARTIFACT),
+            faults: self.faults.expect(ARTIFACT),
+            violations: self.violations.expect(ARTIFACT),
+            envelope: self.envelope.expect(ARTIFACT),
+            report: self.report.expect(ARTIFACT),
+        }
+    }
+
+    /// Runs one stage body, returning its artifact count for the trace.
+    /// Bodies are the monolith's steps verbatim, reading inputs from and
+    /// writing outputs to the store.
+    fn run_stage(&mut self, stage: Stage) -> Result<u64, EvalError> {
+        let spec = self.spec;
+        match stage {
+            Stage::Generate => {
+                let net = match self.gen_cache {
+                    Some(cache) => cache.build(&spec.topology),
+                    None => spec.topology.build(),
+                }
+                .map_err(EvalError::Generation)?;
+                let produced = (net.switch_count() + net.link_count()) as u64;
+                self.network = Some(net);
+                Ok(produced)
+            }
+            Stage::Validate => {
+                // Structural guard for user-supplied networks. Generated
+                // topologies are correct by construction; a hand-built
+                // `TopologySpec::Custom` network can carry dangling link
+                // endpoints or over-subscribed ports that would otherwise
+                // surface as panics deep in placement or routing.
+                if !matches!(spec.topology, TopologySpec::Custom(_)) {
+                    return Ok(0);
+                }
+                let net = self.network.as_ref().expect(ARTIFACT);
+                for l in net.links() {
+                    for end in [l.a, l.b] {
+                        if net.switch(end).is_none() {
+                            return Err(EvalError::Network(
+                                pd_topology::NetworkError::UnknownSwitch(end),
+                            ));
+                        }
+                    }
+                }
+                net.validate().map_err(EvalError::Network)?;
+                Ok(net.link_count() as u64)
+            }
+            Stage::Place => {
+                let net = self.network.as_ref().expect(ARTIFACT);
+                let hall = Hall::new(spec.hall.clone());
+                let mut placement =
+                    Placement::place(net, &hall, spec.placement, &spec.equipment)
+                        .map_err(EvalError::Placement)?;
+                if spec.placement_improvement > 0 {
+                    placement.improve(net, &hall, spec.placement_improvement, spec.seed);
+                }
+                let produced = placement.rack_count() as u64;
+                self.hall = Some(hall);
+                self.placement = Some(placement);
+                Ok(produced)
+            }
+            Stage::Cable => {
+                let cabling = CablingPlan::build(
+                    self.network.as_ref().expect(ARTIFACT),
+                    self.hall.as_ref().expect(ARTIFACT),
+                    self.placement.as_ref().expect(ARTIFACT),
+                    &spec.cabling,
+                );
+                let produced = cabling.runs.len() as u64;
+                self.cabling = Some(cabling);
+                Ok(produced)
+            }
+            Stage::Bundle => {
+                let cabling = self.cabling.as_ref().expect(ARTIFACT);
+                let bundling = BundlingReport::analyze(cabling, spec.min_bundle_size);
+                let harness = HarnessReport::analyze(
+                    cabling,
+                    self.network.as_ref().expect(ARTIFACT),
+                    spec.min_bundle_size,
+                );
+                let produced = (bundling.bundles.len() + harness.harnesses.len()) as u64;
+                self.bundling = Some(bundling);
+                self.harness = Some(harness);
+                Ok(produced)
+            }
+            Stage::Schedule => {
+                let bundling = self.bundling.as_ref().expect(ARTIFACT);
+                let deployment = DeploymentPlan::from_cabling(
+                    self.network.as_ref().expect(ARTIFACT),
+                    self.placement.as_ref().expect(ARTIFACT),
+                    self.cabling.as_ref().expect(ARTIFACT),
+                    spec.use_bundles.then_some(bundling),
+                );
+                let schedule = Schedule::run(
+                    &deployment,
+                    self.hall.as_ref().expect(ARTIFACT),
+                    &spec.schedule,
+                );
+                let produced = deployment.tasks.len() as u64;
+                self.deployment = Some(deployment);
+                self.schedule = Some(schedule);
+                Ok(produced)
+            }
+            Stage::Yield => {
+                let yields = YieldReport::simulate(
+                    self.deployment.as_ref().expect(ARTIFACT),
+                    &spec.schedule.calib,
+                    &spec.yields,
+                );
+                self.yields = Some(yields);
+                Ok(spec.yields.trials as u64)
+            }
+            Stage::Cost => {
+                let net = self.network.as_ref().expect(ARTIFACT);
+                let cabling = self.cabling.as_ref().expect(ARTIFACT);
+                let deployment = self.deployment.as_ref().expect(ARTIFACT);
+                let capex = CapexReport::compute(
+                    net,
+                    self.placement.as_ref().expect(ARTIFACT),
+                    cabling,
+                );
+                let switch_power: Watts = net
+                    .switches()
+                    .map(|s| spec.equipment.switch_shape(s.radix).2)
+                    .sum();
+                let network_power = switch_power + cabling.total_end_power();
+                let components = net.switch_count() + cabling.runs.len();
+                let tco = TcoReport::build(
+                    &capex,
+                    &spec.schedule.calib,
+                    &pd_costing::TcoParams::default(),
+                    self.schedule.as_ref().expect(ARTIFACT).makespan,
+                    deployment.total_work(&spec.schedule.calib),
+                    network_power,
+                    net.server_count(),
+                    components,
+                );
+                self.capex = Some(capex);
+                self.tco = Some(tco);
+                Ok(components as u64)
+            }
+            Stage::Repair => {
+                let repair = RepairSimReport::simulate(
+                    self.network.as_ref().expect(ARTIFACT),
+                    self.hall.as_ref().expect(ARTIFACT),
+                    self.placement.as_ref().expect(ARTIFACT),
+                    self.cabling.as_ref().expect(ARTIFACT),
+                    &spec.schedule.calib,
+                    &spec.repair,
+                );
+                self.repair = Some(repair);
+                Ok(spec.repair.trials as u64)
+            }
+            Stage::Faults => {
+                // Correlated fault injection (§3.3), on the as-built
+                // network: this stage is ordered before `Expansion`, which
+                // mutates the network for flat-ToR growth.
+                let faults = (spec.fault_scenarios.scenarios > 0).then(|| {
+                    Injector::new(
+                        self.network.as_ref().expect(ARTIFACT),
+                        self.hall.as_ref().expect(ARTIFACT),
+                        self.placement.as_ref().expect(ARTIFACT),
+                        self.cabling.as_ref().expect(ARTIFACT),
+                        self.bundling.as_ref().expect(ARTIFACT),
+                        &spec.schedule.calib,
+                        &spec.repair,
+                    )
+                    .sweep(&spec.fault_scenarios)
+                });
+                let produced = faults.as_ref().map_or(0, |f| f.scenarios as u64);
+                self.faults = Some(faults);
+                Ok(produced)
+            }
+            Stage::Expansion => {
+                let expansion = run_expansion_probe(
+                    spec,
+                    self.network.as_mut().expect(ARTIFACT),
+                    self.hall.as_ref().expect(ARTIFACT),
+                    self.placement.as_ref().expect(ARTIFACT),
+                );
+                let produced = expansion.as_ref().map_or(0, |c| c.rewiring_steps as u64);
+                self.expansion = Some(expansion);
+                Ok(produced)
+            }
+            Stage::Twin => {
+                let net = self.network.as_ref().expect(ARTIFACT);
+                let cabling = self.cabling.as_ref().expect(ARTIFACT);
+                let violations = check_design(
+                    net,
+                    self.hall.as_ref().expect(ARTIFACT),
+                    self.placement.as_ref().expect(ARTIFACT),
+                    cabling,
+                );
+                let envelope =
+                    CapabilityEnvelope::default().check(&DesignFacts::extract(net, cabling));
+                let produced = (violations.len() + envelope.len()) as u64;
+                self.violations = Some(violations);
+                self.envelope = Some(envelope);
+                Ok(produced)
+            }
+            Stage::Goodness => {
+                let net = self.network.as_ref().expect(ARTIFACT);
+                let resilience = (spec.resilience_samples > 0).then(|| {
+                    pd_topology::metrics::failure_resilience(
+                        net,
+                        0.10,
+                        spec.resilience_samples,
+                        spec.seed,
+                    )
+                    .mean_retention
+                });
+                let good = goodness(
+                    net,
+                    &GoodnessParams {
+                        seed: spec.seed,
+                        ..GoodnessParams::default()
+                    },
+                );
+                self.resilience = Some(resilience);
+                self.good = Some(good);
+                Ok(1)
+            }
+            Stage::Report => {
+                let net = self.network.as_ref().expect(ARTIFACT);
+                let placement = self.placement.as_ref().expect(ARTIFACT);
+                let cabling = self.cabling.as_ref().expect(ARTIFACT);
+                let bundling = self.bundling.as_ref().expect(ARTIFACT);
+                let harness = self.harness.as_ref().expect(ARTIFACT);
+                let deployment = self.deployment.as_ref().expect(ARTIFACT);
+                let schedule = self.schedule.as_ref().expect(ARTIFACT);
+                let yields = self.yields.as_ref().expect(ARTIFACT);
+                let capex = self.capex.as_ref().expect(ARTIFACT);
+                let tco = self.tco.as_ref().expect(ARTIFACT);
+                let repair = self.repair.as_ref().expect(ARTIFACT);
+                let faults = self.faults.as_ref().expect(ARTIFACT).as_ref();
+                let expansion = self.expansion.as_ref().expect(ARTIFACT).as_ref();
+                let violations = self.violations.as_ref().expect(ARTIFACT);
+                let envelope = self.envelope.as_ref().expect(ARTIFACT);
+                let resilience = *self.resilience.as_ref().expect(ARTIFACT);
+                let good = self.good.as_ref().expect(ARTIFACT);
+
+                let twin_errors = violations
+                    .iter()
+                    .filter(|v| v.severity == Severity::Error)
+                    .count();
+                let twin_warnings = violations.len() - twin_errors;
+
+                let max_radix = net.switches().map(|s| s.radix).max().unwrap_or(0);
+                let report = DeployabilityReport {
+                    name: spec.name.clone(),
+                    family: spec.topology.family().to_string(),
+                    switches: net.switch_count(),
+                    links: net.link_count(),
+                    servers: net.server_count(),
+                    racks: placement.rack_count() + cabling.sites.len(),
+                    diameter: good.diameter,
+                    mean_path: good.mean_server_distance,
+                    bisection: good.bisection_per_server,
+                    throughput_per_server: good.uniform_throughput_per_server,
+                    path_diversity: good.min_edge_disjoint_paths,
+                    spectral_gap: good.spectral_gap,
+                    resilience,
+                    capex: capex.total(),
+                    cabling_fraction: capex.cabling_fraction(),
+                    time_to_deploy: schedule.makespan,
+                    labor: deployment.total_work(&spec.schedule.calib),
+                    first_pass_yield: yields.first_pass_yield,
+                    rework: yields.mean_rework,
+                    day_one_cost: tco.day_one(),
+                    lifetime_cost: tco.lifetime(),
+                    cables: cabling.runs.len(),
+                    cable_length: cabling.total_ordered_length(),
+                    mean_cable_length: cabling.mean_routed_length(),
+                    optical_fraction: cabling.optical_fraction(),
+                    distinct_skus: cabling.distinct_skus(),
+                    bundled_fraction: bundling.bundled_fraction(),
+                    harness_fraction: harness.harness_fraction(),
+                    bundle_skus: bundling.bundle_sku_count(),
+                    max_tray_fill: cabling.max_tray_fill(),
+                    unrealizable_links: cabling.failures.len(),
+                    expansion_rewires: expansion.map(|c| c.rewiring_steps),
+                    expansion_new_cables: expansion.map(|c| c.new_cables),
+                    expansion_panels_touched: expansion.map(|c| c.panels_touched),
+                    expansion_labor: expansion.map(|c| c.labor),
+                    fault_worst_retention: faults.map(|f| f.worst_throughput_retention),
+                    fault_mean_retention: faults.map(|f| f.mean_throughput_retention),
+                    fault_resilience_gap: faults.map(|f| f.resilience_gap),
+                    availability: repair.port_availability,
+                    mttr: repair.mean_mttr,
+                    unit_of_repair_ports: pd_lifecycle::repair::unit_of_repair_ports(
+                        max_radix,
+                        spec.repair.ports_per_linecard,
+                    ),
+                    distinct_radixes: net.distinct_radixes().len(),
+                    distinct_speeds: net.distinct_speeds().len(),
+                    twin_errors,
+                    twin_warnings,
+                    envelope_breaks: envelope.len(),
+                };
+                self.report = Some(report);
+                Ok(1)
+            }
+        }
+    }
+}
+
+fn run_expansion_probe(
+    spec: &DesignSpec,
+    net: &mut Network,
+    hall: &Hall,
+    placement: &Placement,
+) -> Option<LifecycleComplexity> {
+    let per_move = Hours::from_minutes(4.0);
+    let per_pull = spec
+        .schedule
+        .calib
+        .loose_cable_time(pd_geometry::Meters::new(20.0));
+    match &spec.expansion {
+        ExpansionProbe::None => None,
+        ExpansionProbe::ClosPods {
+            to_pods,
+            indirection,
+        } => {
+            // Derive current pod structure from blocks with aggregation
+            // switches.
+            let mut pods = 0usize;
+            let mut aggs_per_pod = 0usize;
+            let mut pod_slots = Vec::new();
+            for b in net.blocks() {
+                let members = net.block_members(b);
+                let aggs: Vec<_> = members
+                    .iter()
+                    .filter(|&&s| {
+                        net.switch(s)
+                            .map(|s| s.role == SwitchRole::Aggregation)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if !aggs.is_empty()
+                    && members.iter().any(|&s| {
+                        net.switch(s).map(|s| s.role == SwitchRole::Tor).unwrap_or(false)
+                    })
+                {
+                    pods += 1;
+                    aggs_per_pod = aggs.len();
+                    if let Some(slot) = placement.slot_of(*aggs[0]) {
+                        pod_slots.push(slot);
+                    }
+                }
+            }
+            let spines: Vec<_> = net
+                .switches()
+                .filter(|s| s.role == SwitchRole::Spine)
+                .collect();
+            if pods == 0 || spines.is_empty() || *to_pods <= pods {
+                return None;
+            }
+            // A heterogeneous spine layer (e.g. a partially upgraded
+            // fabric) bounds the expansion by its most port-constrained
+            // member, so size the plan off the minimum radix.
+            let spine_ports = spines
+                .iter()
+                .map(|s| usize::from(s.radix))
+                .min()
+                .unwrap_or(0);
+            let spine_count = spines.len();
+            // Panel slots: centre slots (where the sites would be).
+            let panel_slots: Vec<_> = (0..spine_count.min(4))
+                .filter_map(|i| hall.slots().get(hall.slot_count() / 2 + i).map(|s| s.id))
+                .collect();
+            let new_pod_slots: Vec<_> = (0..(*to_pods - pods).max(1))
+                .filter_map(|i| {
+                    hall.slots()
+                        .get(hall.slot_count().saturating_sub(1 + i))
+                        .map(|s| s.id)
+                })
+                .collect();
+            let plan = clos_add_pods(&ClosExpansionParams {
+                old_pods: pods,
+                new_pods: *to_pods,
+                aggs_per_pod,
+                spines: spine_count,
+                spine_ports,
+                indirection: *indirection,
+                panel_slots,
+                pod_slots,
+                new_pod_slots,
+            });
+            Some(plan.complexity(hall, per_move, per_pull))
+        }
+        ExpansionProbe::FlatTors { count, seed } => {
+            let (degree, servers) = net
+                .switches()
+                .find(|s| s.role == SwitchRole::FlatTor)
+                .map(|s| (usize::from(s.radix - s.server_ports), s.server_ports))?;
+            let mut total = pd_lifecycle::RewirePlan::default();
+            for i in 0..*count {
+                let (_, plan) = flat_add_tor(
+                    net,
+                    |s| placement.slot_of(s),
+                    &FlatExpansionParams {
+                        degree,
+                        seed: seed.wrapping_add(i as u64),
+                        servers_per_tor: servers,
+                    },
+                );
+                total.moves.extend(plan.moves);
+                total.new_cables += plan.new_cables;
+                total.abandoned_cables += plan.abandoned_cables;
+            }
+            Some(total.complexity(hall, per_move, per_pull))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_geometry::Gbps;
+
+    fn fat_tree_spec() -> DesignSpec {
+        let mut s = DesignSpec::new(
+            "ft4",
+            TopologySpec::FatTree {
+                k: 4,
+                speed: Gbps::new(100.0),
+            },
+        );
+        s.yields.trials = 5;
+        s.repair.trials = 2;
+        s
+    }
+
+    #[test]
+    fn stage_order_and_names_are_consistent() {
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(stage.to_string(), stage.name());
+        }
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT, "stage names must be unique");
+        // The documented invariant behind the Faults/Expansion ordering.
+        assert!(Stage::Faults < Stage::Expansion);
+    }
+
+    #[test]
+    fn partial_run_stops_and_resumes() {
+        let spec = fat_tree_spec();
+        let mut st = StageState::new(&spec);
+        st.run_to(Stage::Place).unwrap();
+        assert_eq!(st.completed(), Some(Stage::Place));
+        assert!(st.network().is_some());
+        assert!(st.placement().is_some());
+        assert!(st.cabling().is_none(), "later stages must not have run");
+        assert!(st.report().is_none());
+
+        // Re-running at the same depth is a no-op; deepening resumes.
+        st.run_to(Stage::Place).unwrap();
+        st.run_to(Stage::Report).unwrap();
+        assert_eq!(st.completed(), Some(Stage::Report));
+        let ev = st.into_evaluation();
+        assert_eq!(ev.report.servers, 16);
+        assert_eq!(ev.harness.total_cables, ev.report.cables);
+    }
+
+    #[test]
+    fn prebuilt_state_matches_fresh_state() {
+        let spec = fat_tree_spec();
+        let net = spec.topology.build().unwrap();
+        let mut a = StageState::new(&spec);
+        a.run_to(Stage::Report).unwrap();
+        let mut b = StageState::with_network(&spec, net);
+        b.run_to(Stage::Report).unwrap();
+        assert_eq!(a.into_evaluation().report, b.into_evaluation().report);
+    }
+
+    #[test]
+    fn trace_records_each_stage_once() {
+        let spec = fat_tree_spec();
+        let trace = StageTrace::new();
+        let mut st = StageState::new(&spec).traced(&trace);
+        st.run_to(Stage::Cable).unwrap();
+        for stage in [Stage::Generate, Stage::Validate, Stage::Place, Stage::Cable] {
+            assert_eq!(trace.runs(stage), 1, "{stage}");
+        }
+        for stage in [Stage::Bundle, Stage::Schedule, Stage::Report] {
+            assert_eq!(trace.runs(stage), 0, "{stage}");
+        }
+        // Artifact counts reflect real work.
+        assert_eq!(trace.artifacts(Stage::Generate), 20 + 48); // switches + links
+        assert!(trace.artifacts(Stage::Cable) > 0);
+        assert_eq!(trace.artifacts(Stage::Validate), 0, "no-op for generated nets");
+
+        st.run_to(Stage::Report).unwrap();
+        assert_eq!(trace.runs(Stage::Cable), 1, "resume must not re-run");
+        assert_eq!(trace.runs(Stage::Report), 1);
+
+        let table = trace.render_table();
+        assert!(table.contains("generate"));
+        assert!(table.contains("report"));
+        assert!(table.contains("total"));
+        // Zero-run stages are omitted entirely once nothing else ran.
+        trace.reset();
+        assert_eq!(trace.total_nanos(), 0);
+        assert!(!trace.render_table().contains("generate"));
+    }
+
+    #[test]
+    fn failed_stage_stays_pending_and_attributes_cleanly() {
+        let mut spec = fat_tree_spec();
+        spec.hall.rows = 1;
+        spec.hall.slots_per_row = 2;
+        let trace = StageTrace::new();
+        let mut st = StageState::new(&spec).traced(&trace);
+        let err = st.run_to(Stage::Report).unwrap_err();
+        assert!(matches!(err, EvalError::Placement(_)));
+        // Generate/Validate completed; Place failed and is not recorded.
+        assert_eq!(st.completed(), Some(Stage::Validate));
+        assert_eq!(trace.runs(Stage::Generate), 1);
+        assert_eq!(trace.runs(Stage::Place), 0);
+        // Ordinary (non-panic) failure clears the thread-local marker.
+        assert_eq!(take_current_stage(), None);
+        // Earlier artifacts remain readable for diagnostics.
+        assert!(st.network().is_some());
+    }
+
+    #[test]
+    fn panicking_stage_is_observable_via_thread_local() {
+        let mut spec = fat_tree_spec();
+        spec.schedule.technicians = 0; // trips Schedule::run's assert
+        let spec = spec;
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut st = StageState::new(&spec);
+            st.run_to(Stage::Report)
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(take_current_stage(), Some(Stage::Schedule));
+        // And the take cleared it.
+        assert_eq!(take_current_stage(), None);
+    }
+
+    #[test]
+    fn gen_cache_backed_state_hits_the_cache() {
+        let spec = fat_tree_spec();
+        let cache = GenCache::new();
+        let mut a = StageState::new(&spec).with_gen_cache(&cache);
+        a.run_to(Stage::Generate).unwrap();
+        let mut b = StageState::new(&spec).with_gen_cache(&cache);
+        b.run_to(Stage::Generate).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(
+            a.network().unwrap().switch_count(),
+            b.network().unwrap().switch_count()
+        );
+    }
+
+    #[test]
+    fn global_trace_starts_disabled_then_sticks() {
+        // Single test owns the global toggle: order within it is the only
+        // ordering that matters.
+        assert!(global_trace().is_none());
+        let trace = enable_global_trace();
+        assert!(std::ptr::eq(global_trace().unwrap(), trace));
+    }
+}

@@ -26,6 +26,11 @@
 //!
 //! Everything is deterministic given the scenario and seeds; identical
 //! inputs produce byte-identical [`DegradedState`] JSON.
+//!
+//! In the staged pipeline (`pd_core::stages`) the sweep is its own named
+//! stage, `Faults`, ordered **before** the `Expansion` stage: the
+//! expansion probe mutates the network for flat-ToR growth, and injection
+//! must always measure the as-built design.
 
 use crate::repair::RepairSimParams;
 use pd_cabling::{BundlingReport, CablingPlan};

@@ -38,12 +38,19 @@ impl PointStatus {
     /// True for the rendering of a hard infeasibility: a pipeline error or
     /// a proxy-stage failure — as opposed to a budget cut, which says
     /// nothing about the design.
+    ///
+    /// Rung prune reasons are rendered [`EvalError`]s, so the recognized
+    /// prefixes are the error's stage tags: `generation:` / `placement:`
+    /// for the adaptive rungs, plus `network:` should a custom-network
+    /// point ever fail its structural validation stage.
     pub fn is_infeasible(&self) -> bool {
         match self {
             PointStatus::Ok => false,
             PointStatus::Error(_) => true,
             PointStatus::Pruned(reason) => {
-                reason.starts_with("generation:") || reason.starts_with("placement:")
+                reason.starts_with("generation:")
+                    || reason.starts_with("placement:")
+                    || reason.starts_with("network:")
             }
         }
     }
@@ -256,6 +263,8 @@ mod tests {
         let pruned_hard = PointRecord::pruned(&p, &trials, "placement: no slots");
         assert!(pruned_hard.status.is_infeasible());
         assert!(!pruned_hard.feasible());
+        let pruned_invalid = PointRecord::pruned(&p, &trials, "network: duplicate name");
+        assert!(pruned_invalid.status.is_infeasible());
         let pruned_budget = PointRecord::pruned(&p, &trials, "not promoted past rung A");
         assert!(!pruned_budget.status.is_infeasible());
         assert!(pruned_budget.infeasibility().is_some());

@@ -7,6 +7,11 @@
 //! after each wave the records are handed to the sink (the JSONL file),
 //! so a killed run leaves a clean prefix the next run resumes from.
 //!
+//! The adaptive strategy's rungs are partial runs of the real pipeline:
+//! [`StageState::run_to`] stopped after `Generate` (rung A) and `Place`
+//! (rung B) through the shared [`GenCache`] — not a reimplementation — so
+//! the proxies and full evaluation cannot drift apart.
+//!
 //! Resume reuses full-evaluation results by [`PointRecord::key`] and
 //! re-derives everything cheap (pruning decisions, pruned records) from
 //! scratch — proxy decisions are pure functions of the configuration, so
@@ -23,7 +28,7 @@ use std::path::Path;
 
 use pd_core::batch::{evaluate_many_with_cache, BatchOptions, GenCache};
 use pd_core::design::DesignSpec;
-use pd_physical::{Hall, Placement};
+use pd_core::stages::{Stage, StageState};
 
 use crate::record::{parse_jsonl, PointRecord, PointStatus};
 use crate::space::{ParamSpace, Point, Strategy};
@@ -98,24 +103,33 @@ fn plan(cfg: &SearchConfig, cache: &GenCache) -> Vec<Planned> {
         }
     };
 
-    // Rung A: topology generation (through the shared cache, so promoted
-    // survivors regenerate for free in the full pipeline). A survivor's
-    // rank is how closely its built size matches the target — the cheap
-    // signal for "this family's granularity actually fits here".
+    // The rungs are partial runs of the *real* pipeline —
+    // `StageState::run_to` through the shared cache — so the cheap proxies
+    // can never drift from what full evaluation does, and promoted
+    // survivors regenerate for free in the full pipeline.
+    //
+    // Rung A: stop after `Stage::Generate`. A survivor's rank is how
+    // closely its built size matches the target — the cheap signal for
+    // "this family's granularity actually fits here".
     let trials = cfg.space.trials;
+    let specs: Vec<DesignSpec> = points.iter().map(|p| p.spec(&trials)).collect();
     let mut prune: Vec<Option<String>> = vec![None; points.len()];
     let mut survivors: Vec<(usize, f64)> = Vec::new(); // (plan idx, closeness)
-    let mut nets = HashMap::new();
-    for (i, p) in points.iter().enumerate() {
-        let spec = p.spec(&trials);
-        match cache.build(&spec.topology) {
-            Ok(net) => {
+    let mut states: Vec<Option<StageState>> = Vec::with_capacity(points.len());
+    for (i, (p, spec)) in points.iter().zip(&specs).enumerate() {
+        let mut state = StageState::new(spec).with_gen_cache(cache);
+        match state.run_to(Stage::Generate) {
+            Ok(()) => {
+                let net = state.network().expect("generate stage completed");
                 let built = f64::from(net.server_count());
                 let target = p.servers.max(1) as f64;
                 survivors.push((i, (built - target).abs() / target));
-                nets.insert(i, (spec, net));
+                states.push(Some(state));
             }
-            Err(e) => prune[i] = Some(format!("generation: {e}")),
+            Err(e) => {
+                prune[i] = Some(e.to_string());
+                states.push(None);
+            }
         }
     }
     let cut = |survivors: &mut Vec<(usize, f64)>,
@@ -132,16 +146,16 @@ fn plan(cfg: &SearchConfig, cache: &GenCache) -> Vec<Planned> {
     };
     cut(&mut survivors, budget.saturating_mul(eta).max(1), &mut prune, "generation");
 
-    // Rung B: placement feasibility — the cheapest physical test. A design
-    // that cannot even be racked into its hall is pruned with the real
-    // placement error, which the envelope mapper reads as a hard break.
+    // Rung B: resume each survivor to `Stage::Place` — the cheapest
+    // physical test. A design that cannot even be racked into its hall is
+    // pruned with the real placement error, which the envelope mapper
+    // reads as a hard break.
     let mut placed: Vec<(usize, f64)> = Vec::new();
     for (i, closeness) in survivors {
-        let (spec, net) = &nets[&i];
-        let hall = Hall::new(spec.hall.clone());
-        match Placement::place(net, &hall, spec.placement, &spec.equipment) {
-            Ok(_) => placed.push((i, closeness)),
-            Err(e) => prune[i] = Some(format!("placement: {e}")),
+        let state = states[i].as_mut().expect("rung-A survivor kept its state");
+        match state.run_to(Stage::Place) {
+            Ok(()) => placed.push((i, closeness)),
+            Err(e) => prune[i] = Some(e.to_string()),
         }
     }
     cut(&mut placed, budget.max(1), &mut prune, "placement");

@@ -29,6 +29,12 @@
 //! assert_eq!(ev.report.servers, 16);
 //! assert!(ev.report.deployable());
 //! assert!(ev.report.capex > Dollars::ZERO);
+//!
+//! // The pipeline is a typed stage graph; partial evaluation runs just a
+//! // prefix and can resume later (see `physnet::core::stages`).
+//! let mut st = StageState::new(&spec);
+//! st.run_to(Stage::Place).expect("cheap prefix");
+//! assert!(st.placement().is_some() && st.report().is_none());
 //! ```
 
 #![forbid(unsafe_code)]

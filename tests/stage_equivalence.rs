@@ -1,0 +1,103 @@
+//! Partial-evaluation equivalence for the staged pipeline engine.
+//!
+//! Two contracts, both promised by `docs/ARCHITECTURE.md`:
+//!
+//! * **Resume ≡ one-shot.** Running `StageState` to an intermediate depth
+//!   and later resuming to `Report` serializes to the exact report bytes a
+//!   one-shot `evaluate()` produces — partial evaluation is invisible in
+//!   the output.
+//! * **`StopAfter` really stops.** A `run_to(Place)` never executes later
+//!   stages, probed through the per-state `StageTrace`; the trace itself
+//!   never changes results.
+
+use physnet::core::stages::{Stage, StageState, StageTrace};
+use physnet::prelude::*;
+
+/// A spec that exercises the optional stages too (fault sweep, expansion
+/// probe), so equivalence covers every stage body.
+fn full_coverage_spec() -> DesignSpec {
+    let speed = Gbps::new(100.0);
+    let mut s = DesignSpec::new("jf", compare::jellyfish_near(96, speed, 7));
+    s.yields.trials = 10;
+    s.repair.trials = 3;
+    s.seed = 3;
+    s.expansion = ExpansionProbe::FlatTors { count: 1, seed: 5 };
+    s.fault_scenarios = physnet::lifecycle::FaultSweepParams {
+        scenarios: 2,
+        max_domains: 2,
+        seed: 11,
+    };
+    s
+}
+
+fn report_json(ev: &Evaluation) -> String {
+    serde_json::to_string(&ev.report).expect("report serializes")
+}
+
+#[test]
+fn resume_after_place_matches_one_shot_evaluate_bytes() {
+    let spec = full_coverage_spec();
+    let one_shot = evaluate(&spec).expect("one-shot evaluation");
+
+    let mut st = StageState::new(&spec);
+    st.run_to(Stage::Place).expect("cheap prefix");
+    st.run_to(Stage::Report).expect("resume to the end");
+    let resumed = st.into_evaluation();
+
+    assert_eq!(report_json(&one_shot), report_json(&resumed));
+    // The full artifact store came along too.
+    assert_eq!(one_shot.network.switch_count(), resumed.network.switch_count());
+    assert_eq!(one_shot.harness.harness_fraction(), resumed.harness.harness_fraction());
+}
+
+#[test]
+fn every_intermediate_stop_resumes_to_identical_bytes() {
+    let spec = full_coverage_spec();
+    let baseline = report_json(&evaluate(&spec).expect("baseline"));
+    for stop in Stage::ALL {
+        let mut st = StageState::new(&spec);
+        st.run_to(stop).expect("prefix runs");
+        st.run_to(Stage::Report).expect("resume runs");
+        assert_eq!(
+            baseline,
+            report_json(&st.into_evaluation()),
+            "stopping after {stop} changed the output"
+        );
+    }
+}
+
+#[test]
+fn stop_after_never_runs_later_stages() {
+    let spec = full_coverage_spec();
+    let trace = StageTrace::new();
+    let mut st = StageState::new(&spec).traced(&trace);
+    st.run_to(Stage::Place).expect("prefix runs");
+
+    for stage in [Stage::Generate, Stage::Validate, Stage::Place] {
+        assert_eq!(trace.runs(stage), 1, "{stage} must have run once");
+    }
+    for stage in [
+        Stage::Cable,
+        Stage::Bundle,
+        Stage::Schedule,
+        Stage::Yield,
+        Stage::Cost,
+        Stage::Repair,
+        Stage::Faults,
+        Stage::Expansion,
+        Stage::Twin,
+        Stage::Goodness,
+        Stage::Report,
+    ] {
+        assert_eq!(trace.runs(stage), 0, "{stage} must not have run");
+    }
+
+    // Resuming runs each remaining stage exactly once, re-running none.
+    st.run_to(Stage::Report).expect("resume runs");
+    for stage in Stage::ALL {
+        assert_eq!(trace.runs(stage), 1, "{stage} must have run exactly once");
+    }
+    // And the traced run still matches the untraced baseline bytes.
+    let baseline = evaluate(&spec).expect("baseline");
+    assert_eq!(report_json(&baseline), report_json(&st.into_evaluation()));
+}
