@@ -7,6 +7,7 @@
 //! experiments all --jobs 8       # same output, 8 worker threads
 //! experiments all --jobs 0       # one worker per core
 //! experiments e6 --trace         # + per-stage timing table on stderr
+//! experiments e6 --metrics       # + global pd-metrics table on stderr
 //! ```
 //!
 //! Experiments are independent and deterministic, so `--jobs` changes only
@@ -14,13 +15,17 @@
 //! `--trace` turns on the process-wide stage trace
 //! ([`pd_core::stages::enable_global_trace`]) and prints the per-stage
 //! wall-time/artifact table to **stderr** when the run finishes — stdout
-//! stays the canonical, deterministic experiment output.
+//! stays the canonical, deterministic experiment output. The trace table is
+//! an alias view of the `pipeline.<stage>.*` metrics that `--metrics`
+//! prints in full (every instrumented subsystem, grouped by determinism
+//! class; see `docs/OBSERVABILITY.md`).
 
 use pd_bench::{all_experiments, run_all, run_by_name};
 
 fn main() {
     let mut jobs: usize = 1;
     let mut trace = false;
+    let mut metrics = false;
     let mut command: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +46,8 @@ fn main() {
             };
         } else if arg == "--trace" {
             trace = true;
+        } else if arg == "--metrics" {
+            metrics = true;
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -57,7 +64,7 @@ fn main() {
             for (name, desc, _) in all_experiments() {
                 println!("  {name:<4} {desc}");
             }
-            println!("\nusage: experiments <e1..e20 | all> [--jobs N] [--trace]");
+            println!("\nusage: experiments <e1..e20 | all> [--jobs N] [--trace] [--metrics]");
         }
         Some("all") => {
             for (_, report) in run_all(jobs) {
@@ -76,5 +83,13 @@ fn main() {
     if let Some(stage_trace) = stage_trace {
         eprintln!("\nper-stage timing (wall clock; diagnostics only, not part of the output):");
         eprint!("{}", stage_trace.render_table());
+        eprintln!("(alias view: the same data is pipeline.<stage>.* under --metrics)");
+    }
+    if metrics {
+        eprintln!("\nglobal metrics (diagnostics section is scheduling-dependent; see docs/OBSERVABILITY.md):");
+        let mut sink = pd_metrics::TableSink::stderr();
+        if let Err(e) = pd_metrics::Sink::emit(&mut sink, &pd_metrics::global().snapshot()) {
+            eprintln!("metrics: cannot write table: {e}");
+        }
     }
 }

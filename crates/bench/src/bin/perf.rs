@@ -1,0 +1,133 @@
+//! The pipeline performance benchmark CLI (`pd-bench perf`).
+//!
+//! ```text
+//! perf                                   # full matrix, BENCH_PIPELINE.json
+//! perf --families leaf-spine,fat-tree --sizes 128 --repeats 5
+//! perf --jobs 1 --out serial.json        # pin the worker count
+//! perf --baseline old.json               # diff mode: exit 1 on regression
+//! perf --baseline old.json --threshold 0.10
+//! ```
+//!
+//! Writes `BENCH_PIPELINE.json` (see `docs/OBSERVABILITY.md` for the
+//! schema): deterministic counts under `"counts"` — byte-identical at any
+//! `--jobs` — and wall times, throughput, and diagnostic metrics under
+//! `"diagnostics"`. With `--baseline` the fresh run is compared against an
+//! earlier report; the process exits non-zero when any cell's median wall
+//! time regressed beyond `--threshold` (default 20%) or any deterministic
+//! count drifted.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use pd_bench::perf::{diff, run, PerfConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--families a,b,...] [--sizes n,m,...] [--jobs N] \
+         [--repeats N] [--clones N] [--seed N] [--out PATH] \
+         [--baseline PATH] [--threshold F] [--metrics] [--quiet]\n\
+         families: fat-tree, folded-clos, leaf-spine, jellyfish, xpander, \
+         slimfly, flat-bf, fatclique, direct-connect"
+    );
+    exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a valid value");
+        usage()
+    })
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Vec<T> {
+    let raw: String = parse(flag, v);
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse {s:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut cfg = PerfConfig::default();
+    let mut out_path = PathBuf::from("BENCH_PIPELINE.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut threshold = 0.20f64;
+    let mut metrics_table = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--families" => cfg.families = parse_list("--families", args.next()),
+            "--sizes" => cfg.sizes = parse_list("--sizes", args.next()),
+            "--jobs" | "-j" => cfg.jobs = parse("--jobs", args.next()),
+            "--repeats" => cfg.repeats = parse("--repeats", args.next()),
+            "--clones" => cfg.clones = parse("--clones", args.next()),
+            "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--out" => out_path = PathBuf::from(parse::<String>("--out", args.next())),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(parse::<String>("--baseline", args.next())))
+            }
+            "--threshold" => threshold = parse("--threshold", args.next()),
+            "--metrics" => metrics_table = true,
+            "--quiet" => cfg.progress = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if cfg.sizes.is_empty() {
+        eprintln!("--sizes needs at least one size");
+        usage()
+    }
+
+    let report = run(&cfg).unwrap_or_else(|e| {
+        eprintln!("perf: {e}");
+        usage()
+    });
+    print!("{}", report.render_table());
+
+    let doc = report.to_json();
+    let pretty = serde_json::to_string_pretty(&doc).expect("serialize report");
+    if let Err(e) = std::fs::write(&out_path, pretty + "\n") {
+        eprintln!("perf: cannot write {}: {e}", out_path.display());
+        exit(1);
+    }
+    println!("report: {}", out_path.display());
+
+    if metrics_table {
+        eprintln!("\nglobal metrics (this run):");
+        eprint!("{}", report.snapshot.render_table());
+    }
+
+    if let Some(base_path) = baseline {
+        let base: serde_json::Value = std::fs::read_to_string(&base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+            .unwrap_or_else(|e| {
+                eprintln!("perf: cannot read baseline {}: {e}", base_path.display());
+                exit(1)
+            });
+        let outcome = diff(&doc, &base, threshold);
+        println!("\nbaseline comparison (threshold {:.0}%):", threshold * 100.0);
+        for line in &outcome.lines {
+            println!("  {line}");
+        }
+        if !outcome.passed() {
+            eprintln!(
+                "perf: {} regression(s) beyond {:.0}%",
+                outcome.regressions.len(),
+                threshold * 100.0
+            );
+            exit(1);
+        }
+        println!("baseline comparison passed");
+    }
+}

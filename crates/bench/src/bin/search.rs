@@ -16,7 +16,10 @@
 //! hit/miss counters) goes to stderr; tables go to stdout. `--trace`
 //! additionally prints the per-stage timing table on stderr when the run
 //! finishes — like the cache counters, stage timings are
-//! scheduling-dependent and never enter the JSONL records.
+//! scheduling-dependent and never enter the JSONL records. The trace table
+//! is an alias view of the `pipeline.<stage>.*` metrics; `--metrics`
+//! prints the full registry (search rungs, batch engine, caches) grouped
+//! by determinism class — see `docs/OBSERVABILITY.md`.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -27,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: search [--strategy grid|random|adaptive] [--budget N] [--eta N] \
          [--seed N] [--jobs N] [--wave N] [--cache-cap N] [--out PATH] \
-         [--axes a,b,...] [--trace] [--quiet]\n\
+         [--axes a,b,...] [--trace] [--metrics] [--quiet]\n\
          axes: cost, tco, bisection, fault, throughput, deploy-time"
     );
     exit(2)
@@ -52,6 +55,7 @@ fn main() {
     let mut axis_names = "cost,fault,tco,bisection".to_string();
     let mut progress = true;
     let mut trace = false;
+    let mut metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +70,7 @@ fn main() {
             "--out" => out_path = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--axes" => axis_names = parse("--axes", args.next()),
             "--trace" => trace = true,
+            "--metrics" => metrics = true,
             "--quiet" => progress = false,
             "--help" | "-h" => usage(),
             other => {
@@ -127,6 +132,14 @@ fn main() {
     if let Some(stage_trace) = stage_trace {
         eprintln!("per-stage timing (wall clock; diagnostics only, not in the JSONL):");
         eprint!("{}", stage_trace.render_table());
+        eprintln!("(alias view: the same data is pipeline.<stage>.* under --metrics)");
+    }
+    if metrics {
+        eprintln!("global metrics (diagnostics section is scheduling-dependent; see docs/OBSERVABILITY.md):");
+        let mut sink = pd_metrics::TableSink::stderr();
+        if let Err(e) = pd_metrics::Sink::emit(&mut sink, &pd_metrics::global().snapshot()) {
+            eprintln!("metrics: cannot write table: {e}");
+        }
     }
 
     println!(

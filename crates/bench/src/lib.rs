@@ -4,9 +4,15 @@
 //! prints, so integration tests can assert on the numbers. The experiment
 //! index (paper anchor → experiment) lives in `EXPERIMENTS.md` at the repo
 //! root; the `experiments` binary exposes each as a subcommand.
+//!
+//! The [`perf`] module is the pipeline performance benchmark behind the
+//! `perf` binary: a pinned family × size workload matrix measured through
+//! the batch engine, reported as `BENCH_PIPELINE.json` with deterministic
+//! counts segregated from wall-clock diagnostics (`docs/OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
 
 pub mod exp;
+pub mod perf;
 
 pub use exp::{all_experiments, run_all, run_by_name};

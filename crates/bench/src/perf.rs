@@ -1,0 +1,496 @@
+//! The pinned pipeline-performance workload behind `pd-bench perf`.
+//!
+//! A *cell* is one (family, target-server-count) pair from a fixed matrix.
+//! Each cell's workload is the family's normalized comparison spec
+//! ([`pd_core::compare::all_families`]) cloned [`PerfConfig::clones`] times
+//! under distinct names, evaluated as one batch through
+//! [`pd_core::batch::evaluate_many`] — so the measurement exercises the
+//! work-stealing engine and the shared generation cache exactly the way
+//! experiments do. Every cell is repeated [`PerfConfig::repeats`] times and
+//! the per-repeat wall times are kept; the report stores the median and
+//! minimum.
+//!
+//! The JSON report (`BENCH_PIPELINE.json` by convention) follows the
+//! workspace determinism contract (`docs/OBSERVABILITY.md`): everything
+//! under `"counts"` is byte-identical across runs at any `--jobs` value —
+//! the jobs axis deliberately does **not** participate in cell identity —
+//! while wall times, throughput, and the diagnostic metrics live under
+//! `"diagnostics"`. [`diff`] compares two reports and flags cells whose
+//! median wall time regressed beyond a threshold, plus any drift in the
+//! deterministic counts (which should never happen and is reported as a
+//! regression regardless of the threshold).
+
+use std::time::Instant;
+
+use pd_core::batch::{evaluate_many, BatchOptions};
+use pd_core::compare::all_families;
+use pd_core::design::DesignSpec;
+use pd_geometry::Gbps;
+use serde_json::{json, Map, Value};
+
+/// The perf matrix and its knobs.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Family names (as produced by [`all_families`]); empty = all nine.
+    pub families: Vec<String>,
+    /// Target server counts, one matrix column per entry.
+    pub sizes: Vec<usize>,
+    /// Worker threads for the batch engine; 0 = one per core.
+    pub jobs: usize,
+    /// Repeats per cell; the report keeps the median and minimum.
+    pub repeats: usize,
+    /// Seed for the seeded families (jellyfish, xpander).
+    pub seed: u64,
+    /// Copies of the cell spec in each batch; >1 gives the work-stealing
+    /// engine something to steal.
+    pub clones: usize,
+    /// Print per-cell progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            families: Vec::new(),
+            sizes: vec![128, 432],
+            jobs: 0,
+            repeats: 3,
+            seed: 11,
+            clones: 4,
+            progress: true,
+        }
+    }
+}
+
+/// One measured cell: deterministic counts plus per-repeat wall times.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Family name from [`all_families`].
+    pub family: String,
+    /// The matrix size the cell was built for.
+    pub target_servers: usize,
+    /// Specs in the batch (= [`PerfConfig::clones`]).
+    pub specs: usize,
+    /// Successful evaluations per repeat.
+    pub ok: usize,
+    /// Failed evaluations per repeat.
+    pub errors: usize,
+    /// Servers summed over the successful evaluations.
+    pub servers: u64,
+    /// Switches summed over the successful evaluations.
+    pub switches: u64,
+    /// Logical links summed over the successful evaluations.
+    pub links: u64,
+    /// Physical cables summed over the successful evaluations.
+    pub cables: u64,
+    /// Wall time of each repeat, in nanoseconds, in run order.
+    pub wall_ns: Vec<u64>,
+}
+
+impl CellResult {
+    /// Median wall time (lower middle for even repeat counts, so the value
+    /// is always one actually-observed sample).
+    pub fn median_wall_ns(&self) -> u64 {
+        let mut v = self.wall_ns.clone();
+        v.sort_unstable();
+        v.get(v.len().saturating_sub(1) / 2).copied().unwrap_or(0)
+    }
+
+    /// Fastest repeat.
+    pub fn min_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Specs evaluated per second at the median wall time.
+    pub fn specs_per_sec(&self) -> f64 {
+        let ns = self.median_wall_ns();
+        if ns == 0 {
+            0.0
+        } else {
+            self.specs as f64 * 1e9 / ns as f64
+        }
+    }
+}
+
+/// A full perf run: the matrix results plus a metrics snapshot taken at
+/// the end (the registry is reset when the run starts, so the snapshot
+/// covers exactly this workload).
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// One entry per (family, size) cell, in matrix order.
+    pub cells: Vec<CellResult>,
+    /// Worker threads the run used (0 = one per core).
+    pub jobs: usize,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// Seed the seeded families used.
+    pub seed: u64,
+    /// Global metrics snapshot at end of run.
+    pub snapshot: pd_metrics::MetricsSnapshot,
+}
+
+/// Runs the pinned matrix. Resets the global metrics registry first so the
+/// embedded snapshot describes only this run's work.
+pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
+    pd_metrics::global().reset();
+    let opts = BatchOptions::jobs(cfg.jobs);
+    let repeats = cfg.repeats.max(1);
+    let clones = cfg.clones.max(1);
+    let mut cells = Vec::new();
+
+    for &size in &cfg.sizes {
+        let menu = all_families(size, Gbps::new(100.0), cfg.seed);
+        let picked: Vec<&(String, pd_core::design::TopologySpec)> = if cfg.families.is_empty() {
+            menu.iter().collect()
+        } else {
+            let mut picked = Vec::new();
+            for want in &cfg.families {
+                match menu.iter().find(|(name, _)| name == want) {
+                    Some(entry) => picked.push(entry),
+                    None => {
+                        let known: Vec<&str> =
+                            menu.iter().map(|(n, _)| n.as_str()).collect();
+                        return Err(format!(
+                            "unknown family {want:?}; known: {}",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+            picked
+        };
+
+        for (family, topo) in picked {
+            let specs: Vec<DesignSpec> = (0..clones)
+                .map(|i| {
+                    let mut s =
+                        DesignSpec::new(format!("{family}-{size}-r{i}"), topo.clone());
+                    // Pinned quick-trial profile: the perf workload measures
+                    // the pipeline, not Monte-Carlo convergence.
+                    s.yields.trials = 10;
+                    s.repair.trials = 2;
+                    s
+                })
+                .collect();
+
+            let mut cell = CellResult {
+                family: family.clone(),
+                target_servers: size,
+                specs: specs.len(),
+                ok: 0,
+                errors: 0,
+                servers: 0,
+                switches: 0,
+                links: 0,
+                cables: 0,
+                wall_ns: Vec::with_capacity(repeats),
+            };
+            for rep in 0..repeats {
+                let started = Instant::now();
+                let results = evaluate_many(&specs, &opts);
+                cell.wall_ns.push(started.elapsed().as_nanos() as u64);
+                if rep == 0 {
+                    for r in &results {
+                        match r {
+                            Ok(ev) => {
+                                cell.ok += 1;
+                                cell.servers += u64::from(ev.report.servers);
+                                cell.switches += ev.report.switches as u64;
+                                cell.links += ev.report.links as u64;
+                                cell.cables += ev.report.cables as u64;
+                            }
+                            Err(_) => cell.errors += 1,
+                        }
+                    }
+                }
+            }
+            if cfg.progress {
+                eprintln!(
+                    "[perf] {family:<14} {size:>6} servers: median {:>9.3} ms over {repeats} repeat(s) ({:.1} specs/s)",
+                    cell.median_wall_ns() as f64 / 1e6,
+                    cell.specs_per_sec(),
+                );
+            }
+            cells.push(cell);
+        }
+    }
+
+    Ok(PerfReport {
+        cells,
+        jobs: cfg.jobs,
+        repeats,
+        seed: cfg.seed,
+        snapshot: pd_metrics::global().snapshot(),
+    })
+}
+
+impl PerfReport {
+    /// The `BENCH_PIPELINE.json` document. `serde_json`'s default map is
+    /// ordered, so serialization is key-sorted and stable; everything under
+    /// `"counts"` is byte-identical at any `--jobs` value.
+    pub fn to_json(&self) -> Value {
+        // The snapshot's own serializer already segregates classes; fold
+        // its two sections into ours.
+        let snap: Value = serde_json::from_str(&self.snapshot.to_json())
+            .unwrap_or_else(|_| json!({"counts": {}, "diagnostics": {}}));
+
+        let count_cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                json!({
+                    "family": c.family,
+                    "target_servers": c.target_servers,
+                    "specs": c.specs,
+                    "ok": c.ok,
+                    "errors": c.errors,
+                    "servers": c.servers,
+                    "switches": c.switches,
+                    "links": c.links,
+                    "cables": c.cables,
+                })
+            })
+            .collect();
+        let timing_cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                json!({
+                    "family": c.family,
+                    "target_servers": c.target_servers,
+                    "median_wall_ns": c.median_wall_ns(),
+                    "min_wall_ns": c.min_wall_ns(),
+                    "specs_per_sec": c.specs_per_sec(),
+                })
+            })
+            .collect();
+
+        json!({
+            "schema": "pd-bench-perf/1",
+            "counts": {
+                "cells": count_cells,
+                "metrics": snap.get("counts").cloned().unwrap_or_else(|| json!({})),
+                "seed": self.seed,
+            },
+            "diagnostics": {
+                "cells": timing_cells,
+                "jobs": self.jobs,
+                "metrics": snap.get("diagnostics").cloned().unwrap_or_else(|| json!({})),
+                "repeats": self.repeats,
+            },
+        })
+    }
+
+    /// Human-readable per-cell table (stderr-friendly).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>6} {:>4} {:>12} {:>12} {:>10}\n",
+            "family", "servers", "specs", "err", "median ms", "min ms", "specs/s"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>6} {:>4} {:>12.3} {:>12.3} {:>10.1}\n",
+                c.family,
+                c.target_servers,
+                c.specs,
+                c.errors,
+                c.median_wall_ns() as f64 / 1e6,
+                c.min_wall_ns() as f64 / 1e6,
+                c.specs_per_sec(),
+            ));
+        }
+        out
+    }
+}
+
+/// The outcome of comparing a fresh report against a baseline.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// One human-readable line per compared cell.
+    pub lines: Vec<String>,
+    /// Regression descriptions; empty means the diff passes.
+    pub regressions: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// True when no regression was found.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn cell_key(c: &Value) -> Option<(String, u64)> {
+    Some((
+        c.get("family")?.as_str()?.to_string(),
+        c.get("target_servers")?.as_u64()?,
+    ))
+}
+
+fn cells_by_key(report: &Value, section: &str) -> Map<String, Value> {
+    let mut map = Map::new();
+    if let Some(cells) = report
+        .get(section)
+        .and_then(|s| s.get("cells"))
+        .and_then(Value::as_array)
+    {
+        for c in cells {
+            if let Some((family, size)) = cell_key(c) {
+                map.insert(format!("{family}@{size}"), c.clone());
+            }
+        }
+    }
+    map
+}
+
+/// Compares `new` against `old` (both `BENCH_PIPELINE.json` documents).
+///
+/// A timing regression is a cell whose median wall time grew by more than
+/// `threshold` (e.g. `0.20` = 20%). Deterministic-count drift between
+/// matching cells is always a regression — counts must not move without a
+/// code change that intends it. Cells present in only one report are
+/// reported but not failed, so matrices can evolve.
+pub fn diff(new: &Value, old: &Value, threshold: f64) -> DiffOutcome {
+    let mut out = DiffOutcome { lines: Vec::new(), regressions: Vec::new() };
+
+    let new_counts = cells_by_key(new, "counts");
+    let old_counts = cells_by_key(old, "counts");
+    for (key, new_cell) in &new_counts {
+        match old_counts.get(key) {
+            Some(old_cell) if old_cell != new_cell => {
+                let msg = format!("count drift in {key}: {old_cell} -> {new_cell}");
+                out.lines.push(msg.clone());
+                out.regressions.push(msg);
+            }
+            Some(_) => {}
+            None => out.lines.push(format!("{key}: new cell (no baseline)")),
+        }
+    }
+
+    let new_timing = cells_by_key(new, "diagnostics");
+    let old_timing = cells_by_key(old, "diagnostics");
+    for (key, new_cell) in &new_timing {
+        let new_ns = new_cell.get("median_wall_ns").and_then(Value::as_u64);
+        let old_ns = old_timing
+            .get(key)
+            .and_then(|c| c.get("median_wall_ns"))
+            .and_then(Value::as_u64);
+        match (new_ns, old_ns) {
+            (Some(n), Some(o)) if o > 0 => {
+                let ratio = n as f64 / o as f64;
+                let line = format!(
+                    "{key}: median {:.3} ms vs baseline {:.3} ms ({:+.1}%)",
+                    n as f64 / 1e6,
+                    o as f64 / 1e6,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.0 + threshold {
+                    out.regressions.push(line.clone());
+                }
+                out.lines.push(line);
+            }
+            _ => out.lines.push(format!("{key}: no comparable baseline timing")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PerfConfig {
+        PerfConfig {
+            families: vec!["leaf-spine".into()],
+            sizes: vec![64],
+            jobs: 1,
+            repeats: 1,
+            seed: 11,
+            clones: 2,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        let mut cfg = tiny_cfg();
+        cfg.families = vec!["moebius".into()];
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("unknown family"), "{err}");
+    }
+
+    #[test]
+    fn report_json_segregates_counts_from_diagnostics() {
+        let report = run(&tiny_cfg()).expect("perf run");
+        let doc = report.to_json();
+        let counts = doc.get("counts").expect("counts section");
+        let diags = doc.get("diagnostics").expect("diagnostics section");
+        // jobs is a diagnostic: it must not appear anywhere under counts.
+        assert!(counts.get("jobs").is_none());
+        assert_eq!(diags.get("jobs"), Some(&serde_json::json!(1)));
+        let cell = &counts["cells"][0];
+        assert_eq!(cell["family"], "leaf-spine");
+        assert_eq!(cell["specs"], 2);
+        assert_eq!(cell["errors"], 0);
+        assert!(cell.get("median_wall_ns").is_none(), "timing leaked into counts");
+        assert!(diags["cells"][0].get("median_wall_ns").is_some());
+    }
+
+    #[test]
+    fn median_is_an_observed_sample() {
+        let mut cell = CellResult {
+            family: "x".into(),
+            target_servers: 0,
+            specs: 1,
+            ok: 1,
+            errors: 0,
+            servers: 0,
+            switches: 0,
+            links: 0,
+            cables: 0,
+            wall_ns: vec![30, 10, 20, 40],
+        };
+        assert_eq!(cell.median_wall_ns(), 20); // lower middle of {10,20,30,40}
+        cell.wall_ns = vec![30, 10, 20];
+        assert_eq!(cell.median_wall_ns(), 20);
+        assert_eq!(cell.min_wall_ns(), 10);
+    }
+
+    #[test]
+    fn diff_flags_regression_beyond_threshold_and_passes_equal_runs() {
+        let doc = |ns: u64| {
+            serde_json::json!({
+                "counts": {"cells": [{"family": "leaf-spine", "target_servers": 64,
+                                       "specs": 2, "ok": 2, "errors": 0,
+                                       "servers": 128, "switches": 12, "links": 32,
+                                       "cables": 32}]},
+                "diagnostics": {"cells": [{"family": "leaf-spine", "target_servers": 64,
+                                            "median_wall_ns": ns, "min_wall_ns": ns,
+                                            "specs_per_sec": 1.0}]},
+            })
+        };
+        let base = doc(1_000_000);
+        assert!(diff(&base, &base, 0.20).passed());
+        // +50% median: regression at a 20% threshold.
+        let slow = doc(1_500_000);
+        let d = diff(&slow, &base, 0.20);
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("+50.0%"), "{:?}", d.regressions);
+        // +10%: inside the threshold.
+        assert!(diff(&doc(1_100_000), &base, 0.20).passed());
+    }
+
+    #[test]
+    fn diff_fails_on_count_drift_regardless_of_threshold() {
+        let mut base = serde_json::json!({
+            "counts": {"cells": [{"family": "f", "target_servers": 64, "ok": 2}]},
+            "diagnostics": {"cells": []},
+        });
+        let fresh = base.clone();
+        assert!(diff(&fresh, &base, 10.0).passed());
+        base["counts"]["cells"][0]["ok"] = serde_json::json!(1);
+        let d = diff(&fresh, &base, 10.0);
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("count drift"), "{:?}", d.regressions);
+    }
+}

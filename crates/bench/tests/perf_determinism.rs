@@ -1,0 +1,89 @@
+//! The `perf` report's side of the workspace determinism contract: the
+//! `"counts"` section of `BENCH_PIPELINE.json` must be byte-identical at
+//! any `--jobs` value, and the baseline diff must accept identical runs
+//! while catching injected regressions. `docs/OBSERVABILITY.md` documents
+//! the contract; this test pins it.
+
+use std::sync::Mutex;
+
+use pd_bench::perf::{diff, run, PerfConfig};
+
+/// The perf runner records into (and resets) the process-global metrics
+/// registry, so tests in this binary must not run it concurrently — the
+/// embedded snapshot would mix two workloads.
+static PERF_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    PERF_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny(jobs: usize) -> PerfConfig {
+    PerfConfig {
+        families: vec!["leaf-spine".into(), "fat-tree".into()],
+        sizes: vec![64],
+        jobs,
+        repeats: 1,
+        seed: 11,
+        clones: 3,
+        progress: false,
+    }
+}
+
+/// Serializes only the `"counts"` section, which is the part of the
+/// report the contract covers.
+fn counts_bytes(doc: &serde_json::Value) -> String {
+    serde_json::to_string_pretty(doc.get("counts").expect("counts section"))
+        .expect("serialize counts")
+}
+
+#[test]
+fn counts_section_is_identical_at_jobs_1_and_jobs_8() {
+    let _g = lock();
+    let serial = run(&tiny(1)).expect("serial run").to_json();
+    let parallel = run(&tiny(8)).expect("parallel run").to_json();
+    assert_eq!(
+        counts_bytes(&serial),
+        counts_bytes(&parallel),
+        "deterministic counts drifted between --jobs 1 and --jobs 8"
+    );
+    // The jobs axis must live in diagnostics, where it is allowed to differ.
+    assert_eq!(serial["diagnostics"]["jobs"], serde_json::json!(1));
+    assert_eq!(parallel["diagnostics"]["jobs"], serde_json::json!(8));
+}
+
+#[test]
+fn counts_section_is_stable_across_repeated_runs() {
+    let _g = lock();
+    let a = run(&tiny(2)).expect("first run").to_json();
+    let b = run(&tiny(2)).expect("second run").to_json();
+    assert_eq!(counts_bytes(&a), counts_bytes(&b));
+}
+
+#[test]
+fn baseline_diff_passes_equal_runs_and_flags_injected_regression() {
+    let _g = lock();
+    let report = run(&tiny(1)).expect("perf run");
+    let fresh = report.to_json();
+
+    // A report diffed against itself is never a regression.
+    let outcome = diff(&fresh, &fresh, 0.20);
+    assert!(outcome.passed(), "self-diff regressed: {:?}", outcome.regressions);
+
+    // Inject a 2× slowdown into the fresh run (relative to the baseline)
+    // by halving every baseline median; a 20% threshold must catch it.
+    let mut slow_base = fresh.clone();
+    for cell in slow_base["diagnostics"]["cells"]
+        .as_array_mut()
+        .expect("timing cells")
+    {
+        let ns = cell["median_wall_ns"].as_u64().expect("median");
+        cell["median_wall_ns"] = serde_json::json!((ns / 2).max(1));
+    }
+    let outcome = diff(&fresh, &slow_base, 0.20);
+    assert!(!outcome.passed(), "2x regression went undetected");
+    assert_eq!(
+        outcome.regressions.len(),
+        fresh["diagnostics"]["cells"].as_array().unwrap().len(),
+        "every cell regressed, every cell should be flagged"
+    );
+}

@@ -30,6 +30,12 @@
 //!   [`StageTrace`] through every evaluation, accumulating per-stage wall
 //!   time and artifact counts across the whole batch — diagnostics only,
 //!   never part of the deterministic results.
+//! * **Process metrics.** Every batch also records into the global
+//!   [`pd_metrics`] registry: deterministic counts (`batch.runs`,
+//!   `batch.specs`, `batch.errors`) and scheduling-dependent diagnostics
+//!   (`batch.jobs`, `batch.queue.depth`, `batch.worker.claimed`,
+//!   `batch.worker.busy_ns`, `cache.gen.{hits,misses,evictions}`) — the
+//!   class split `docs/OBSERVABILITY.md` documents.
 //!
 //! ```
 //! use pd_core::batch::{evaluate_many, BatchOptions};
@@ -57,8 +63,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use pd_metrics::{Counter, Gauge, Histogram};
 
 use crate::design::{DesignSpec, TopologySpec};
 use crate::pipeline::{EvalError, Evaluation};
@@ -135,6 +143,33 @@ pub struct GenCache {
     capacity: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Cached handles for the cache's global metrics
+/// (`cache.gen.{hits,misses,evictions}`). All three are **diagnostics**:
+/// under a bounded cache they depend on thread scheduling (PR 3 kept them
+/// out of the search JSONL for the same reason), so they must never sit in
+/// a byte-compared snapshot section. Per-instance exact counters remain
+/// available via [`GenCache::hits`]/[`GenCache::misses`]/
+/// [`GenCache::evictions`]; the global cells aggregate over every cache in
+/// the process.
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static CELLS: OnceLock<CacheMetrics> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        CacheMetrics {
+            hits: reg.diagnostic_counter("cache.gen.hits"),
+            misses: reg.diagnostic_counter("cache.gen.misses"),
+            evictions: reg.diagnostic_counter("cache.gen.evictions"),
+        }
+    })
 }
 
 type GenSlot = Arc<OnceLock<Result<Network, GenError>>>;
@@ -198,7 +233,11 @@ impl GenCache {
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(&k, _)| k);
                 match oldest {
-                    Some(k) => inner.map.remove(&k),
+                    Some(k) => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        cache_metrics().evictions.incr();
+                        inner.map.remove(&k)
+                    }
                     None => break,
                 };
             }
@@ -213,6 +252,7 @@ impl GenCache {
     pub fn build(&self, topo: &TopologySpec) -> Result<Network, GenError> {
         let Some(key) = topo.generation_key() else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().misses.incr();
             return topo.build();
         };
         let slot = self.slot_for(key);
@@ -223,8 +263,10 @@ impl GenCache {
         });
         if generated {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().misses.incr();
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.incr();
         }
         result.clone()
     }
@@ -237,6 +279,13 @@ impl GenCache {
     /// Lookups that ran the generator (plus uncacheable specs).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by the LRU bound ([`GenCache::with_capacity`]);
+    /// always 0 for unbounded caches — [`GenCache::clear`] is not an
+    /// eviction.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Distinct topologies held.
@@ -258,6 +307,48 @@ impl GenCache {
     pub fn clear(&self) {
         self.slots.lock().map.clear();
     }
+}
+
+/// Inclusive power-of-two bucket bounds shared by the batch-engine
+/// histograms (queue depths and per-worker claim counts are both batch-
+/// sized quantities).
+const BATCH_SIZE_BUCKETS: [u64; 13] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Cached handles for the batch engine's global metrics.
+///
+/// `batch.{runs,specs,errors}` are deterministic counts — which specs a
+/// batch holds and which of them fail is a pure function of the workload.
+/// Everything observing the scheduler is a diagnostic: `batch.jobs` (the
+/// last effective pool size), `batch.queue.depth` (remaining specs at each
+/// work-stealing claim), `batch.worker.claimed` (specs each worker ended
+/// up with), and `batch.worker.busy_ns` (summed worker time — the
+/// occupancy numerator, with `batch.jobs` × elapsed as the denominator).
+struct BatchMetrics {
+    batches: Arc<Counter>,
+    specs: Arc<Counter>,
+    errors: Arc<Counter>,
+    jobs: Arc<Gauge>,
+    queue_depth: Arc<Histogram>,
+    worker_claimed: Arc<Histogram>,
+    worker_busy_ns: Arc<Counter>,
+}
+
+fn batch_metrics() -> &'static BatchMetrics {
+    static CELLS: OnceLock<BatchMetrics> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        BatchMetrics {
+            batches: reg.counter("batch.runs"),
+            specs: reg.counter("batch.specs"),
+            errors: reg.counter("batch.errors"),
+            jobs: reg.diagnostic_gauge("batch.jobs"),
+            queue_depth: reg.diagnostic_histogram("batch.queue.depth", &BATCH_SIZE_BUCKETS),
+            worker_claimed: reg
+                .diagnostic_histogram("batch.worker.claimed", &BATCH_SIZE_BUCKETS),
+            worker_busy_ns: reg.diagnostic_counter("batch.worker.busy_ns"),
+        }
+    })
 }
 
 /// Evaluates one spec through a shared generation cache.
@@ -342,8 +433,19 @@ pub fn evaluate_many_traced(
     };
 
     let jobs = opts.effective_jobs(specs.len());
+    let metrics = batch_metrics();
+    if !specs.is_empty() {
+        metrics.batches.incr();
+        metrics.specs.add(specs.len() as u64);
+        metrics.jobs.set(jobs as i64);
+    }
     if jobs <= 1 {
-        return specs.iter().map(eval_caught).collect();
+        let results: Vec<Result<Evaluation, EvalError>> =
+            specs.iter().map(eval_caught).collect();
+        metrics
+            .errors
+            .add(results.iter().filter(|r| r.is_err()).count() as u64);
+        return results;
     }
 
     // Work-stealing fan-out: each worker claims the next un-started index
@@ -358,13 +460,19 @@ pub fn evaluate_many_traced(
                     let eval_caught = &eval_caught;
                     s.spawn(move || {
                         let mut local = Vec::new();
+                        let mut busy = std::time::Duration::ZERO;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= specs.len() {
                                 break;
                             }
+                            metrics.queue_depth.record((specs.len() - i) as u64);
+                            let started = Instant::now();
                             local.push((i, eval_caught(&specs[i])));
+                            busy += started.elapsed();
                         }
+                        metrics.worker_claimed.record(local.len() as u64);
+                        metrics.worker_busy_ns.add(busy.as_nanos() as u64);
                         local
                     })
                 })
@@ -384,7 +492,7 @@ pub fn evaluate_many_traced(
     for (i, r) in per_worker.into_iter().flatten() {
         results[i] = Some(r);
     }
-    results
+    let results: Vec<Result<Evaluation, EvalError>> = results
         .into_iter()
         .map(|r| {
             r.unwrap_or_else(|| {
@@ -394,7 +502,11 @@ pub fn evaluate_many_traced(
                 })
             })
         })
-        .collect()
+        .collect();
+    metrics
+        .errors
+        .add(results.iter().filter(|r| r.is_err()).count() as u64);
+    results
 }
 
 #[cfg(test)]
@@ -564,15 +676,18 @@ mod tests {
         let c = jellyfish(3);
         cache.build(&a).unwrap(); // miss: {a}
         cache.build(&b).unwrap(); // miss: {a, b}
+        assert_eq!(cache.evictions(), 0, "at capacity is not over capacity");
         cache.build(&a).unwrap(); // hit, refreshes a: {b, a}
         cache.build(&c).unwrap(); // miss, evicts b (LRU): {a, c}
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.evictions(), 1);
         cache.build(&a).unwrap(); // still held
         assert_eq!(cache.hits(), 2);
-        cache.build(&b).unwrap(); // evicted above: regenerates
+        cache.build(&b).unwrap(); // evicted above: regenerates, evicts c
         assert_eq!(cache.misses(), 4);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]
@@ -599,6 +714,7 @@ mod tests {
         assert!(cache.is_empty());
         cache.build(&topo).unwrap(); // regenerates after clear
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.evictions(), 0, "clear is not an eviction");
     }
 
     #[test]

@@ -200,6 +200,14 @@ pub fn take_current_stage() -> Option<Stage> {
 /// batch. **Diagnostics only**: timings are scheduling-dependent, so traces
 /// must never influence evaluation or enter deterministic outputs — the
 /// CLI bins print the table to stderr for exactly that reason.
+///
+/// `StageTrace` predates the `pd-metrics` layer and is kept for per-state
+/// scoping (attach one trace to one batch); the same per-stage data also
+/// flows into the process-wide [`pd_metrics::global`] registry as
+/// `pipeline.<stage>.{runs,wall_ns,artifacts}`, which is what the CLI
+/// bins' `--metrics` sink and `pd-bench perf` report. The `--trace` table
+/// is effectively an alias view of that metric family; see
+/// `docs/OBSERVABILITY.md`.
 pub struct StageTrace {
     cells: [TraceCell; Stage::COUNT],
 }
@@ -291,12 +299,43 @@ impl StageTrace {
             ms_total += ms;
             artifacts_total += artifacts;
         }
+        let mean_total = if runs_total == 0 {
+            0.0
+        } else {
+            ms_total / runs_total as f64
+        };
         out.push_str(&format!(
-            "{:<12} {:>6} {:>12.3} {:>12} {:>12}\n",
-            "total", runs_total, ms_total, "", artifacts_total,
+            "{:<12} {:>6} {:>12.3} {:>12.3} {:>12}\n",
+            "total", runs_total, ms_total, mean_total, artifacts_total,
         ));
         out
     }
+}
+
+/// Cached handles into the process-wide [`pd_metrics`] registry, one cell
+/// triple per stage, registered once on first use so the per-stage hot
+/// path pays three relaxed atomic adds and never touches the registry
+/// lock. `runs`/`artifacts` are deterministic counts; `wall_ns` is
+/// scheduling-dependent and registered as a diagnostic — the class split
+/// `BENCH_PIPELINE.json`'s byte-stable `counts` section depends on.
+struct StageMetrics {
+    runs: [std::sync::Arc<pd_metrics::Counter>; Stage::COUNT],
+    wall_ns: [std::sync::Arc<pd_metrics::Counter>; Stage::COUNT],
+    artifacts: [std::sync::Arc<pd_metrics::Counter>; Stage::COUNT],
+}
+
+fn stage_metrics() -> &'static StageMetrics {
+    static CELLS: OnceLock<StageMetrics> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        StageMetrics {
+            runs: Stage::ALL.map(|s| reg.counter(&format!("pipeline.{}.runs", s.name()))),
+            wall_ns: Stage::ALL
+                .map(|s| reg.diagnostic_counter(&format!("pipeline.{}.wall_ns", s.name()))),
+            artifacts: Stage::ALL
+                .map(|s| reg.counter(&format!("pipeline.{}.artifacts", s.name()))),
+        }
+    })
 }
 
 static GLOBAL_TRACE: OnceLock<StageTrace> = OnceLock::new();
@@ -481,13 +520,18 @@ impl<'a> StageState<'a> {
             let outcome = self.run_stage(stage);
             set_current_stage(None);
             let artifacts = outcome?;
+            let elapsed = started.elapsed();
             let trace = match self.trace {
                 Some(t) => Some(t),
                 None => global_trace(),
             };
             if let Some(trace) = trace {
-                trace.record(stage, started.elapsed(), artifacts);
+                trace.record(stage, elapsed, artifacts);
             }
+            let metrics = stage_metrics();
+            metrics.runs[stage.index()].incr();
+            metrics.wall_ns[stage.index()].add(elapsed.as_nanos() as u64);
+            metrics.artifacts[stage.index()].add(artifacts);
             self.next += 1;
         }
         Ok(())

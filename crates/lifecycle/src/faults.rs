@@ -536,6 +536,7 @@ impl<'a> Injector<'a> {
     /// scenario of equal failed-link count to measure the
     /// physical-vs-logical resilience gap.
     pub fn sweep(&self, params: &FaultSweepParams) -> FaultSweepReport {
+        let started = std::time::Instant::now();
         let n = params.scenarios.max(1);
         let links_total = self.net.link_count().max(1);
 
@@ -573,6 +574,11 @@ impl<'a> Injector<'a> {
             gap_sum += baseline.throughput_retention - d.throughput_retention;
         }
 
+        let metrics = sweep_metrics();
+        metrics.runs.incr();
+        metrics.scenarios.add(n as u64);
+        metrics.wall_ns.add(started.elapsed().as_nanos() as u64);
+
         let nf = n as f64;
         FaultSweepReport {
             scenarios: n,
@@ -586,6 +592,27 @@ impl<'a> Injector<'a> {
             resilience_gap: gap_sum / nf,
         }
     }
+}
+
+/// Registry handles for fault-sweep metrics, resolved once. Run and
+/// scenario counts are deterministic; wall time is diagnostic (see
+/// `docs/OBSERVABILITY.md`).
+struct SweepMetrics {
+    runs: std::sync::Arc<pd_metrics::Counter>,
+    scenarios: std::sync::Arc<pd_metrics::Counter>,
+    wall_ns: std::sync::Arc<pd_metrics::Counter>,
+}
+
+fn sweep_metrics() -> &'static SweepMetrics {
+    static CELLS: std::sync::OnceLock<SweepMetrics> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        SweepMetrics {
+            runs: reg.counter("faults.sweep.runs"),
+            scenarios: reg.counter("faults.sweep.scenarios"),
+            wall_ns: reg.diagnostic_counter("faults.sweep.wall_ns"),
+        }
+    })
 }
 
 /// Server mass of the largest connected component of `net`.

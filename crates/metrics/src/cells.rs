@@ -1,0 +1,311 @@
+//! The atomic metric cells: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Cells are the hot-path half of the crate: recording is one or two
+//! `Relaxed` atomic read-modify-writes and never allocates, blocks, or
+//! branches on contention, so a cell can be shared across a whole parallel
+//! batch the way `StageTrace`'s cells are. Reads use `Relaxed` too —
+//! metrics are statistics, not synchronization; anything needing
+//! happens-before ordering must not build it out of metric cells.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::registry::MetricError;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (snapshot epochs; the perf harness resets between
+    /// runs so each `BENCH_PIPELINE.json` reflects exactly one workload).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that goes up and down (queue depth, in-flight work, pool size).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Buckets are defined by a strictly increasing slice of **inclusive upper
+/// bounds**: a sample `v` lands in the first bucket whose bound is `>= v`,
+/// and samples beyond the last bound land in a dedicated overflow bucket.
+/// Bounds are fixed at construction — no dynamic resizing, no quantile
+/// sketches — so two histograms with equal bounds merge exactly and
+/// deterministically, and a snapshot is a plain array of integers.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cells; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (inclusive upper bounds, strictly
+    /// increasing).
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty or not strictly increasing — bucket layouts are
+    /// code constants, so a bad layout is a programming error, not input.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps on overflow like any `u64` accumulator;
+    /// callers recording nanoseconds have ~584 years of headroom).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket sample counts, in bound order; the final element is the
+    /// overflow bucket (samples greater than the last bound).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Adds every sample of `other` into `self`, bucket by bucket.
+    ///
+    /// Both histograms stay live during the merge (all cells are atomics);
+    /// a merge concurrent with recording folds in whatever `other` held at
+    /// each cell's load, which is the same guarantee any atomic snapshot
+    /// gives. Errs without touching `self` if the bucket layouts differ.
+    pub fn merge_from(&self, other: &Histogram) -> Result<(), MetricError> {
+        if self.bounds != other.bounds {
+            return Err(MetricError::BoundsMismatch {
+                name: String::new(),
+                existing: self.bounds.clone(),
+                requested: other.bounds.clone(),
+            });
+        }
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Zeroes every cell, keeping the bucket layout.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // Exactly on a bound lands in that bound's bucket.
+        h.record(10);
+        // Strictly below the first bound.
+        h.record(3);
+        // Between bounds: first bucket whose bound >= v.
+        h.record(11);
+        h.record(100);
+        // Beyond the last bound: overflow.
+        h.record(1001);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10 + 3 + 11 + 100 + 1001);
+        assert_eq!(h.max(), 1001);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_first_bucket_and_mean_is_defined() {
+        let h = Histogram::new(&[5]);
+        assert_eq!(h.mean(), 0.0, "empty histogram has mean 0");
+        h.record(0);
+        h.record(5);
+        assert_eq!(h.bucket_counts(), vec![2, 0]);
+        assert_eq!(h.mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_bounds_panic() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn merge_adds_every_cell() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        a.record(5);
+        a.record(500);
+        b.record(50);
+        b.record(7);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 5 + 500 + 50 + 7);
+        assert_eq!(a.max(), 500);
+        // b is untouched.
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        let a = Histogram::new(&[10]);
+        let b = Histogram::new(&[10, 100]);
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(MetricError::BoundsMismatch { .. })
+        ));
+        assert_eq!(a.count(), 0, "failed merge must not touch self");
+    }
+
+    #[test]
+    fn concurrent_recording_and_merge_lose_nothing() {
+        let h = Arc::new(Histogram::new(&[8, 64, 512]));
+        let total = Arc::new(Histogram::new(&[8, 64, 512]));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record((i * 7 + t) % 600);
+                    }
+                });
+            }
+        });
+        total.merge_from(&h).unwrap();
+        assert_eq!(total.count(), 4000);
+        assert_eq!(total.bucket_counts().iter().sum::<u64>(), 4000);
+        assert_eq!(total.sum(), h.sum());
+    }
+}

@@ -197,6 +197,40 @@ pub fn run_search_to_path(cfg: &SearchConfig, path: &Path) -> std::io::Result<Se
 /// The engine behind both entry points: plans, then walks the plan in
 /// waves, reusing checkpointed full evaluations and batch-evaluating the
 /// rest, handing each completed wave's records (in plan order) to `sink`.
+/// Registry handles for search metrics, resolved once. All of these are
+/// deterministic counts: planning and pruning are pure functions of the
+/// configuration (see `docs/OBSERVABILITY.md`).
+struct SearchMetrics {
+    points: std::sync::Arc<pd_metrics::Counter>,
+    rung_a_pruned: std::sync::Arc<pd_metrics::Counter>,
+    rung_b_pruned: std::sync::Arc<pd_metrics::Counter>,
+    promoted: std::sync::Arc<pd_metrics::Counter>,
+    evaluated: std::sync::Arc<pd_metrics::Counter>,
+    reused: std::sync::Arc<pd_metrics::Counter>,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static CELLS: std::sync::OnceLock<SearchMetrics> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        SearchMetrics {
+            points: reg.counter("search.points"),
+            rung_a_pruned: reg.counter("search.rung_a.pruned"),
+            rung_b_pruned: reg.counter("search.rung_b.pruned"),
+            promoted: reg.counter("search.promoted"),
+            evaluated: reg.counter("search.evaluated"),
+            reused: reg.counter("search.reused"),
+        }
+    })
+}
+
+/// Attributes a prune reason to the adaptive rung that produced it. Rung A
+/// stops after `Generate` (errors display as `generation: …`, budget cuts
+/// as `… generation rung (budget)`); rung B stops after `Place`.
+fn is_rung_a_prune(reason: &str) -> bool {
+    reason.starts_with("generation:") || reason.contains("generation rung")
+}
+
 pub fn run_search_with(
     cfg: &SearchConfig,
     reuse: &HashMap<u64, PointRecord>,
@@ -225,6 +259,11 @@ pub fn run_search_with(
                 // a checkpoint written under another strategy can't leak a
                 // stale disposition in.
                 pruned += 1;
+                if is_rung_a_prune(reason) {
+                    search_metrics().rung_a_pruned.incr();
+                } else {
+                    search_metrics().rung_b_pruned.incr();
+                }
                 slots.push(Some(PointRecord::pruned(&p.point, &trials, reason.clone())));
                 continue;
             }
@@ -266,6 +305,14 @@ pub fn run_search_with(
                 misses = cache.misses(),
             );
         }
+    }
+
+    let metrics = search_metrics();
+    metrics.points.add(total as u64);
+    metrics.evaluated.add(evaluated as u64);
+    metrics.reused.add(reused as u64);
+    if matches!(cfg.strategy, Strategy::Adaptive { .. }) {
+        metrics.promoted.add((total - pruned) as u64);
     }
 
     Ok(SearchOutcome {

@@ -2,8 +2,9 @@
 //!
 //! Facade crate re-exporting the whole workspace. `docs/ARCHITECTURE.md`
 //! has the crate map, the pipeline stage diagram, the determinism contract,
-//! and the parallel batch engine's layout; `DESIGN.md` explains the
-//! modeling choices and `EXPERIMENTS.md` indexes the paper-claim
+//! and the parallel batch engine's layout; `docs/OBSERVABILITY.md` has the
+//! metrics layer and the `perf` regression benchmark; `DESIGN.md` explains
+//! the modeling choices and `EXPERIMENTS.md` indexes the paper-claim
 //! reproductions.
 //!
 //! This library reproduces, as a runnable system, the framework called for by
@@ -44,6 +45,7 @@ pub use pd_core as core;
 pub use pd_costing as costing;
 pub use pd_geometry as geometry;
 pub use pd_lifecycle as lifecycle;
+pub use pd_metrics as metrics;
 pub use pd_physical as physical;
 pub use pd_search as search;
 pub use pd_topology as topology;

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links and verifies that
+relative targets exist on disk (anchors are stripped; external schemes
+are skipped). Exits non-zero listing every broken link, so CI fails when
+a file is renamed out from under its references.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match too via the
+# same tail. Reference-style definitions are rare in this repo and the
+# inline pattern covers the docs' idiom.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "target", "node_modules"}
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check(root: Path) -> int:
+    broken = []
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Ignore fenced code blocks: they hold shell output and JSON, not
+        # navigable links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    if broken:
+        print("broken intra-repo markdown links:")
+        for line in broken:
+            print(f"  {line}")
+        return 1
+    print(f"markdown links OK ({sum(1 for _ in md_files(root))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(root))
