@@ -8,10 +8,20 @@
 //! experiments all --jobs 0       # one worker per core
 //! experiments e6 --trace         # + per-stage timing table on stderr
 //! experiments e6 --metrics       # + global pd-metrics table on stderr
+//! experiments e6 --spec-timeout 30s   # per-design deadline
+//! experiments all --deadline 10m      # whole-run wall-clock budget
+//! experiments all --retries 1         # retry transient failures once
 //! ```
 //!
 //! Experiments are independent and deterministic, so `--jobs` changes only
 //! wall-clock time: the output is byte-identical at any job count.
+//! `--spec-timeout` and `--deadline` bound wall clock per design and per
+//! run (durations like `500ms`, `30s`, `5m`); a design that runs over is
+//! reported as `timed out: stage <name>` instead of hanging the run —
+//! **partial-success mode**: the run still exits 0 with every completed
+//! row present. `--retries N` re-runs a design that panicked or was stalled
+//! (watchdog-cancelled) up to N extra times with seeded backoff; retries
+//! never change the deterministic outputs (see `docs/OBSERVABILITY.md`).
 //! `--trace` turns on the process-wide stage trace
 //! ([`pd_core::stages::enable_global_trace`]) and prints the per-stage
 //! wall-time/artifact table to **stderr** when the run finishes — stdout
@@ -21,6 +31,17 @@
 //! class; see `docs/OBSERVABILITY.md`).
 
 use pd_bench::{all_experiments, run_all, run_by_name};
+use pd_core::resilience::{
+    parse_duration, set_global_deadline, set_global_retry, set_global_spec_timeout, RetryPolicy,
+};
+
+fn duration_arg(flag: &str, v: Option<String>) -> std::time::Duration {
+    let v = v.unwrap_or_default();
+    parse_duration(&v).unwrap_or_else(|| {
+        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {v:?}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut jobs: usize = 1;
@@ -48,6 +69,19 @@ fn main() {
             trace = true;
         } else if arg == "--metrics" {
             metrics = true;
+        } else if arg == "--spec-timeout" {
+            set_global_spec_timeout(duration_arg("--spec-timeout", args.next()));
+        } else if arg == "--deadline" {
+            set_global_deadline(duration_arg("--deadline", args.next()));
+        } else if arg == "--retries" {
+            let extra: u32 = match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("--retries needs a number of extra attempts");
+                    std::process::exit(2);
+                }
+            };
+            set_global_retry(RetryPolicy::attempts(extra + 1));
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -64,7 +98,10 @@ fn main() {
             for (name, desc, _) in all_experiments() {
                 println!("  {name:<4} {desc}");
             }
-            println!("\nusage: experiments <e1..e20 | all> [--jobs N] [--trace] [--metrics]");
+            println!(
+                "\nusage: experiments <e1..e20 | all> [--jobs N] [--trace] [--metrics] \
+                 [--spec-timeout DUR] [--deadline DUR] [--retries N]"
+            );
         }
         Some("all") => {
             for (_, report) in run_all(jobs) {

@@ -16,20 +16,43 @@
 //! time regressed beyond `--threshold` (default 20%) or any deterministic
 //! count drifted.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use pd_bench::perf::{diff, run, PerfConfig};
+use pd_core::resilience::{
+    parse_duration, set_global_deadline, set_global_retry, set_global_spec_timeout, RetryPolicy,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--families a,b,...] [--sizes n,m,...] [--jobs N] \
          [--repeats N] [--clones N] [--seed N] [--out PATH] \
-         [--baseline PATH] [--threshold F] [--metrics] [--quiet]\n\
+         [--baseline PATH] [--threshold F] [--metrics] [--quiet] \
+         [--spec-timeout DUR] [--deadline DUR] [--retries N]\n\
          families: fat-tree, folded-clos, leaf-spine, jellyfish, xpander, \
          slimfly, flat-bf, fatclique, direct-connect"
     );
     exit(2)
+}
+
+fn duration(flag: &str, v: Option<String>) -> std::time::Duration {
+    let raw: String = parse(flag, v);
+    parse_duration(&raw).unwrap_or_else(|| {
+        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {raw:?}");
+        usage()
+    })
+}
+
+/// Crash-safe report write: stream to `<path>.tmp`, rename over `path`
+/// only once complete, so a killed run can't leave a torn JSON document
+/// where a CI baseline expects a parseable one.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
@@ -76,6 +99,16 @@ fn main() {
             "--threshold" => threshold = parse("--threshold", args.next()),
             "--metrics" => metrics_table = true,
             "--quiet" => cfg.progress = false,
+            "--spec-timeout" => {
+                set_global_spec_timeout(duration("--spec-timeout", args.next()));
+            }
+            "--deadline" => {
+                set_global_deadline(duration("--deadline", args.next()));
+            }
+            "--retries" => {
+                let extra: u32 = parse("--retries", args.next());
+                set_global_retry(RetryPolicy::attempts(extra + 1));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -96,7 +129,7 @@ fn main() {
 
     let doc = report.to_json();
     let pretty = serde_json::to_string_pretty(&doc).expect("serialize report");
-    if let Err(e) = std::fs::write(&out_path, pretty + "\n") {
+    if let Err(e) = write_atomic(&out_path, &(pretty + "\n")) {
         eprintln!("perf: cannot write {}: {e}", out_path.display());
         exit(1);
     }

@@ -12,7 +12,15 @@
 //!
 //! The JSONL output is byte-identical at any `--jobs` count, and a killed
 //! run rerun with the same `--out` resumes from the file instead of
-//! re-evaluating completed points. Progress (with generation-cache
+//! re-evaluating completed points. `--eval-budget N` stops the run
+//! gracefully (flushing completed records) after at most `N` full
+//! evaluations — deterministic incremental exploration: rerun with the
+//! same `--out` to continue. `--spec-timeout`/`--deadline` bound wall
+//! clock per design / per run; timed-out or cancelled points are *not*
+//! written to the JSONL (a resume re-evaluates them), so the finished
+//! file is byte-identical to an uninterrupted run's. `--retries N`
+//! re-runs designs that panicked or stalled, without touching the output
+//! bytes. Progress (with generation-cache
 //! hit/miss counters) goes to stderr; tables go to stdout. `--trace`
 //! additionally prints the per-stage timing table on stderr when the run
 //! finishes — like the cache counters, stage timings are
@@ -30,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: search [--strategy grid|random|adaptive] [--budget N] [--eta N] \
          [--seed N] [--jobs N] [--wave N] [--cache-cap N] [--out PATH] \
-         [--axes a,b,...] [--trace] [--metrics] [--quiet]\n\
+         [--axes a,b,...] [--eval-budget N] [--spec-timeout DUR] \
+         [--deadline DUR] [--retries N] [--trace] [--metrics] [--quiet]\n\
          axes: cost, tco, bisection, fault, throughput, deploy-time"
     );
     exit(2)
@@ -39,6 +48,14 @@ fn usage() -> ! {
 fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
     v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
         eprintln!("{flag} needs a valid value");
+        usage()
+    })
+}
+
+fn duration(flag: &str, v: Option<String>) -> std::time::Duration {
+    let raw: String = parse(flag, v);
+    pd_core::resilience::parse_duration(&raw).unwrap_or_else(|| {
+        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {raw:?}");
         usage()
     })
 }
@@ -56,6 +73,7 @@ fn main() {
     let mut progress = true;
     let mut trace = false;
     let mut metrics = false;
+    let mut eval_budget: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +87,17 @@ fn main() {
             "--cache-cap" => cache_cap = Some(parse("--cache-cap", args.next())),
             "--out" => out_path = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--axes" => axis_names = parse("--axes", args.next()),
+            "--eval-budget" => eval_budget = Some(parse("--eval-budget", args.next())),
+            "--spec-timeout" => {
+                pd_core::resilience::set_global_spec_timeout(duration("--spec-timeout", args.next()));
+            }
+            "--deadline" => {
+                pd_core::resilience::set_global_deadline(duration("--deadline", args.next()));
+            }
+            "--retries" => {
+                let extra: u32 = parse("--retries", args.next());
+                pd_core::resilience::set_global_retry(pd_core::RetryPolicy::attempts(extra + 1));
+            }
             "--trace" => trace = true,
             "--metrics" => metrics = true,
             "--quiet" => progress = false,
@@ -115,6 +144,8 @@ fn main() {
         wave,
         cache_capacity: cache_cap,
         progress,
+        cancel: None,
+        eval_budget,
     };
 
     // Stage timings go to stderr only: the JSONL records and stdout tables
@@ -154,6 +185,12 @@ fn main() {
         outcome.cache_hits,
         outcome.cache_misses,
     );
+    if outcome.interrupted {
+        println!(
+            "search: stopped early (budget/deadline/cancel); completed records \
+             are flushed — rerun with the same --out to continue"
+        );
+    }
     if let Some(path) = &out_path {
         println!("records: {}", path.display());
     }

@@ -520,19 +520,18 @@ fn free_central_slots(hall: &Hall, placement: &Placement, n: usize) -> Vec<SlotI
     } else {
         pd_geometry::Point2::new(cx / count as f64, cy / count as f64)
     };
-    let mut free: Vec<SlotId> = hall
+    // Distances come straight from the slot structs (no id → slot lookup
+    // to unwrap mid-sort): the comparator cannot panic even on a hall
+    // whose slot ids are sparse or renumbered.
+    let mut free: Vec<(SlotId, f64)> = hall
         .slots()
         .iter()
-        .map(|s| s.id)
-        .filter(|id| !used.contains(id))
+        .filter(|s| !used.contains(&s.id))
+        .map(|s| (s.id, s.center.manhattan(centroid)))
         .collect();
-    free.sort_by(|a, b| {
-        let da = hall.slot(*a).unwrap().center.manhattan(centroid);
-        let db = hall.slot(*b).unwrap().center.manhattan(centroid);
-        da.total_cmp(&db).then(a.cmp(b))
-    });
+    free.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     free.truncate(n);
-    free
+    free.into_iter().map(|(id, _)| id).collect()
 }
 
 #[cfg(test)]

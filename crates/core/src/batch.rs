@@ -26,6 +26,17 @@
 //!   degrades by one result instead of aborting the batch. The stage
 //!   executor ([`crate::stages`]) marks the running stage in a
 //!   thread-local, so the error names the stage that died.
+//! * **Deadlines, cancellation, retry, supervision.**
+//!   [`evaluate_many_controlled`] takes a [`BatchControl`]: a batch-wide
+//!   [`CancelToken`], per-spec timeouts and a whole-batch deadline
+//!   (checked at every stage boundary — completed slots keep their
+//!   reports, unfinished slots get typed `Cancelled`/`TimedOut` errors, in
+//!   spec order, never a hang), a seeded bounded-backoff [`RetryPolicy`]
+//!   for transient failures, and an optional watchdog supervisor that
+//!   cancels specs whose worker heartbeat stalls. The CLI's
+//!   `--spec-timeout`/`--deadline`/`--retries` flags set process-wide
+//!   defaults the plain entry points pick up
+//!   ([`BatchControl::from_globals`]).
 //! * **Per-stage observability.** [`evaluate_many_traced`] threads a
 //!   [`StageTrace`] through every evaluation, accumulating per-stage wall
 //!   time and artifact counts across the whole batch — diagnostics only,
@@ -61,15 +72,20 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pd_metrics::{Counter, Gauge, Histogram};
 
+use crate::chaos::ChaosPlan;
 use crate::design::{DesignSpec, TopologySpec};
 use crate::pipeline::{EvalError, Evaluation};
+use crate::resilience::{
+    fnv1a, global_deadline, global_retry, global_spec_timeout, monotonic_nanos, CancelToken,
+    Deadline, RetryPolicy, WatchdogConfig,
+};
 use crate::stages::{take_current_stage, Stage, StageState, StageTrace};
 use pd_topology::gen::GenError;
 use pd_topology::Network;
@@ -332,6 +348,14 @@ struct BatchMetrics {
     queue_depth: Arc<Histogram>,
     worker_claimed: Arc<Histogram>,
     worker_busy_ns: Arc<Counter>,
+    /// Resilience diagnostics — all wall-clock-dependent (which spec times
+    /// out, stalls, or gets retried depends on scheduling), so none may
+    /// sit in a byte-compared counts section.
+    timeouts: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    retries: Arc<Counter>,
+    watchdog_stalls: Arc<Counter>,
+    watchdog_cancels: Arc<Counter>,
 }
 
 fn batch_metrics() -> &'static BatchMetrics {
@@ -347,8 +371,213 @@ fn batch_metrics() -> &'static BatchMetrics {
             worker_claimed: reg
                 .diagnostic_histogram("batch.worker.claimed", &BATCH_SIZE_BUCKETS),
             worker_busy_ns: reg.diagnostic_counter("batch.worker.busy_ns"),
+            timeouts: reg.diagnostic_counter("batch.timeouts"),
+            cancelled: reg.diagnostic_counter("batch.cancelled"),
+            retries: reg.diagnostic_counter("batch.retries"),
+            watchdog_stalls: reg.diagnostic_counter("batch.watchdog.stalls"),
+            watchdog_cancels: reg.diagnostic_counter("batch.watchdog.cancels"),
         }
     })
+}
+
+/// Resilience controls for a batch run: cancellation, deadlines, retry,
+/// watchdog supervision, and the chaos test hook.
+///
+/// [`BatchControl::default`] is fully inert — no timeouts, no retries, a
+/// never-cancelled token — and is what the plain [`evaluate_many`] family
+/// effectively runs with (modulo the CLI's process-wide defaults, see
+/// [`BatchControl::from_globals`]). Callers wanting explicit control use
+/// [`evaluate_many_controlled`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchControl {
+    /// Batch-wide cancellation: cancelling this token stops every spec at
+    /// its next stage boundary ([`EvalError::Cancelled`] in unfinished
+    /// slots, completed slots untouched).
+    pub cancel: CancelToken,
+    /// Per-spec wall-clock budget; an attempt exceeding it gets
+    /// [`EvalError::TimedOut`].
+    pub spec_timeout: Option<Duration>,
+    /// Whole-batch deadline; combined per spec with `spec_timeout` via
+    /// [`Deadline::earliest`], and also bounds retry backoff sleeps.
+    pub batch_deadline: Option<Deadline>,
+    /// Retry policy for transient failures (panics and local — watchdog or
+    /// chaos — cancellations). The default never retries.
+    pub retry: RetryPolicy,
+    /// When set, a supervisor thread watches per-worker heartbeats and
+    /// cancels specs stuck past the stall threshold.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Chaos injection plan (tests only; `None` in production).
+    pub chaos: Option<Arc<ChaosPlan>>,
+}
+
+impl BatchControl {
+    /// The control the un-controlled entry points run with: inert, except
+    /// for the process-wide CLI defaults (`--spec-timeout`, `--deadline`,
+    /// `--retries` — see [`crate::resilience`]) when those were set.
+    pub fn from_globals() -> Self {
+        Self {
+            cancel: CancelToken::new(),
+            spec_timeout: global_spec_timeout(),
+            batch_deadline: global_deadline(),
+            retry: global_retry().unwrap_or_else(RetryPolicy::none),
+            watchdog: None,
+            chaos: None,
+        }
+    }
+}
+
+/// One worker's supervision surface: the heartbeat the stage executor
+/// stamps at every boundary (0 = idle) and the cancel token of the attempt
+/// currently running on that worker. The token sits behind a mutex so the
+/// watchdog can re-check staleness *under the lock* before cancelling —
+/// otherwise it could race the worker finishing one spec and cancel the
+/// fresh token of the next.
+#[derive(Default)]
+struct WorkerSlot {
+    heartbeat: AtomicU64,
+    active: Mutex<Option<CancelToken>>,
+}
+
+/// The watchdog supervisor loop: scan worker heartbeats every quarter
+/// threshold; a worker stuck past the stall threshold has its current
+/// attempt's token cancelled. Cooperative by construction — a stage body
+/// spinning forever cannot be preempted, only cancelled at its next
+/// boundary — which is the honest limit of in-process supervision.
+fn supervise(
+    slots: &[WorkerSlot],
+    cfg: &WatchdogConfig,
+    done: &AtomicBool,
+    metrics: &'static BatchMetrics,
+) {
+    let threshold_ns = cfg.stall_threshold.as_nanos() as u64;
+    let interval = (cfg.stall_threshold / 4).max(Duration::from_millis(1));
+    let stale = |slot: &WorkerSlot| {
+        let hb = slot.heartbeat.load(Ordering::Acquire);
+        hb != 0 && monotonic_nanos().saturating_sub(hb) > threshold_ns
+    };
+    while !done.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        for slot in slots {
+            if !stale(slot) {
+                continue;
+            }
+            let active = slot.active.lock();
+            // Re-check under the lock: between the scan and the lock the
+            // worker may have finished the spec and started a fresh one.
+            if !stale(slot) {
+                continue;
+            }
+            if let Some(token) = active.as_ref() {
+                if !token.is_cancelled() {
+                    metrics.watchdog_stalls.incr();
+                    token.cancel();
+                    metrics.watchdog_cancels.incr();
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one spec under `control`, retrying transient failures per the
+/// retry policy. One attempt = one quiet-on-retry [`StageState`] run under
+/// a fresh child token, wrapped in `catch_unwind` so panics land as
+/// [`EvalError::Panicked`] with stage attribution.
+fn run_spec(
+    spec: &DesignSpec,
+    opts: &BatchOptions,
+    cache: &GenCache,
+    trace: Option<&StageTrace>,
+    control: &BatchControl,
+    slot: Option<&WorkerSlot>,
+) -> Result<Evaluation, EvalError> {
+    let metrics = batch_metrics();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        // A fresh child per attempt: the watchdog (or chaos) cancelling
+        // attempt N must not doom attempt N+1, while the caller cancelling
+        // the batch token still stops everything.
+        let token = control.cancel.child();
+        let deadline = Deadline::earliest(
+            control.spec_timeout.map(Deadline::after),
+            control.batch_deadline,
+        );
+        if let Some(slot) = slot {
+            slot.heartbeat
+                .store(monotonic_nanos().max(1), Ordering::Release);
+            *slot.active.lock() = Some(token.clone());
+        }
+        // Retry attempts run quiet: `pipeline.<stage>.{runs,artifacts}`
+        // count first attempts only, so wall-clock-dependent retries can
+        // never shift the deterministic counts.
+        let quiet = attempt > 1;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut state = StageState::new(spec).with_cancel(&token).quiet(quiet);
+            if opts.share_generation {
+                state = state.with_gen_cache(cache);
+            }
+            if let Some(trace) = trace {
+                state = state.traced(trace);
+            }
+            if let Some(deadline) = deadline {
+                state = state.with_deadline(deadline);
+            }
+            if let Some(chaos) = control.chaos.as_deref() {
+                state = state.with_chaos(chaos);
+            }
+            if let Some(slot) = slot {
+                state = state.with_heartbeat(&slot.heartbeat);
+            }
+            state.run_to(Stage::Report)?;
+            Ok(state.into_evaluation())
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(EvalError::Panicked {
+                stage: take_current_stage(),
+                message,
+            })
+        });
+        if let Some(slot) = slot {
+            *slot.active.lock() = None;
+            slot.heartbeat.store(0, Ordering::Release);
+        }
+        let err = match result {
+            Ok(ev) => return Ok(ev),
+            Err(e) => e,
+        };
+        match &err {
+            EvalError::TimedOut { .. } => metrics.timeouts.incr(),
+            EvalError::Cancelled => metrics.cancelled.incr(),
+            _ => {}
+        }
+        // A cancellation is *local* — and retryable — when this attempt's
+        // child token fired but the caller's batch token did not: that is
+        // the watchdog or a chaos injection, not a shutdown request.
+        let local_cancel =
+            matches!(err, EvalError::Cancelled) && !control.cancel.is_cancelled();
+        let may_retry = attempt < control.retry.max_attempts
+            && !control.cancel.is_cancelled()
+            && control.batch_deadline.map_or(true, |d| !d.expired())
+            && (err.is_transient() || local_cancel);
+        if !may_retry {
+            return Err(err);
+        }
+        metrics.retries.incr();
+        let mut backoff = control
+            .retry
+            .backoff_for(attempt, fnv1a(spec.name.as_bytes()));
+        if let Some(d) = control.batch_deadline {
+            backoff = backoff.min(d.remaining());
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
 }
 
 /// Evaluates one spec through a shared generation cache.
@@ -402,36 +631,27 @@ pub fn evaluate_many_traced(
     cache: &GenCache,
     trace: Option<&StageTrace>,
 ) -> Vec<Result<Evaluation, EvalError>> {
-    let eval_one = |spec: &DesignSpec| {
-        let mut state = StageState::new(spec);
-        if opts.share_generation {
-            state = state.with_gen_cache(cache);
-        }
-        if let Some(trace) = trace {
-            state = state.traced(trace);
-        }
-        state.run_to(Stage::Report)?;
-        Ok(state.into_evaluation())
-    };
-    // Isolate per-spec panics: a panicking evaluation must cost exactly its
-    // own slot, and must do so identically at every job count. The stage
-    // executor notes the running stage in a thread-local, so the unwind
-    // handler can attribute the panic to the stage that died.
-    let eval_caught = |spec: &DesignSpec| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_one(spec)))
-            .unwrap_or_else(|payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(EvalError::Panicked {
-                    stage: take_current_stage(),
-                    message,
-                })
-            })
-    };
+    evaluate_many_controlled(specs, opts, cache, trace, &BatchControl::from_globals())
+}
 
+/// The fully-general batch entry point: [`evaluate_many_traced`] plus
+/// explicit resilience controls (cancellation, deadlines, retry, watchdog,
+/// chaos — see [`BatchControl`]).
+///
+/// The partial-result contract under interruption: the returned vector
+/// always has exactly one slot per input spec, in spec order. Specs that
+/// completed before the interruption keep their `Ok(Evaluation)` —
+/// byte-identical to an uninterrupted run — and unfinished specs carry a
+/// typed [`EvalError::Cancelled`] / [`EvalError::TimedOut`]. Never a hang
+/// (interruption is checked at every stage boundary and every work-steal
+/// claim), never a dropped slot.
+pub fn evaluate_many_controlled(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+    cache: &GenCache,
+    trace: Option<&StageTrace>,
+    control: &BatchControl,
+) -> Vec<Result<Evaluation, EvalError>> {
     let jobs = opts.effective_jobs(specs.len());
     let metrics = batch_metrics();
     if !specs.is_empty() {
@@ -439,9 +659,12 @@ pub fn evaluate_many_traced(
         metrics.specs.add(specs.len() as u64);
         metrics.jobs.set(jobs as i64);
     }
-    if jobs <= 1 {
-        let results: Vec<Result<Evaluation, EvalError>> =
-            specs.iter().map(eval_caught).collect();
+    if jobs <= 1 && control.watchdog.is_none() {
+        // Serial fast path (no watchdog to host, so no extra threads).
+        let results: Vec<Result<Evaluation, EvalError>> = specs
+            .iter()
+            .map(|spec| run_spec(spec, opts, cache, trace, control, None))
+            .collect();
         metrics
             .errors
             .add(results.iter().filter(|r| r.is_err()).count() as u64);
@@ -450,17 +673,27 @@ pub fn evaluate_many_traced(
 
     // Work-stealing fan-out: each worker claims the next un-started index
     // and keeps (index, result) pairs locally; ordering is restored after
-    // the scope joins, so output order never depends on the schedule.
+    // the scope joins, so output order never depends on the schedule. With
+    // a watchdog configured, jobs=1 also runs here (one worker + the
+    // supervisor in the same scope).
+    let workers = jobs.max(1);
+    let slots: Vec<WorkerSlot> = (0..workers).map(|_| WorkerSlot::default()).collect();
+    let done = AtomicBool::new(false);
     let next = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, Result<Evaluation, EvalError>)>> =
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|_| {
+            let watchdog = control.watchdog.clone().map(|cfg| {
+                let slots = &slots;
+                let done = &done;
+                s.spawn(move || supervise(slots, &cfg, done, metrics))
+            });
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
                     let next = &next;
-                    let eval_caught = &eval_caught;
+                    let slot = &slots[w];
                     s.spawn(move || {
                         let mut local = Vec::new();
-                        let mut busy = std::time::Duration::ZERO;
+                        let mut busy = Duration::ZERO;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= specs.len() {
@@ -468,7 +701,10 @@ pub fn evaluate_many_traced(
                             }
                             metrics.queue_depth.record((specs.len() - i) as u64);
                             let started = Instant::now();
-                            local.push((i, eval_caught(&specs[i])));
+                            local.push((
+                                i,
+                                run_spec(&specs[i], opts, cache, trace, control, Some(slot)),
+                            ));
                             busy += started.elapsed();
                         }
                         metrics.worker_claimed.record(local.len() as u64);
@@ -480,11 +716,18 @@ pub fn evaluate_many_traced(
             // Spec panics are caught inside the worker loop, so a join can
             // only fail on a panic in the loop plumbing itself; absorb it
             // rather than poisoning the whole batch — the indices that
-            // worker claimed surface below as `Panicked` slots.
-            handles
+            // worker claimed surface below as `Panicked` slots. The
+            // watchdog is stopped only after every worker has joined, so a
+            // stall can never outlive supervision.
+            let collected: Vec<_> = handles
                 .into_iter()
                 .map(|h| h.join().unwrap_or_default())
-                .collect()
+                .collect();
+            done.store(true, Ordering::Release);
+            if let Some(w) = watchdog {
+                let _ = w.join();
+            }
+            collected
         });
 
     let mut results: Vec<Option<Result<Evaluation, EvalError>>> =
@@ -715,6 +958,212 @@ mod tests {
         cache.build(&topo).unwrap(); // regenerates after clear
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
         assert_eq!(cache.evictions(), 0, "clear is not an eviction");
+    }
+
+    #[test]
+    fn pre_cancelled_batch_returns_typed_slots_in_order() {
+        let specs = mixed_batch();
+        let control = BatchControl::default();
+        control.cancel.cancel();
+        for jobs in [1, 3] {
+            let results = evaluate_many_controlled(
+                &specs,
+                &BatchOptions::jobs(jobs),
+                &GenCache::new(),
+                None,
+                &control,
+            );
+            assert_eq!(results.len(), specs.len(), "never a dropped slot");
+            for r in &results {
+                assert!(matches!(r, Err(EvalError::Cancelled)), "got {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_spec_timeout_times_out_with_the_pending_stage() {
+        let specs = mixed_batch();
+        let control = BatchControl {
+            spec_timeout: Some(Duration::ZERO),
+            ..BatchControl::default()
+        };
+        let results = evaluate_many_controlled(
+            &specs,
+            &BatchOptions::jobs(2),
+            &GenCache::new(),
+            None,
+            &control,
+        );
+        for r in &results {
+            match r {
+                Err(EvalError::TimedOut { .. }) => {}
+                other => panic!("expected TimedOut in every slot, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_batch_deadline_interrupts_everything() {
+        let specs = mixed_batch();
+        let control = BatchControl {
+            batch_deadline: Some(Deadline::after(Duration::ZERO)),
+            ..BatchControl::default()
+        };
+        let results = evaluate_many_controlled(
+            &specs,
+            &BatchOptions::jobs(3),
+            &GenCache::new(),
+            None,
+            &control,
+        );
+        assert_eq!(results.len(), specs.len());
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(EvalError::TimedOut { .. }))));
+    }
+
+    #[test]
+    fn chaos_cancel_hits_only_its_target_slot() {
+        let specs = mixed_batch();
+        let control = BatchControl {
+            chaos: Some(Arc::new(
+                ChaosPlan::new().inject("jf8", Stage::Cost, crate::chaos::Injection::Cancel),
+            )),
+            ..BatchControl::default()
+        };
+        for jobs in [1, 4] {
+            let results = evaluate_many_controlled(
+                &specs,
+                &BatchOptions::jobs(jobs),
+                &GenCache::new(),
+                None,
+                &control,
+            );
+            for (spec, r) in specs.iter().zip(&results) {
+                if spec.name == "jf8" {
+                    assert!(matches!(r, Err(EvalError::Cancelled)), "got {r:?}");
+                } else {
+                    assert!(r.is_ok(), "sibling {} failed: {:?}", spec.name, r.as_ref().err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_once_injected_panic_byte_identically() {
+        let specs = mixed_batch();
+        let baseline = evaluate_many(&specs, &BatchOptions::jobs(1));
+        let control = BatchControl {
+            retry: RetryPolicy {
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::attempts(2)
+            },
+            chaos: Some(Arc::new(ChaosPlan::new().inject_once(
+                "ft-b",
+                Stage::Schedule,
+                crate::chaos::Injection::Panic,
+            ))),
+            ..BatchControl::default()
+        };
+        let results = evaluate_many_controlled(
+            &specs,
+            &BatchOptions::jobs(2),
+            &GenCache::new(),
+            None,
+            &control,
+        );
+        for (b, r) in baseline.iter().zip(&results) {
+            assert_eq!(
+                b.as_ref().unwrap().report,
+                r.as_ref().expect("retry must recover the slot").report
+            );
+        }
+    }
+
+    #[test]
+    fn local_chaos_cancel_is_retryable_but_caller_cancel_is_not() {
+        let specs = vec![quick("solo", jellyfish(7))];
+        // Chaos cancels attempt 1's child token; the retry's fresh child
+        // sails past the once-spent injection.
+        let control = BatchControl {
+            retry: RetryPolicy {
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::attempts(2)
+            },
+            chaos: Some(Arc::new(ChaosPlan::new().inject_once(
+                "solo",
+                Stage::Bundle,
+                crate::chaos::Injection::Cancel,
+            ))),
+            ..BatchControl::default()
+        };
+        let results = evaluate_many_controlled(
+            &specs,
+            &BatchOptions::jobs(1),
+            &GenCache::new(),
+            None,
+            &control,
+        );
+        assert!(results[0].is_ok(), "local cancel must be retried: {:?}", results[0].as_ref().err());
+
+        // Caller-requested cancellation must NOT be retried.
+        let control = BatchControl {
+            retry: RetryPolicy::attempts(3),
+            ..BatchControl::default()
+        };
+        control.cancel.cancel();
+        let results = evaluate_many_controlled(
+            &specs,
+            &BatchOptions::jobs(1),
+            &GenCache::new(),
+            None,
+            &control,
+        );
+        assert!(matches!(&results[0], Err(EvalError::Cancelled)));
+    }
+
+    #[test]
+    fn watchdog_cancels_a_stalled_spec_and_retry_recovers_it() {
+        let specs = mixed_batch();
+        let baseline = evaluate_many(&specs, &BatchOptions::jobs(1));
+        // One spec sleeps 400 ms at a boundary; the watchdog's 50 ms stall
+        // threshold cancels that attempt, and the retry (injection is
+        // once-only, so a fresh control per job count) completes it
+        // byte-identically.
+        for jobs in [1, 3] {
+            let control = BatchControl {
+                retry: RetryPolicy {
+                    base_backoff: Duration::from_millis(1),
+                    ..RetryPolicy::attempts(2)
+                },
+                watchdog: Some(WatchdogConfig {
+                    stall_threshold: Duration::from_millis(50),
+                }),
+                chaos: Some(Arc::new(ChaosPlan::new().inject_once(
+                    "jf7-b",
+                    Stage::Repair,
+                    crate::chaos::Injection::Delay(Duration::from_millis(400)),
+                ))),
+                ..BatchControl::default()
+            };
+            let results = evaluate_many_controlled(
+                &specs,
+                &BatchOptions::jobs(jobs),
+                &GenCache::new(),
+                None,
+                &control,
+            );
+            for (b, r) in baseline.iter().zip(&results) {
+                match r {
+                    Ok(ev) => assert_eq!(b.as_ref().unwrap().report, ev.report),
+                    // Scheduling may let the stalled attempt finish before
+                    // the watchdog fires twice; the only acceptable error
+                    // is the typed cancellation, never a hang or a panic.
+                    Err(EvalError::Cancelled) => {}
+                    Err(other) => panic!("unexpected error under watchdog: {other}"),
+                }
+            }
+        }
     }
 
     #[test]

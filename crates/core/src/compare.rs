@@ -215,15 +215,34 @@ pub fn comparison_matrix(
     specs: &[DesignSpec],
     opts: &BatchOptions,
 ) -> Result<ComparisonMatrix, (String, EvalError)> {
+    let (matrix, mut failures) = comparison_matrix_lenient(specs, opts);
+    if failures.is_empty() {
+        Ok(matrix)
+    } else {
+        Err(failures.remove(0))
+    }
+}
+
+/// [`comparison_matrix`] in partial-success mode: evaluations that
+/// succeeded make up the matrix (still in spec order) and the failures —
+/// e.g. typed `TimedOut` slots under a `--spec-timeout` — come back
+/// alongside it, in spec order, instead of voiding the whole comparison.
+/// The strict [`comparison_matrix`] is exactly this with "any failure
+/// fails the matrix" layered on top.
+pub fn comparison_matrix_lenient(
+    specs: &[DesignSpec],
+    opts: &BatchOptions,
+) -> (ComparisonMatrix, Vec<(String, EvalError)>) {
     let results = evaluate_many(specs, opts);
     let mut evaluations = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
     for (spec, result) in specs.iter().zip(results) {
         match result {
             Ok(ev) => evaluations.push(ev),
-            Err(e) => return Err((spec.name.clone(), e)),
+            Err(e) => failures.push((spec.name.clone(), e)),
         }
     }
-    Ok(ComparisonMatrix { evaluations })
+    (ComparisonMatrix { evaluations }, failures)
 }
 
 impl ComparisonMatrix {
@@ -318,9 +337,17 @@ mod tests {
         let mut bad2 = bad.clone();
         bad2.name = "bad2".into();
         let good = DesignSpec::new("good", fat_tree_near(64, SPEED));
-        let err = comparison_matrix(&[good, bad, bad2], &BatchOptions::jobs(3)).unwrap_err();
+        let specs = [good, bad, bad2];
+        let err = comparison_matrix(&specs, &BatchOptions::jobs(3)).unwrap_err();
         assert_eq!(err.0, "bad");
         assert!(matches!(err.1, EvalError::Placement(_)));
+
+        // Lenient mode keeps the survivors and reports every failure.
+        let (matrix, failures) = comparison_matrix_lenient(&specs, &BatchOptions::jobs(3));
+        assert_eq!(matrix.evaluations.len(), 1);
+        assert_eq!(matrix.reports()[0].name, "good");
+        let failed: Vec<&str> = failures.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(failed, ["bad", "bad2"], "failures stay in spec order");
     }
 
     #[test]

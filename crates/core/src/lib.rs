@@ -25,6 +25,15 @@
 //!   (time-to-deploy, cost-to-deploy, first-pass yield, rewiring steps,
 //!   links-per-panel, locality, diversity support, unit of repair,
 //!   envelope fit) plus plain-text/markdown rendering.
+//! * [`resilience`] — cancellation tokens, deadlines, and retry policy
+//!   hardening the engine itself: [`resilience::CancelToken`] and
+//!   [`resilience::Deadline`] are checked at every stage boundary, and the
+//!   batch engine adds watchdog supervision and seeded bounded-backoff
+//!   retry ([`batch::BatchControl`]).
+//! * [`chaos`] — a deterministic fault-injection harness
+//!   ([`chaos::ChaosPlan`]: seeded panics/delays/cancellations at chosen
+//!   (spec, stage) points) that the soak tests drive to prove the
+//!   partial-result contracts hold under fire.
 //! * [`score`] — weighted scoring and Pareto fronts over report sets.
 //! * [`compare`] — constructors that normalize every topology family to a
 //!   comparable server count, for the paper's §4.2 question ("why aren't
@@ -72,27 +81,31 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
 pub mod compare;
 pub mod design;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod score;
 pub mod stages;
 
-pub use batch::{evaluate_many, BatchOptions, GenCache};
+pub use batch::{evaluate_many, BatchControl, BatchOptions, GenCache};
 pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
-pub use pipeline::{evaluate, Evaluation};
+pub use pipeline::{evaluate, EvalError, Evaluation};
 pub use report::DeployabilityReport;
+pub use resilience::{CancelToken, Deadline, RetryPolicy, WatchdogConfig};
 pub use score::{pareto_front, pareto_front_points, weighted_score, Weights};
 pub use stages::{Stage, StageState, StageTrace, StopAfter};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::batch::{evaluate_many, BatchOptions, GenCache};
+    pub use crate::batch::{evaluate_many, BatchControl, BatchOptions, GenCache};
     pub use crate::compare;
     pub use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
-    pub use crate::pipeline::{evaluate, Evaluation};
+    pub use crate::pipeline::{evaluate, EvalError, Evaluation};
     pub use crate::report::DeployabilityReport;
+    pub use crate::resilience::{CancelToken, Deadline, RetryPolicy, WatchdogConfig};
     pub use crate::score::{pareto_front, pareto_front_points, weighted_score, Weights};
     pub use crate::stages::{Stage, StageState, StageTrace, StopAfter};
     pub use pd_cabling::{CablingPolicy, IndirectionKind};

@@ -94,6 +94,40 @@ pub enum EvalError {
         /// The panic payload message.
         message: String,
     },
+    /// The evaluation was cancelled (its [`crate::resilience::CancelToken`]
+    /// fired) before reaching the next stage boundary.
+    Cancelled,
+    /// The evaluation's deadline expired at a stage boundary.
+    TimedOut {
+        /// The stage that would have run next.
+        stage: Stage,
+        /// Wall time spent on this evaluation when the deadline fired.
+        /// Wall clock — diagnostic only, never part of deterministic
+        /// outputs (interrupted slots are dropped from search JSONL).
+        elapsed_ms: u64,
+    },
+}
+
+impl EvalError {
+    /// Whether a retry of the same spec could plausibly succeed. Panics
+    /// are treated as transient (a stage tripped over shared state or an
+    /// injected fault); spec-rejection errors and interruptions are not —
+    /// the same spec deterministically fails again, or the caller asked
+    /// us to stop. The batch engine additionally retries `Cancelled` when
+    /// the cancellation was local (watchdog/chaos) rather than requested
+    /// by the caller.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EvalError::Panicked { .. })
+    }
+
+    /// Whether this error means the evaluation was interrupted
+    /// (cancelled or timed out) rather than the spec being rejected.
+    /// Interrupted results must never be persisted as verdicts about the
+    /// spec — the search runner drops them from JSONL checkpoints so a
+    /// resume re-evaluates them.
+    pub fn is_interruption(&self) -> bool {
+        matches!(self, EvalError::Cancelled | EvalError::TimedOut { .. })
+    }
 }
 
 impl std::fmt::Display for EvalError {
@@ -110,6 +144,10 @@ impl std::fmt::Display for EvalError {
                 stage: None,
                 message,
             } => write!(f, "evaluation panicked: {message}"),
+            EvalError::Cancelled => write!(f, "cancelled: evaluation stopped at a stage boundary"),
+            EvalError::TimedOut { stage, elapsed_ms } => {
+                write!(f, "timed out: stage {stage} after {elapsed_ms}ms")
+            }
         }
     }
 }
@@ -307,6 +345,11 @@ mod tests {
                 stage: None,
                 message: "batch worker died before recording a result".into(),
             },
+            EvalError::Cancelled,
+            EvalError::TimedOut {
+                stage: Stage::Cable,
+                elapsed_ms: 1500,
+            },
         ];
         for e in errors {
             let rendered = e.to_string();
@@ -315,9 +358,34 @@ mod tests {
             let tagged = rendered.starts_with("generation:")
                 || rendered.starts_with("placement:")
                 || rendered.starts_with("network:")
-                || rendered.starts_with("evaluation panicked:");
+                || rendered.starts_with("evaluation panicked:")
+                || rendered.starts_with("cancelled:")
+                || rendered.starts_with("timed out:");
             assert!(tagged, "untagged error rendering: {rendered}");
         }
+    }
+
+    #[test]
+    fn error_classification_for_retry_and_interruption() {
+        let panicked = EvalError::Panicked {
+            stage: Some(Stage::Cost),
+            message: "boom".into(),
+        };
+        assert!(panicked.is_transient());
+        assert!(!panicked.is_interruption());
+
+        assert!(EvalError::Cancelled.is_interruption());
+        assert!(!EvalError::Cancelled.is_transient());
+        let timed_out = EvalError::TimedOut {
+            stage: Stage::Place,
+            elapsed_ms: 7,
+        };
+        assert!(timed_out.is_interruption());
+        assert!(!timed_out.is_transient());
+        assert_eq!(timed_out.to_string(), "timed out: stage place after 7ms");
+
+        let rejection = EvalError::Network(pd_topology::NetworkError::DuplicateName("x".into()));
+        assert!(!rejection.is_transient() && !rejection.is_interruption());
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Cancellation, deadlines, and retry policy for the execution engine.
+//!
+//! The evaluation pipeline is deterministic and CPU-bound, which makes its
+//! failure model simple — until batches grow to thousands of specs and the
+//! runtime itself becomes the thing that must not fail. This module gives
+//! the engine the three primitives a production batch system needs:
+//!
+//! * [`CancelToken`] — a lock-free cooperative cancellation flag with
+//!   child-token derivation. The batch engine holds one parent token per
+//!   batch and derives a child per spec attempt; cancelling the parent
+//!   stops every spec at its next stage boundary, while the watchdog can
+//!   cancel a single stuck spec's child without touching its siblings.
+//!   Checks are a relaxed atomic load per ancestor — cheap enough for
+//!   every stage boundary.
+//! * [`Deadline`] — an absolute point in monotonic time. The stage
+//!   executor checks it at every stage boundary and returns
+//!   `EvalError::TimedOut { stage, elapsed_ms }` naming the stage that
+//!   would have run next. Per-spec timeouts and whole-batch deadlines
+//!   combine with [`Deadline::earliest`].
+//! * [`RetryPolicy`] — seeded, bounded exponential backoff for transient
+//!   failures (panics, watchdog cancellations). Backoff durations are a
+//!   pure function of (policy, attempt, spec salt), so two runs of the
+//!   same workload sleep the same — wall clock aside, retries never
+//!   introduce nondeterminism, and retried attempts are excluded from the
+//!   deterministic count metrics (see `docs/OBSERVABILITY.md`).
+//!
+//! The CLI bins (`experiments`, `search`, `perf`) configure process-wide
+//! defaults through the set-once globals ([`set_global_spec_timeout`],
+//! [`set_global_deadline`], [`set_global_retry`]) — the same pattern as
+//! [`crate::stages::enable_global_trace`], because the experiment registry
+//! cannot thread per-run options into each experiment's internal
+//! `evaluate_many` calls. Library callers pass an explicit
+//! [`crate::batch::BatchControl`] instead and never touch the globals.
+//!
+//! **Determinism caveat:** deadlines and watchdogs observe the wall clock,
+//! so *which* specs time out can vary run to run. The engine's contracts
+//! degrade gracefully — slots stay in spec order, completed slots are
+//! byte-identical to an uninterrupted run, interrupted slots carry typed
+//! errors — but byte-stable outputs (search JSONL, `BENCH_PIPELINE.json`
+//! counts) are only guaranteed when no deadline fires. See the
+//! "Resilience & chaos testing" section of `docs/ARCHITECTURE.md`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A lock-free cooperative cancellation flag, cloneable and shareable
+/// across threads. Derive per-task children with [`CancelToken::child`]:
+/// cancelling a parent cancels every descendant (they walk the ancestor
+/// chain), while cancelling a child leaves the parent and siblings alive.
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    parent: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled root token.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: cancelled when either it or any ancestor is
+    /// cancelled. Cancelling the child does not affect the parent.
+    pub fn child(&self) -> CancelToken {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation of this token (and, transitively, every
+    /// token derived from it). Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether this token or any ancestor has been cancelled. One relaxed
+    /// atomic load per ancestor — cheap enough for stage boundaries.
+    pub fn is_cancelled(&self) -> bool {
+        let mut node = Some(&self.inner);
+        while let Some(inner) = node {
+            if inner.cancelled.load(Ordering::Acquire) {
+                return true;
+            }
+            node = inner.parent.as_ref();
+        }
+        false
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for CancelToken {
+    /// Clones share the same flag (and ancestor chain): cancelling one
+    /// clone cancels them all. Use [`CancelToken::child`] for a separately
+    /// cancellable handle.
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// An absolute point in monotonic time by which work must finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The earlier of two optional deadlines — the combinator that merges
+    /// a per-spec timeout with a whole-batch deadline.
+    pub fn earliest(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(if a.at <= b.at { a } else { b }),
+            (one, None) => one,
+            (None, one) => one,
+        }
+    }
+}
+
+/// Seeded retry-with-bounded-backoff policy for transient failures.
+///
+/// `max_attempts` counts *total* attempts (1 = no retries). Backoff for a
+/// failed attempt `n` is exponential from `base_backoff`, capped at
+/// `max_backoff`, with deterministic seeded jitter: the duration is a pure
+/// function of `(policy, attempt, salt)`, so retry schedules are
+/// reproducible run to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per spec (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A policy with `max_attempts` total attempts and default backoff
+    /// (25 ms base, 400 ms cap).
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The backoff to sleep after failed attempt `attempt` (1-based),
+    /// salted per spec so a batch's retries don't thunder in lockstep.
+    /// Deterministic: equal inputs give equal durations.
+    pub fn backoff_for(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_backoff)
+            .max(self.base_backoff.min(self.max_backoff));
+        let half = exp / 2;
+        let span_ns = half.as_nanos() as u64;
+        let jitter_ns = if span_ns == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ salt ^ u64::from(attempt)) % (span_ns + 1)
+        };
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Configuration for the batch engine's watchdog supervisor: a worker
+/// whose heartbeat goes stale past `stall_threshold` has its current
+/// spec's token cancelled (recorded as `batch.watchdog.{stalls,cancels}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long a worker may go without a stage-boundary heartbeat before
+    /// the supervisor cancels its current spec.
+    pub stall_threshold: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            stall_threshold: Duration::from_secs(30),
+        }
+    }
+}
+
+/// SplitMix64 — the workspace's standard small deterministic mixer (the
+/// search crate's `Strategy::Random` uses the same function). Used here
+/// for backoff jitter and by [`crate::chaos`] for injection-point choice.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over raw bytes — the per-spec salt for backoff jitter (the same
+/// hash family `TopologySpec::generation_key` uses for cache keys).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Nanoseconds since an arbitrary process-local epoch, from the monotonic
+/// clock. The batch engine's heartbeat cells store this (0 = idle, so
+/// stamps are clamped to ≥ 1).
+pub fn monotonic_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Parses a human duration: `150ms`, `2s`, `500us`, `10ns`, `1m`, or a
+/// bare number of seconds. Returns `None` for anything else.
+pub fn parse_duration(s: &str) -> Option<Duration> {
+    let s = s.trim();
+    for (suffix, to_duration) in [
+        ("ns", Duration::from_nanos as fn(u64) -> Duration),
+        ("us", Duration::from_micros),
+        ("ms", Duration::from_millis),
+        ("s", Duration::from_secs),
+        ("m", |v| Duration::from_secs(v.saturating_mul(60))),
+    ] {
+        if let Some(value) = s.strip_suffix(suffix) {
+            return value.trim().parse::<u64>().ok().map(to_duration);
+        }
+    }
+    s.parse::<u64>().ok().map(Duration::from_secs)
+}
+
+static GLOBAL_SPEC_TIMEOUT: OnceLock<Duration> = OnceLock::new();
+static GLOBAL_DEADLINE: OnceLock<Deadline> = OnceLock::new();
+static GLOBAL_RETRY: OnceLock<RetryPolicy> = OnceLock::new();
+
+/// Sets the process-wide default per-spec timeout (the `--spec-timeout`
+/// CLI flag). Set-once: returns `false` (and changes nothing) if a value
+/// was already set. Library callers should prefer an explicit
+/// [`crate::batch::BatchControl`].
+pub fn set_global_spec_timeout(timeout: Duration) -> bool {
+    GLOBAL_SPEC_TIMEOUT.set(timeout).is_ok()
+}
+
+/// The process-wide default per-spec timeout, if one was set.
+pub fn global_spec_timeout() -> Option<Duration> {
+    GLOBAL_SPEC_TIMEOUT.get().copied()
+}
+
+/// Arms the process-wide deadline `budget` from now (the `--deadline` CLI
+/// flag). Set-once: returns `false` if already armed.
+pub fn set_global_deadline(budget: Duration) -> bool {
+    GLOBAL_DEADLINE.set(Deadline::after(budget)).is_ok()
+}
+
+/// The process-wide deadline, if armed.
+pub fn global_deadline() -> Option<Deadline> {
+    GLOBAL_DEADLINE.get().copied()
+}
+
+/// Sets the process-wide default retry policy (the `--retries` CLI flag).
+/// Set-once: returns `false` if already set.
+pub fn set_global_retry(policy: RetryPolicy) -> bool {
+    GLOBAL_RETRY.set(policy).is_ok()
+}
+
+/// The process-wide default retry policy, if one was set.
+pub fn global_retry() -> Option<RetryPolicy> {
+    GLOBAL_RETRY.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clean_and_cancels_idempotently() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag_but_children_do_not_leak_upward() {
+        let parent = CancelToken::new();
+        let alias = parent.clone();
+        let child = parent.child();
+        let grandchild = child.child();
+
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled(), "descendants see the cancel");
+        assert!(!parent.is_cancelled(), "parent unaffected");
+        assert!(!alias.is_cancelled());
+
+        parent.cancel();
+        assert!(alias.is_cancelled(), "clones share the flag");
+        let late_child = parent.child();
+        assert!(late_child.is_cancelled(), "chain walk sees the ancestor");
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let generous = Deadline::after(Duration::from_secs(3600));
+        assert!(!generous.expired());
+        assert!(generous.remaining() > Duration::from_secs(3000));
+
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+
+        let merged = Deadline::earliest(Some(generous), Some(past)).unwrap();
+        assert!(merged.expired(), "earliest picks the tighter deadline");
+        assert_eq!(Deadline::earliest(None, Some(past)), Some(past));
+        assert_eq!(Deadline::earliest(Some(past), None), Some(past));
+        assert_eq!(Deadline::earliest(None, None), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_salted() {
+        let p = RetryPolicy::attempts(5);
+        for attempt in 1..=8 {
+            for salt in [0u64, 1, 0xDEAD_BEEF] {
+                let a = p.backoff_for(attempt, salt);
+                let b = p.backoff_for(attempt, salt);
+                assert_eq!(a, b, "equal inputs give equal backoff");
+                assert!(a <= p.max_backoff, "attempt {attempt}: {a:?}");
+                assert!(!a.is_zero());
+            }
+        }
+        // Jitter actually varies with the salt somewhere in the range.
+        let varied = (0..64).any(|salt| p.backoff_for(1, salt) != p.backoff_for(1, salt + 64));
+        assert!(varied, "salted jitter must not be constant");
+        // Exponential growth up to the cap.
+        assert!(p.backoff_for(4, 7) >= p.backoff_for(1, 7));
+        assert_eq!(RetryPolicy::none().backoff_for(3, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn parse_duration_accepts_the_documented_forms() {
+        assert_eq!(parse_duration("1ms"), Some(Duration::from_millis(1)));
+        assert_eq!(parse_duration("150ms"), Some(Duration::from_millis(150)));
+        assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_duration("500us"), Some(Duration::from_micros(500)));
+        assert_eq!(parse_duration("10ns"), Some(Duration::from_nanos(10)));
+        assert_eq!(parse_duration("1m"), Some(Duration::from_secs(60)));
+        assert_eq!(parse_duration(" 3 "), Some(Duration::from_secs(3)));
+        assert_eq!(parse_duration("x"), None);
+        assert_eq!(parse_duration("1.5s"), None, "integers only");
+        assert_eq!(parse_duration(""), None);
+    }
+
+    #[test]
+    fn monotonic_nanos_is_monotone() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a);
+    }
+}

@@ -55,8 +55,10 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::batch::GenCache;
+use crate::chaos::ChaosPlan;
 use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
 use crate::pipeline::{EvalError, Evaluation};
+use crate::resilience::{monotonic_nanos, CancelToken, Deadline};
 use crate::report::DeployabilityReport;
 use pd_cabling::{BundlingReport, CablingPlan, HarnessReport};
 use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
@@ -374,6 +376,15 @@ pub struct StageState<'a> {
     spec: &'a DesignSpec,
     gen_cache: Option<&'a GenCache>,
     trace: Option<&'a StageTrace>,
+    cancel: Option<&'a CancelToken>,
+    deadline: Option<Deadline>,
+    chaos: Option<&'a ChaosPlan>,
+    heartbeat: Option<&'a AtomicU64>,
+    /// When this evaluation first entered the executor; deadline elapsed
+    /// time is measured from here, spanning resumed `run_to` calls.
+    eval_started: Option<Instant>,
+    /// Suppress deterministic count metrics (retry attempts only).
+    quiet: bool,
     /// Index (into [`Stage::ALL`]) of the next stage to run.
     next: usize,
     network: Option<Network>,
@@ -407,6 +418,12 @@ impl<'a> StageState<'a> {
             spec,
             gen_cache: None,
             trace: None,
+            cancel: None,
+            deadline: None,
+            chaos: None,
+            heartbeat: None,
+            eval_started: None,
+            quiet: false,
             next: 0,
             network: None,
             hall: None,
@@ -452,6 +469,48 @@ impl<'a> StageState<'a> {
     /// state.
     pub fn traced(mut self, trace: &'a StageTrace) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a cancellation token, checked at every stage boundary:
+    /// once it fires, the executor returns [`EvalError::Cancelled`] before
+    /// running the next stage. Completed artifacts stay readable.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a deadline, checked at every stage boundary: once it
+    /// expires, the executor returns [`EvalError::TimedOut`] naming the
+    /// stage that would have run next. Stage bodies are not preempted —
+    /// the check is cooperative, so overrun is bounded by one stage body.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a chaos plan whose injections fire at stage boundaries
+    /// (see [`crate::chaos`]). Test-harness hook; `None` in production.
+    pub fn with_chaos(mut self, chaos: &'a ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Attaches a heartbeat cell the executor stamps (with
+    /// [`monotonic_nanos`], clamped ≥ 1) at every stage boundary — the
+    /// batch watchdog's liveness signal.
+    pub fn with_heartbeat(mut self, heartbeat: &'a AtomicU64) -> Self {
+        self.heartbeat = Some(heartbeat);
+        self
+    }
+
+    /// Suppresses the deterministic count metrics
+    /// (`pipeline.<stage>.{runs,artifacts}`) for this state, keeping only
+    /// the diagnostic `wall_ns` and any attached [`StageTrace`]. The batch
+    /// engine runs *retry* attempts quiet so retries — which depend on
+    /// wall-clock failures — can never shift the byte-compared counts.
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
         self
     }
 
@@ -512,11 +571,40 @@ impl<'a> StageState<'a> {
     }
 
     /// [`StageState::run_to`] with the explicit depth-control type.
+    ///
+    /// Every iteration is a *stage boundary*: the executor stamps the
+    /// heartbeat, fires any chaos injections, then checks cancellation and
+    /// the deadline — all before the stage body runs. Interruption is
+    /// therefore cooperative (a stage body is never preempted mid-flight)
+    /// and clean: on [`EvalError::Cancelled`] / [`EvalError::TimedOut`]
+    /// the pending stage has not started, completed artifacts remain
+    /// readable, and no partial artifact exists.
     pub fn run(&mut self, stop: StopAfter) -> Result<(), EvalError> {
+        let eval_started = *self.eval_started.get_or_insert_with(Instant::now);
         while self.next <= stop.0.index() {
             let stage = Stage::ALL[self.next];
-            let started = Instant::now();
+            if let Some(heartbeat) = self.heartbeat {
+                // 0 means "idle"; clamp so a stamp is never mistaken for it.
+                heartbeat.store(monotonic_nanos().max(1), Ordering::Release);
+            }
             set_current_stage(Some(stage));
+            if let Some(chaos) = self.chaos {
+                // With the current-stage cell set, an injected panic is
+                // attributed to `stage` exactly like a real stage panic.
+                chaos.apply(&self.spec.name, stage, self.cancel);
+            }
+            if self.cancel.is_some_and(|t| t.is_cancelled()) {
+                set_current_stage(None);
+                return Err(EvalError::Cancelled);
+            }
+            if self.deadline.is_some_and(|d| d.expired()) {
+                set_current_stage(None);
+                return Err(EvalError::TimedOut {
+                    stage,
+                    elapsed_ms: eval_started.elapsed().as_millis() as u64,
+                });
+            }
+            let started = Instant::now();
             let outcome = self.run_stage(stage);
             set_current_stage(None);
             let artifacts = outcome?;
@@ -529,9 +617,11 @@ impl<'a> StageState<'a> {
                 trace.record(stage, elapsed, artifacts);
             }
             let metrics = stage_metrics();
-            metrics.runs[stage.index()].incr();
+            if !self.quiet {
+                metrics.runs[stage.index()].incr();
+                metrics.artifacts[stage.index()].add(artifacts);
+            }
             metrics.wall_ns[stage.index()].add(elapsed.as_nanos() as u64);
-            metrics.artifacts[stage.index()].add(artifacts);
             self.next += 1;
         }
         Ok(())
@@ -1118,6 +1208,73 @@ mod tests {
             a.network().unwrap().switch_count(),
             b.network().unwrap().switch_count()
         );
+    }
+
+    #[test]
+    fn cancelled_token_stops_at_the_next_boundary() {
+        let spec = fat_tree_spec();
+        let token = CancelToken::new();
+        let mut st = StageState::new(&spec).with_cancel(&token);
+        st.run_to(Stage::Place).unwrap();
+        token.cancel();
+        let err = st.run_to(Stage::Report).unwrap_err();
+        assert!(matches!(err, EvalError::Cancelled));
+        // Nothing past Place ran; earlier artifacts stay readable; the
+        // ordinary-error path cleared the thread-local marker.
+        assert_eq!(st.completed(), Some(Stage::Place));
+        assert!(st.placement().is_some() && st.cabling().is_none());
+        assert_eq!(take_current_stage(), None);
+    }
+
+    #[test]
+    fn expired_deadline_names_the_pending_stage() {
+        let spec = fat_tree_spec();
+        let mut st = StageState::new(&spec)
+            .with_deadline(Deadline::at(Instant::now() - std::time::Duration::from_millis(5)));
+        let err = st.run_to(Stage::Report).unwrap_err();
+        match err {
+            EvalError::TimedOut { stage, .. } => assert_eq!(stage, Stage::Generate),
+            other => panic!("expected TimedOut, got {other}"),
+        }
+        assert_eq!(st.completed(), None, "no stage may run past the deadline");
+
+        // A generous deadline never fires.
+        let mut ok = StageState::new(&spec)
+            .with_deadline(Deadline::after(std::time::Duration::from_secs(3600)));
+        ok.run_to(Stage::Report).unwrap();
+    }
+
+    #[test]
+    fn chaos_cancel_interrupts_midway_with_clean_prefix() {
+        let spec = fat_tree_spec();
+        let plan = ChaosPlan::new().inject("ft4", Stage::Cable, crate::chaos::Injection::Cancel);
+        let token = CancelToken::new();
+        let mut st = StageState::new(&spec).with_cancel(&token).with_chaos(&plan);
+        let err = st.run_to(Stage::Report).unwrap_err();
+        assert!(matches!(err, EvalError::Cancelled));
+        assert_eq!(st.completed(), Some(Stage::Place));
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn heartbeat_is_stamped_at_boundaries() {
+        let spec = fat_tree_spec();
+        let heartbeat = AtomicU64::new(0);
+        let mut st = StageState::new(&spec).with_heartbeat(&heartbeat);
+        st.run_to(Stage::Place).unwrap();
+        assert!(heartbeat.load(Ordering::Acquire) >= 1, "stamped and clamped ≥ 1");
+    }
+
+    #[test]
+    fn quiet_state_skips_counts_but_keeps_trace() {
+        let spec = fat_tree_spec();
+        let trace = StageTrace::new();
+        let mut st = StageState::new(&spec).traced(&trace).quiet(true);
+        st.run_to(Stage::Place).unwrap();
+        // The attached trace still observes the runs (it is diagnostic);
+        // the registry count assertions live in the batch retry tests,
+        // since the global registry is shared across the whole test binary.
+        assert_eq!(trace.runs(Stage::Place), 1);
     }
 
     #[test]

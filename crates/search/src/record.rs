@@ -54,6 +54,18 @@ impl PointStatus {
             }
         }
     }
+
+    /// True for the rendering of an *interrupted* evaluation —
+    /// `cancelled: …` / `timed out: …` ([`EvalError::is_interruption`]).
+    /// An interruption is a statement about the run, not the design, so
+    /// the search runner never writes such records to the JSONL checkpoint
+    /// and never reuses one found there: a resume re-evaluates the point.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(
+            self,
+            PointStatus::Error(e) if e.starts_with("cancelled") || e.starts_with("timed out")
+        )
+    }
 }
 
 /// The frontier-relevant metric slice of a full evaluation.
@@ -268,6 +280,21 @@ mod tests {
         let pruned_budget = PointRecord::pruned(&p, &trials, "not promoted past rung A");
         assert!(!pruned_budget.status.is_infeasible());
         assert!(pruned_budget.infeasibility().is_some());
+
+        // Interruptions are about the run, not the design.
+        let cancelled = PointRecord::from_error(&p, &trials, &EvalError::Cancelled);
+        assert!(cancelled.status.is_interrupted());
+        let timed_out = PointRecord::from_error(
+            &p,
+            &trials,
+            &EvalError::TimedOut {
+                stage: pd_core::Stage::Place,
+                elapsed_ms: 12,
+            },
+        );
+        assert!(timed_out.status.is_interrupted());
+        assert!(!pruned_hard.status.is_interrupted());
+        assert!(!PointStatus::Ok.is_interrupted());
 
         let mut ok = PointRecord::base(&p, &trials, PointStatus::Ok);
         ok.metrics = Some(PointMetrics {

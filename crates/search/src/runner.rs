@@ -1,11 +1,19 @@
 //! The search executor: plan → (optionally) prune → evaluate → record.
 //!
 //! All full-pipeline work goes through
-//! [`pd_core::batch::evaluate_many_with_cache`], inheriting the batch
+//! [`pd_core::batch::evaluate_many_controlled`], inheriting the batch
 //! engine's determinism contract: records are byte-identical at any
 //! `jobs` count. Points are processed in plan order in fixed-size waves;
 //! after each wave the records are handed to the sink (the JSONL file),
 //! so a killed run leaves a clean prefix the next run resumes from.
+//!
+//! The run can also *end itself* gracefully: an external
+//! [`CancelToken`] ([`SearchConfig::cancel`]), a global batch deadline
+//! (`pd_core::resilience::set_global_deadline`), or a deterministic
+//! [`SearchConfig::eval_budget`] all stop the walk at a wave edge. Every
+//! completed record is flushed; interrupted points are *dropped* — never
+//! written — so a later run re-evaluates exactly those and the resumed
+//! file is byte-identical to an uninterrupted one.
 //!
 //! The adaptive strategy's rungs are partial runs of the real pipeline:
 //! [`StageState::run_to`] stopped after `Generate` (rung A) and `Place`
@@ -26,8 +34,9 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
 
-use pd_core::batch::{evaluate_many_with_cache, BatchOptions, GenCache};
+use pd_core::batch::{evaluate_many_controlled, BatchControl, BatchOptions, GenCache};
 use pd_core::design::DesignSpec;
+use pd_core::resilience::CancelToken;
 use pd_core::stages::{Stage, StageState};
 
 use crate::record::{parse_jsonl, PointRecord, PointStatus};
@@ -51,6 +60,16 @@ pub struct SearchConfig {
     pub cache_capacity: Option<usize>,
     /// Emit per-wave progress lines on stderr.
     pub progress: bool,
+    /// External cancellation: when this token fires, the run stops at the
+    /// next stage boundary / wave edge, flushes the completed records, and
+    /// returns with [`SearchOutcome::interrupted`] set. `None` = a private
+    /// never-fired token.
+    pub cancel: Option<CancelToken>,
+    /// Stop (gracefully, like cancellation) before starting a wave that
+    /// would push the number of full evaluations past this budget.
+    /// Deterministic — unlike wall-clock deadlines, equal configs stop at
+    /// the same point.
+    pub eval_budget: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -62,6 +81,8 @@ impl Default for SearchConfig {
             wave: 8,
             cache_capacity: None,
             progress: false,
+            cancel: None,
+            eval_budget: None,
         }
     }
 }
@@ -70,8 +91,12 @@ impl Default for SearchConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutcome {
     /// One record per planned point, in plan order — the JSONL contents.
+    /// On an interrupted run, points that did not complete are *omitted*
+    /// (never written as records): an interruption says nothing about the
+    /// design, and a resume must re-evaluate it.
     pub records: Vec<PointRecord>,
-    /// Full-pipeline evaluations executed this run.
+    /// Full-pipeline evaluations executed this run (completed ones —
+    /// interrupted attempts don't count).
     pub evaluated: usize,
     /// Records reused from the checkpoint instead of re-evaluating.
     pub reused: usize,
@@ -81,6 +106,10 @@ pub struct SearchOutcome {
     pub cache_hits: usize,
     /// Generation-cache misses.
     pub cache_misses: usize,
+    /// Whether the run stopped early (cancellation, deadline, or
+    /// evaluation budget) instead of exhausting the plan. The flushed
+    /// records are still a valid checkpoint: rerunning resumes from them.
+    pub interrupted: bool,
 }
 
 /// A planned point with the disposition the strategy already decided for
@@ -177,20 +206,38 @@ pub fn run_search(cfg: &SearchConfig) -> SearchOutcome {
 ///
 /// If `path` already exists, its parseable lines are loaded first and any
 /// full-evaluation record matching a planned point's key is reused without
-/// re-running the pipeline; the file is then rewritten from the start,
-/// wave by wave, so it always holds a clean prefix of the final output.
+/// re-running the pipeline. Output is crash-safe: the run streams waves to
+/// `path` + `.tmp` and renames it over `path` only once the run ends
+/// (including a graceful interruption), so `path` is always either the
+/// previous complete checkpoint or the new one — never a torn mix. If a
+/// prior run was *killed* mid-wave, its leftover `.tmp` holds newer
+/// complete lines than `path`; those are overlaid into the reuse map so no
+/// finished evaluation is ever repeated.
 pub fn run_search_to_path(cfg: &SearchConfig, path: &Path) -> std::io::Result<SearchOutcome> {
-    let reuse: HashMap<u64, PointRecord> = match std::fs::read_to_string(path) {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+
+    let mut reuse: HashMap<u64, PointRecord> = match std::fs::read_to_string(path) {
         Ok(text) => parse_jsonl(&text).into_iter().map(|r| (r.key, r)).collect(),
         Err(_) => HashMap::new(),
     };
-    let mut file = std::fs::File::create(path)?;
+    if let Ok(text) = std::fs::read_to_string(&tmp) {
+        for r in parse_jsonl(&text) {
+            reuse.insert(r.key, r);
+        }
+    }
+
+    let mut file = std::fs::File::create(&tmp)?;
     let outcome = run_search_with(cfg, &reuse, |recs| {
         for r in recs {
             writeln!(file, "{}", r.to_json_line())?;
         }
         file.flush()
     })?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
     Ok(outcome)
 }
 
@@ -246,10 +293,53 @@ pub fn run_search_with(
     let wave_len = cfg.wave.max(1);
     let total = planned.len();
 
+    // One shared cancellation root per run: the caller's token if given,
+    // else a private never-fired one. Per-spec timeouts, batch deadline,
+    // and retry policy come from the process-wide knobs (the CLI flags),
+    // exactly as `evaluate_many` would resolve them.
+    let cancel = cfg.cancel.clone().unwrap_or_default();
+    let control = BatchControl {
+        cancel: cancel.clone(),
+        ..BatchControl::from_globals()
+    };
+
     let mut records: Vec<PointRecord> = Vec::with_capacity(total);
     let (mut evaluated, mut reused, mut pruned) = (0usize, 0usize, 0usize);
+    let mut interrupted = false;
+
+    // A checkpoint record worth trusting: a completed full evaluation.
+    // Pruned records get re-derived (another strategy may have cut the
+    // point), and interrupted records — which this runner never writes,
+    // but a foreign file could contain — describe a run, not the design.
+    let trusted = |r: &&PointRecord| {
+        !matches!(r.status, PointStatus::Pruned(_)) && !r.status.is_interrupted()
+    };
 
     for (w, wave) in planned.chunks(wave_len).enumerate() {
+        // Stop at the wave edge if the run has been cancelled or its
+        // global deadline has passed — completed waves are already sunk.
+        if cancel.is_cancelled() || control.batch_deadline.is_some_and(|d| d.expired()) {
+            interrupted = true;
+            break;
+        }
+        // Deterministic graceful shutdown: refuse to start a wave that
+        // would push past the evaluation budget. (Checked against the
+        // whole wave, before any of its slots are tallied, so stopping is
+        // order-stable and the sunk records stay a clean plan-order
+        // subset.)
+        if let Some(budget) = cfg.eval_budget {
+            let wave_todo = wave
+                .iter()
+                .filter(|p| {
+                    p.prune.is_none()
+                        && reuse.get(&p.point.key(&trials)).filter(trusted).is_none()
+                })
+                .count();
+            if wave_todo > 0 && evaluated + wave_todo > budget {
+                interrupted = true;
+                break;
+            }
+        }
         // Wave slots: either a ready record or a spec to evaluate.
         let mut slots: Vec<Option<PointRecord>> = Vec::with_capacity(wave.len());
         let mut todo: Vec<(usize, &Point, DesignSpec)> = Vec::new();
@@ -268,31 +358,39 @@ pub fn run_search_with(
                 continue;
             }
             let key = p.point.key(&trials);
-            match reuse.get(&key) {
-                // Only full-evaluation results are trusted from the
-                // checkpoint; a Pruned record under this key means the
-                // prior run's strategy cut it, and this run wants it run.
-                Some(r) if !matches!(r.status, PointStatus::Pruned(_)) => {
+            match reuse.get(&key).filter(trusted) {
+                Some(r) => {
                     reused += 1;
                     slots.push(Some(r.clone()));
                 }
-                _ => {
+                None => {
                     todo.push((s, &p.point, p.point.spec(&trials)));
                     slots.push(None);
                 }
             }
         }
         let specs: Vec<DesignSpec> = todo.iter().map(|(_, _, spec)| spec.clone()).collect();
-        let results = evaluate_many_with_cache(&specs, &opts, &cache);
-        evaluated += results.len();
+        let results = evaluate_many_controlled(&specs, &opts, &cache, None, &control);
         for ((s, point, _), result) in todo.into_iter().zip(results) {
-            slots[s] = Some(match result {
-                Ok(ev) => PointRecord::from_evaluation(point, &trials, &ev),
-                Err(e) => PointRecord::from_error(point, &trials, &e),
-            });
+            slots[s] = match result {
+                Ok(ev) => {
+                    evaluated += 1;
+                    Some(PointRecord::from_evaluation(point, &trials, &ev))
+                }
+                // Interrupted points leave their slot empty: the record
+                // would describe the run, not the design, and writing it
+                // would poison the checkpoint (a resume must re-run it).
+                Err(e) if e.is_interruption() => {
+                    interrupted = true;
+                    None
+                }
+                Err(e) => {
+                    evaluated += 1;
+                    Some(PointRecord::from_error(point, &trials, &e))
+                }
+            };
         }
-        let wave_records: Vec<PointRecord> =
-            slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        let wave_records: Vec<PointRecord> = slots.into_iter().flatten().collect();
         sink(&wave_records)?;
         records.extend(wave_records);
         if cfg.progress {
@@ -304,6 +402,9 @@ pub fn run_search_with(
                 hits = cache.hits(),
                 misses = cache.misses(),
             );
+        }
+        if interrupted {
+            break;
         }
     }
 
@@ -322,6 +423,7 @@ pub fn run_search_with(
         pruned,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        interrupted,
     })
 }
 
@@ -350,6 +452,8 @@ mod tests {
             wave: 4,
             cache_capacity: None,
             progress: false,
+            cancel: None,
+            eval_budget: None,
         }
     }
 
@@ -424,6 +528,62 @@ mod tests {
         assert_eq!(resumed.records, full.records, "resume is invisible in output");
         assert_eq!(resumed.reused, 4);
         assert_eq!(resumed.evaluated, full.records.len() - 4);
+    }
+
+    #[test]
+    fn eval_budget_stops_gracefully_and_resume_completes_the_run() {
+        let full = run_search(&small_cfg());
+
+        // Budget smaller than the plan: the run must stop at a wave edge
+        // with a clean plan-order prefix and the interrupted flag set.
+        let mut cfg = small_cfg();
+        cfg.eval_budget = Some(4); // wave = 4, plan = 6 → exactly one wave
+        let first = run_search(&cfg);
+        assert!(first.interrupted);
+        assert_eq!(first.evaluated, 4);
+        assert_eq!(first.records, full.records[..4].to_vec());
+
+        // Determinism: the budget cut lands at the same point every time.
+        assert_eq!(run_search(&cfg).records, first.records);
+
+        // Resume from the flushed records without a budget: only the
+        // remainder is evaluated and the output is byte-identical to an
+        // uninterrupted run.
+        let reuse: HashMap<u64, PointRecord> =
+            first.records.iter().map(|r| (r.key, r.clone())).collect();
+        let resumed = run_search_with(&small_cfg(), &reuse, |_| Ok(())).unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.reused, first.records.len());
+        assert_eq!(resumed.evaluated, full.records.len() - first.records.len());
+        assert_eq!(resumed.records, full.records);
+    }
+
+    #[test]
+    fn pre_cancelled_run_flushes_nothing_and_reports_interrupted() {
+        let mut cfg = small_cfg();
+        let token = pd_core::CancelToken::new();
+        token.cancel();
+        cfg.cancel = Some(token);
+        let out = run_search(&cfg);
+        assert!(out.interrupted);
+        assert!(out.records.is_empty());
+        assert_eq!(out.evaluated, 0);
+    }
+
+    #[test]
+    fn interrupted_checkpoint_records_are_not_reused() {
+        let cfg = small_cfg();
+        let full = run_search(&cfg);
+        // A foreign checkpoint claiming a point was cancelled must be
+        // re-evaluated, not parroted back.
+        let mut poisoned = full.records[0].clone();
+        poisoned.status = PointStatus::Error("cancelled: evaluation stopped".into());
+        poisoned.metrics = None;
+        let reuse: HashMap<u64, PointRecord> =
+            std::iter::once((poisoned.key, poisoned)).collect();
+        let out = run_search_with(&cfg, &reuse, |_| Ok(())).unwrap();
+        assert_eq!(out.reused, 0);
+        assert_eq!(out.records, full.records);
     }
 
     #[test]

@@ -30,6 +30,8 @@ fn small_cfg(jobs: usize) -> SearchConfig {
         wave: 2,
         cache_capacity: None,
         progress: false,
+        cancel: None,
+        eval_budget: None,
     }
 }
 
