@@ -1,0 +1,183 @@
+//! A one-shot pd-serve client.
+//!
+//! ```text
+//! client --op status                      # health check
+//! client --op evaluate --family fat-tree --servers 64
+//! client --op shutdown                    # begin graceful drain
+//! client --file request.json              # send a raw request document
+//! echo '{"op":"status"}' | client         # ... or from stdin
+//! client --wait 10s --op status           # retry the connect (CI startup)
+//! ```
+//!
+//! Prints the server's response line to stdout verbatim — the byte-stable
+//! body `loadgen` checksums — and exits 0 iff the response says
+//! `ok: true`. A server-reported error (bad request, overload, evaluation
+//! failure) exits 1 with the response still on stdout; connection and
+//! usage problems exit 2.
+
+use std::io::Read;
+use std::process::exit;
+use std::time::Duration;
+
+use pd_bench::cli::{duration, parse};
+use pd_serve::prelude::parse_request;
+use pd_serve::{Client, Op, Request, WireSpec};
+use serde_json::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: client [--addr HOST:PORT] [--wait DUR] [--id STR] [--deadline-ms N]\n\
+         \x20       client --op status|shutdown\n\
+         \x20       client --op evaluate --family NAME --servers N [--speed G] [--seed N]\n\
+         \x20                [--hall NAME] [--media NAME] [--fault-scenarios N]\n\
+         \x20                [--yield-trials N] [--repair-trials N]\n\
+         \x20       client --file PATH      # or a request document on stdin\n\
+         default --addr 127.0.0.1:4717; exit 0 iff the response is ok"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4717".to_string();
+    let mut wait: Option<Duration> = None;
+    let mut op: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut id = Value::from("cli");
+    let mut deadline_ms: Option<u64> = None;
+    let mut family: Option<String> = None;
+    let mut servers: Option<usize> = None;
+    let mut speed: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut hall: Option<String> = None;
+    let mut media: Option<String> = None;
+    let mut fault_scenarios: Option<usize> = None;
+    let mut yield_trials: Option<usize> = None;
+    let mut repair_trials: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse("--addr", args.next()),
+            "--wait" => wait = Some(duration("--wait", args.next())),
+            "--op" => op = Some(parse("--op", args.next())),
+            "--file" => file = Some(parse("--file", args.next())),
+            "--id" => id = Value::from(parse::<String>("--id", args.next())),
+            "--deadline-ms" => deadline_ms = Some(parse("--deadline-ms", args.next())),
+            "--family" => family = Some(parse("--family", args.next())),
+            "--servers" => servers = Some(parse("--servers", args.next())),
+            "--speed" => speed = Some(parse("--speed", args.next())),
+            "--seed" => seed = Some(parse("--seed", args.next())),
+            "--hall" => hall = Some(parse("--hall", args.next())),
+            "--media" => media = Some(parse("--media", args.next())),
+            "--fault-scenarios" => fault_scenarios = Some(parse("--fault-scenarios", args.next())),
+            "--yield-trials" => yield_trials = Some(parse("--yield-trials", args.next())),
+            "--repair-trials" => repair_trials = Some(parse("--repair-trials", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let request = match op.as_deref() {
+        Some("status") => Request::bare(id, Op::Status),
+        Some("shutdown") => Request::bare(id, Op::Shutdown),
+        Some("evaluate") => {
+            let (Some(family), Some(servers)) = (family, servers) else {
+                eprintln!("--op evaluate needs --family and --servers");
+                usage()
+            };
+            // Deserialize a minimal document so omitted fields get the
+            // wire defaults, exactly as an omitted JSON field would.
+            let mut spec: WireSpec =
+                serde_json::from_value(serde_json::json!({"family": family, "servers": servers}))
+                    .expect("minimal wire spec");
+            if let Some(v) = speed {
+                spec.speed_gbps = v;
+            }
+            if let Some(v) = seed {
+                spec.seed = v;
+            }
+            if let Some(v) = hall {
+                spec.hall = v;
+            }
+            if let Some(v) = media {
+                spec.media = v;
+            }
+            if let Some(v) = fault_scenarios {
+                spec.fault_scenarios = v;
+            }
+            if let Some(v) = yield_trials {
+                spec.yield_trials = v;
+            }
+            if let Some(v) = repair_trials {
+                spec.repair_trials = v;
+            }
+            Request {
+                deadline_ms,
+                ..Request::evaluate(id, spec)
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown --op {other:?} (conveniences: status, shutdown, evaluate; \
+                       use --file/stdin for batch and search)");
+            usage()
+        }
+        None => {
+            let doc = match &file {
+                Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("client: cannot read {path}: {e}");
+                    exit(2)
+                }),
+                None => {
+                    let mut buf = String::new();
+                    if std::io::stdin().read_to_string(&mut buf).is_err() || buf.trim().is_empty() {
+                        eprintln!("client: no --op, no --file, and nothing on stdin");
+                        usage()
+                    }
+                    buf
+                }
+            };
+            // Validate locally so a typo fails with the parser's message
+            // instead of a round trip (the document may be multi-line
+            // pretty JSON; it is re-serialized to one line for the wire).
+            parse_request(&doc).unwrap_or_else(|e| {
+                eprintln!("client: invalid request document: {e}");
+                exit(2)
+            })
+        }
+    };
+
+    let mut client = match wait {
+        Some(budget) => Client::connect_retry(addr.as_str(), budget),
+        None => Client::connect(addr.as_str()),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("client: cannot connect to {addr}: {e}");
+        exit(2)
+    });
+
+    client.send(&request).unwrap_or_else(|e| {
+        eprintln!("client: send failed: {e}");
+        exit(2)
+    });
+    let line = client
+        .recv_line()
+        .unwrap_or_else(|e| {
+            eprintln!("client: receive failed: {e}");
+            exit(2)
+        })
+        .unwrap_or_else(|| {
+            eprintln!("client: server closed the connection before responding");
+            exit(2)
+        });
+    let _ = client.finish_sending();
+
+    println!("{line}");
+    let ok = serde_json::from_str::<Value>(&line)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Value::as_bool))
+        .unwrap_or(false);
+    exit(if ok { 0 } else { 1 })
+}

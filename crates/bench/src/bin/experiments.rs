@@ -30,23 +30,13 @@
 //! prints in full (every instrumented subsystem, grouped by determinism
 //! class; see `docs/OBSERVABILITY.md`).
 
+use pd_bench::cli::CommonFlags;
 use pd_bench::{all_experiments, run_all, run_by_name};
-use pd_core::resilience::{
-    parse_duration, set_global_deadline, set_global_retry, set_global_spec_timeout, RetryPolicy,
-};
-
-fn duration_arg(flag: &str, v: Option<String>) -> std::time::Duration {
-    let v = v.unwrap_or_default();
-    parse_duration(&v).unwrap_or_else(|| {
-        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {v:?}");
-        std::process::exit(2);
-    })
-}
 
 fn main() {
     let mut jobs: usize = 1;
     let mut trace = false;
-    let mut metrics = false;
+    let mut common = CommonFlags::new();
     let mut command: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,21 +57,8 @@ fn main() {
             };
         } else if arg == "--trace" {
             trace = true;
-        } else if arg == "--metrics" {
-            metrics = true;
-        } else if arg == "--spec-timeout" {
-            set_global_spec_timeout(duration_arg("--spec-timeout", args.next()));
-        } else if arg == "--deadline" {
-            set_global_deadline(duration_arg("--deadline", args.next()));
-        } else if arg == "--retries" {
-            let extra: u32 = match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => n,
-                None => {
-                    eprintln!("--retries needs a number of extra attempts");
-                    std::process::exit(2);
-                }
-            };
-            set_global_retry(RetryPolicy::attempts(extra + 1));
+        } else if common.consume(&arg, &mut args) {
+            // --spec-timeout / --deadline / --retries / --metrics
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -122,11 +99,5 @@ fn main() {
         eprint!("{}", stage_trace.render_table());
         eprintln!("(alias view: the same data is pipeline.<stage>.* under --metrics)");
     }
-    if metrics {
-        eprintln!("\nglobal metrics (diagnostics section is scheduling-dependent; see docs/OBSERVABILITY.md):");
-        let mut sink = pd_metrics::TableSink::stderr();
-        if let Err(e) = pd_metrics::Sink::emit(&mut sink, &pd_metrics::global().snapshot()) {
-            eprintln!("metrics: cannot write table: {e}");
-        }
-    }
+    common.finish();
 }

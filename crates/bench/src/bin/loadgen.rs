@@ -1,0 +1,95 @@
+//! The pd-serve load generator and live determinism checker.
+//!
+//! ```text
+//! loadgen                                    # 4 connections × 16 requests
+//! loadgen --connections 8 --requests 64 --seed 7
+//! loadgen --families fat-tree,jellyfish --servers 64
+//! loadgen --deadline-ms 5000                 # attach a per-request deadline
+//! ```
+//!
+//! Drives a running server (`serve`) with seeded closed-loop traffic drawn
+//! from a parameter space, prints throughput and latency percentiles, and
+//! **exits 1 if any repeated spec got non-byte-identical response bodies**
+//! — the serving layer's core determinism contract. The printed body
+//! digest is comparable across invocations: the same `--seed`/space/shape
+//! against servers at any `--jobs` count must print the same digest.
+//!
+//! Space flags default to the harness space (every family at 128 servers,
+//! no fault sweep, 5/2 trials); each flag narrows or widens one axis.
+
+use std::process::exit;
+
+use pd_bench::cli::{parse, parse_list};
+use pd_serve::{run_loadgen, LoadgenConfig, WireSpace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N] \
+         [--seed N] [--deadline-ms N]\n\
+         \x20       [--families a,b,...] [--servers n,m,...] [--speeds g,...] \
+         [--space-seeds s,...]\n\
+         \x20       [--halls a,...] [--media a,...] [--fault-scenarios n,...]\n\
+         \x20       [--yield-trials N] [--repair-trials N]\n\
+         exit 0 iff every repeated spec got byte-identical response bodies"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig::default();
+    // The wire-space defaults mirror pd_serve::loadgen::default_space so
+    // "no space flags" and "all space flags at their defaults" agree.
+    let mut space = WireSpace {
+        servers: vec![128],
+        fault_scenarios: vec![0],
+        yield_trials: Some(5),
+        repair_trials: Some(2),
+        ..WireSpace::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse("--addr", args.next()),
+            "--connections" => cfg.connections = parse("--connections", args.next()),
+            "--requests" => cfg.requests = parse("--requests", args.next()),
+            "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--deadline-ms" => cfg.deadline_ms = Some(parse("--deadline-ms", args.next())),
+            "--families" => space.families = parse_list("--families", args.next()),
+            "--servers" => space.servers = parse_list("--servers", args.next()),
+            "--speeds" => space.speeds = parse_list("--speeds", args.next()),
+            "--space-seeds" => space.seeds = parse_list("--space-seeds", args.next()),
+            "--halls" => space.halls = parse_list("--halls", args.next()),
+            "--media" => space.media = parse_list("--media", args.next()),
+            "--fault-scenarios" => {
+                space.fault_scenarios = parse_list("--fault-scenarios", args.next())
+            }
+            "--yield-trials" => space.yield_trials = Some(parse("--yield-trials", args.next())),
+            "--repair-trials" => space.repair_trials = Some(parse("--repair-trials", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+
+    cfg.space = space.resolve().unwrap_or_else(|e| {
+        eprintln!("loadgen: invalid space: {e}");
+        usage()
+    });
+
+    let outcome = run_loadgen(&cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        exit(2)
+    });
+    print!("{}", outcome.render_summary());
+
+    if !outcome.bodies_consistent() {
+        eprintln!("loadgen: DETERMINISM VIOLATION — repeated specs got different bytes:");
+        for m in &outcome.mismatches {
+            eprintln!("  {m}");
+        }
+        exit(1);
+    }
+}

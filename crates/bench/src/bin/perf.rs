@@ -16,13 +16,11 @@
 //! time regressed beyond `--threshold` (default 20%) or any deterministic
 //! count drifted.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::exit;
 
+use pd_bench::cli::{parse, parse_list, write_atomic, CommonFlags};
 use pd_bench::perf::{diff, run, PerfConfig};
-use pd_core::resilience::{
-    parse_duration, set_global_deadline, set_global_retry, set_global_spec_timeout, RetryPolicy,
-};
 
 fn usage() -> ! {
     eprintln!(
@@ -36,52 +34,12 @@ fn usage() -> ! {
     exit(2)
 }
 
-fn duration(flag: &str, v: Option<String>) -> std::time::Duration {
-    let raw: String = parse(flag, v);
-    parse_duration(&raw).unwrap_or_else(|| {
-        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {raw:?}");
-        usage()
-    })
-}
-
-/// Crash-safe report write: stream to `<path>.tmp`, rename over `path`
-/// only once complete, so a killed run can't leave a torn JSON document
-/// where a CI baseline expects a parseable one.
-fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
-    let mut tmp_name = path.as_os_str().to_os_string();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
-}
-
-fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
-    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-        eprintln!("{flag} needs a valid value");
-        usage()
-    })
-}
-
-fn parse_list<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Vec<T> {
-    let raw: String = parse(flag, v);
-    raw.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("{flag}: cannot parse {s:?}");
-                usage()
-            })
-        })
-        .collect()
-}
-
 fn main() {
     let mut cfg = PerfConfig::default();
     let mut out_path = PathBuf::from("BENCH_PIPELINE.json");
     let mut baseline: Option<PathBuf> = None;
     let mut threshold = 0.20f64;
-    let mut metrics_table = false;
+    let mut common = CommonFlags::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,22 +55,13 @@ fn main() {
                 baseline = Some(PathBuf::from(parse::<String>("--baseline", args.next())))
             }
             "--threshold" => threshold = parse("--threshold", args.next()),
-            "--metrics" => metrics_table = true,
             "--quiet" => cfg.progress = false,
-            "--spec-timeout" => {
-                set_global_spec_timeout(duration("--spec-timeout", args.next()));
-            }
-            "--deadline" => {
-                set_global_deadline(duration("--deadline", args.next()));
-            }
-            "--retries" => {
-                let extra: u32 = parse("--retries", args.next());
-                set_global_retry(RetryPolicy::attempts(extra + 1));
-            }
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument {other:?}");
-                usage()
+                if !common.consume(other, &mut args) {
+                    eprintln!("unknown argument {other:?}");
+                    usage()
+                }
             }
         }
     }
@@ -135,7 +84,7 @@ fn main() {
     }
     println!("report: {}", out_path.display());
 
-    if metrics_table {
+    if common.metrics {
         eprintln!("\nglobal metrics (this run):");
         eprint!("{}", report.snapshot.render_table());
     }

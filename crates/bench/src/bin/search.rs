@@ -32,6 +32,7 @@
 use std::path::PathBuf;
 use std::process::exit;
 
+use pd_bench::cli::{parse, CommonFlags};
 use pd_search::prelude::*;
 
 fn usage() -> ! {
@@ -43,21 +44,6 @@ fn usage() -> ! {
          axes: cost, tco, bisection, fault, throughput, deploy-time"
     );
     exit(2)
-}
-
-fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
-    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-        eprintln!("{flag} needs a valid value");
-        usage()
-    })
-}
-
-fn duration(flag: &str, v: Option<String>) -> std::time::Duration {
-    let raw: String = parse(flag, v);
-    pd_core::resilience::parse_duration(&raw).unwrap_or_else(|| {
-        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {raw:?}");
-        usage()
-    })
 }
 
 fn main() {
@@ -72,7 +58,7 @@ fn main() {
     let mut axis_names = "cost,fault,tco,bisection".to_string();
     let mut progress = true;
     let mut trace = false;
-    let mut metrics = false;
+    let mut common = CommonFlags::new();
     let mut eval_budget: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
@@ -88,23 +74,14 @@ fn main() {
             "--out" => out_path = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--axes" => axis_names = parse("--axes", args.next()),
             "--eval-budget" => eval_budget = Some(parse("--eval-budget", args.next())),
-            "--spec-timeout" => {
-                pd_core::resilience::set_global_spec_timeout(duration("--spec-timeout", args.next()));
-            }
-            "--deadline" => {
-                pd_core::resilience::set_global_deadline(duration("--deadline", args.next()));
-            }
-            "--retries" => {
-                let extra: u32 = parse("--retries", args.next());
-                pd_core::resilience::set_global_retry(pd_core::RetryPolicy::attempts(extra + 1));
-            }
             "--trace" => trace = true,
-            "--metrics" => metrics = true,
             "--quiet" => progress = false,
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument {other:?}");
-                usage()
+                if !common.consume(other, &mut args) {
+                    eprintln!("unknown argument {other:?}");
+                    usage()
+                }
             }
         }
     }
@@ -165,13 +142,7 @@ fn main() {
         eprint!("{}", stage_trace.render_table());
         eprintln!("(alias view: the same data is pipeline.<stage>.* under --metrics)");
     }
-    if metrics {
-        eprintln!("global metrics (diagnostics section is scheduling-dependent; see docs/OBSERVABILITY.md):");
-        let mut sink = pd_metrics::TableSink::stderr();
-        if let Err(e) = pd_metrics::Sink::emit(&mut sink, &pd_metrics::global().snapshot()) {
-            eprintln!("metrics: cannot write table: {e}");
-        }
-    }
+    common.finish();
 
     println!(
         "search: {} strategy over {} grid points → {} records \

@@ -1,0 +1,153 @@
+//! Shared flag parsing for the pd-bench binaries.
+//!
+//! Every binary in this crate speaks the same resilience and
+//! observability dialect: `--spec-timeout` / `--deadline` / `--retries`
+//! set the process-wide batch-engine defaults
+//! ([`pd_core::resilience`]), and `--metrics` prints the global
+//! [`pd_metrics`] registry table on exit. This module is the single
+//! implementation the `experiments`, `search`, `perf`, `serve`,
+//! `client`, and `loadgen` bins share, instead of six hand-rolled
+//! copies drifting apart.
+//!
+//! Parse failures print the precise complaint and exit 2 — the
+//! argument-error convention every bin already follows.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::time::Duration;
+
+use pd_core::resilience::{
+    parse_duration, set_global_deadline, set_global_retry, set_global_spec_timeout, RetryPolicy,
+};
+
+/// Parses a flag's value, exiting 2 with the flag's name on failure or a
+/// missing value.
+pub fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a valid value");
+        exit(2)
+    })
+}
+
+/// Parses a comma-separated list, exiting 2 naming the element that
+/// failed.
+pub fn parse_list<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Vec<T> {
+    let raw: String = parse(flag, v);
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse {s:?}");
+                exit(2)
+            })
+        })
+        .collect()
+}
+
+/// Parses a human duration (`500ms`, `30s`, `5m`, bare seconds), exiting
+/// 2 with the typed [`pd_core::resilience::DurationParseError`] rendering
+/// on rejection.
+pub fn duration(flag: &str, v: Option<String>) -> Duration {
+    let raw: String = parse(flag, v);
+    parse_duration(&raw).unwrap_or_else(|e| {
+        eprintln!("{flag} needs a duration like 500ms, 30s, or 5m; got {raw:?}: {e}");
+        exit(2)
+    })
+}
+
+/// Prints the global metrics registry as a table on stderr — the
+/// `--metrics` epilogue every bin shares.
+pub fn emit_metrics_table() {
+    eprintln!(
+        "global metrics (diagnostics section is scheduling-dependent; see docs/OBSERVABILITY.md):"
+    );
+    let mut sink = pd_metrics::TableSink::stderr();
+    if let Err(e) = pd_metrics::Sink::emit(&mut sink, &pd_metrics::global().snapshot()) {
+        eprintln!("metrics: cannot write table: {e}");
+    }
+}
+
+/// The flag quartet shared by every bin that drives the batch engine:
+/// `--spec-timeout DUR`, `--deadline DUR`, `--retries N` (process-wide
+/// resilience defaults) and `--metrics` (registry table on exit).
+#[derive(Debug, Default)]
+pub struct CommonFlags {
+    /// Whether `--metrics` was given.
+    pub metrics: bool,
+}
+
+impl CommonFlags {
+    /// Ready-to-consume flags.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to consume `arg` (pulling its value from `args` when the
+    /// flag takes one). Returns whether the argument was one of the
+    /// shared quartet; the caller handles its own flags otherwise.
+    pub fn consume(&mut self, arg: &str, args: &mut impl Iterator<Item = String>) -> bool {
+        match arg {
+            "--spec-timeout" => {
+                set_global_spec_timeout(duration("--spec-timeout", args.next()));
+            }
+            "--deadline" => {
+                set_global_deadline(duration("--deadline", args.next()));
+            }
+            "--retries" => {
+                let extra: u32 = parse("--retries", args.next());
+                set_global_retry(RetryPolicy::attempts(extra + 1));
+            }
+            "--metrics" => self.metrics = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// The exit epilogue: prints the metrics table when `--metrics` was
+    /// given.
+    pub fn finish(&self) {
+        if self.metrics {
+            emit_metrics_table();
+        }
+    }
+}
+
+/// Crash-safe file write: stream to `<path>.tmp`, rename over `path` only
+/// once complete, so a killed run can't leave a torn document where a CI
+/// baseline (or a resume) expects a parseable one.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_flags_recognize_exactly_the_quartet() {
+        let mut flags = CommonFlags::new();
+        let mut none = std::iter::empty::<String>();
+        assert!(flags.consume("--metrics", &mut none));
+        assert!(flags.metrics);
+        assert!(!flags.consume("--jobs", &mut none));
+        assert!(!flags.consume("--quiet", &mut none));
+        assert!(!flags.consume("metrics", &mut none));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!dir.join("out.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod exp;
 pub mod perf;
 

@@ -281,22 +281,88 @@ pub fn monotonic_nanos() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
-/// Parses a human duration: `150ms`, `2s`, `500us`, `10ns`, `1m`, or a
-/// bare number of seconds. Returns `None` for anything else.
-pub fn parse_duration(s: &str) -> Option<Duration> {
-    let s = s.trim();
-    for (suffix, to_duration) in [
-        ("ns", Duration::from_nanos as fn(u64) -> Duration),
-        ("us", Duration::from_micros),
-        ("ms", Duration::from_millis),
-        ("s", Duration::from_secs),
-        ("m", |v| Duration::from_secs(v.saturating_mul(60))),
-    ] {
-        if let Some(value) = s.strip_suffix(suffix) {
-            return value.trim().parse::<u64>().ok().map(to_duration);
+/// Why [`parse_duration`] rejected an input. Typed so CLI frontends can
+/// print the precise complaint instead of a generic "invalid duration".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurationParseError {
+    /// The input was empty, or a unit suffix with no digits in front of it
+    /// (`""`, `"ms"`, `"  s "`).
+    Empty,
+    /// The numeric part is not a plain non-negative integer (`"1.5s"`,
+    /// `"-3s"`, `"abcms"`).
+    BadNumber(String),
+    /// The value is syntactically fine but too large to be a meaningful
+    /// duration: the number overflows `u64`, the `m` (minute) multiply
+    /// overflows, or the total exceeds [`MAX_PARSED_DURATION`]. A typed
+    /// rejection, where silent saturation would later panic in
+    /// `Instant + Duration` arithmetic ([`Deadline::after`]).
+    Overflow(String),
+}
+
+impl std::fmt::Display for DurationParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurationParseError::Empty => write!(f, "empty duration (no digits)"),
+            DurationParseError::BadNumber(s) => {
+                write!(f, "not a non-negative integer: {s:?}")
+            }
+            DurationParseError::Overflow(s) => write!(f, "duration too large: {s:?}"),
         }
     }
-    s.parse::<u64>().ok().map(Duration::from_secs)
+}
+
+impl std::error::Error for DurationParseError {}
+
+/// Upper bound accepted by [`parse_duration`]: 100 (365-day) years. Any
+/// real timeout/deadline is far below this, and capping here keeps every
+/// parsed duration safely addable to an [`Instant`] on every platform.
+pub const MAX_PARSED_DURATION: Duration = Duration::from_secs(100 * 365 * 24 * 60 * 60);
+
+/// Parses a human duration: `150ms`, `2s`, `500us`, `10ns`, `1m`, or a
+/// bare number of seconds. Rejections are typed ([`DurationParseError`]):
+/// an empty numeric part is [`DurationParseError::Empty`], and values that
+/// would overflow — a number beyond `u64`, a minute multiply past `u64`
+/// seconds, or anything over [`MAX_PARSED_DURATION`] — are
+/// [`DurationParseError::Overflow`] instead of silently saturating.
+pub fn parse_duration(s: &str) -> Result<Duration, DurationParseError> {
+    fn number(raw: &str) -> Result<u64, DurationParseError> {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err(DurationParseError::Empty);
+        }
+        raw.parse::<u64>().map_err(|e| {
+            if *e.kind() == std::num::IntErrorKind::PosOverflow {
+                DurationParseError::Overflow(raw.to_string())
+            } else {
+                DurationParseError::BadNumber(raw.to_string())
+            }
+        })
+    }
+    let s = s.trim();
+    let parsed = 'parsed: {
+        for (suffix, to_duration) in [
+            ("ns", Duration::from_nanos as fn(u64) -> Duration),
+            ("us", Duration::from_micros),
+            ("ms", Duration::from_millis),
+            ("s", Duration::from_secs),
+        ] {
+            if let Some(value) = s.strip_suffix(suffix) {
+                break 'parsed to_duration(number(value)?);
+            }
+        }
+        if let Some(value) = s.strip_suffix('m') {
+            let minutes = number(value)?;
+            let secs = minutes
+                .checked_mul(60)
+                .ok_or_else(|| DurationParseError::Overflow(s.to_string()))?;
+            break 'parsed Duration::from_secs(secs);
+        }
+        Duration::from_secs(number(s)?)
+    };
+    if parsed > MAX_PARSED_DURATION {
+        return Err(DurationParseError::Overflow(s.to_string()));
+    }
+    Ok(parsed)
 }
 
 static GLOBAL_SPEC_TIMEOUT: OnceLock<Duration> = OnceLock::new();
@@ -409,16 +475,68 @@ mod tests {
 
     #[test]
     fn parse_duration_accepts_the_documented_forms() {
-        assert_eq!(parse_duration("1ms"), Some(Duration::from_millis(1)));
-        assert_eq!(parse_duration("150ms"), Some(Duration::from_millis(150)));
-        assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
-        assert_eq!(parse_duration("500us"), Some(Duration::from_micros(500)));
-        assert_eq!(parse_duration("10ns"), Some(Duration::from_nanos(10)));
-        assert_eq!(parse_duration("1m"), Some(Duration::from_secs(60)));
-        assert_eq!(parse_duration(" 3 "), Some(Duration::from_secs(3)));
-        assert_eq!(parse_duration("x"), None);
-        assert_eq!(parse_duration("1.5s"), None, "integers only");
-        assert_eq!(parse_duration(""), None);
+        assert_eq!(parse_duration("1ms"), Ok(Duration::from_millis(1)));
+        assert_eq!(parse_duration("150ms"), Ok(Duration::from_millis(150)));
+        assert_eq!(parse_duration("2s"), Ok(Duration::from_secs(2)));
+        assert_eq!(parse_duration("500us"), Ok(Duration::from_micros(500)));
+        assert_eq!(parse_duration("10ns"), Ok(Duration::from_nanos(10)));
+        assert_eq!(parse_duration("1m"), Ok(Duration::from_secs(60)));
+        assert_eq!(parse_duration(" 3 "), Ok(Duration::from_secs(3)));
+        assert_eq!(parse_duration("12 s"), Ok(Duration::from_secs(12)));
+    }
+
+    #[test]
+    fn parse_duration_rejects_empty_numeric_parts_typed() {
+        for input in ["", "   ", "ms", "s", "m", "ns", "us", "  ms "] {
+            assert_eq!(
+                parse_duration(input),
+                Err(DurationParseError::Empty),
+                "input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_duration_rejects_bad_numbers_typed() {
+        for input in ["x", "1.5s", "-3s", "abcms", "1_000ms"] {
+            match parse_duration(input) {
+                Err(DurationParseError::BadNumber(_)) => {}
+                other => panic!("input {input:?}: expected BadNumber, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_duration_rejects_overflow_typed_instead_of_wrapping() {
+        // A number past u64::MAX in any unit.
+        for input in ["99999999999999999999999s", "18446744073709551616ns"] {
+            match parse_duration(input) {
+                Err(DurationParseError::Overflow(_)) => {}
+                other => panic!("input {input:?}: expected Overflow, got {other:?}"),
+            }
+        }
+        // u64::MAX minutes: the ×60 must not wrap or saturate silently.
+        let max_minutes = format!("{}m", u64::MAX);
+        assert!(matches!(
+            parse_duration(&max_minutes),
+            Err(DurationParseError::Overflow(_))
+        ));
+        // Representable in u64 seconds but beyond the 100-year sanity cap
+        // (so it could panic later in `Instant + Duration`).
+        assert!(matches!(
+            parse_duration("9999999999999s"),
+            Err(DurationParseError::Overflow(_))
+        ));
+        // The cap itself is accepted; one second past it is not.
+        let cap_secs = MAX_PARSED_DURATION.as_secs();
+        assert_eq!(
+            parse_duration(&format!("{cap_secs}s")),
+            Ok(MAX_PARSED_DURATION)
+        );
+        assert!(parse_duration(&format!("{}s", cap_secs + 1)).is_err());
+        // Errors render their complaint.
+        let msg = parse_duration("ms").unwrap_err().to_string();
+        assert!(msg.contains("empty"), "{msg}");
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl Family {
         }
     }
 
+    /// Parses the short report name back to a family — the inverse of
+    /// [`Family::name`], used by wire protocols (pd-serve) and CLI flags.
+    /// `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Builds the size-normalized topology sub-spec for this family (the
     /// `pd_core::compare` constructors; `seed` only matters to the
     /// randomized families).
@@ -110,6 +117,19 @@ pub enum HallVariant {
 }
 
 impl HallVariant {
+    /// Every variant, in declaration order.
+    pub const ALL: [HallVariant; 3] =
+        [HallVariant::Standard, HallVariant::Dense, HallVariant::Long];
+
+    /// Parses a variant name — either the canonical [`HallVariant::name`]
+    /// (`"hall-std"`) or its unprefixed tail (`"std"`). `None` for unknown
+    /// names.
+    pub fn from_name(name: &str) -> Option<HallVariant> {
+        HallVariant::ALL
+            .into_iter()
+            .find(|h| h.name() == name || h.name().strip_prefix("hall-") == Some(name))
+    }
+
     /// Display name (used in point labels and JSONL records).
     pub fn name(self) -> &'static str {
         match self {
@@ -150,6 +170,22 @@ pub enum MediaPolicy {
 }
 
 impl MediaPolicy {
+    /// Every policy, in declaration order.
+    pub const ALL: [MediaPolicy; 3] = [
+        MediaPolicy::Standard,
+        MediaPolicy::DeratedReach,
+        MediaPolicy::PatchPanel,
+    ];
+
+    /// Parses a policy name — either the canonical [`MediaPolicy::name`]
+    /// (`"media-std"`) or its unprefixed tail (`"std"`). `None` for
+    /// unknown names.
+    pub fn from_name(name: &str) -> Option<MediaPolicy> {
+        MediaPolicy::ALL
+            .into_iter()
+            .find(|m| m.name() == name || m.name().strip_prefix("media-") == Some(name))
+    }
+
     /// Display name (used in point labels and JSONL records).
     pub fn name(self) -> &'static str {
         match self {
@@ -450,6 +486,25 @@ mod tests {
             fault_scenarios: vec![0],
             trials: TrialProfile::default(),
         }
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        for h in HallVariant::ALL {
+            assert_eq!(HallVariant::from_name(h.name()), Some(h));
+        }
+        for m in MediaPolicy::ALL {
+            assert_eq!(MediaPolicy::from_name(m.name()), Some(m));
+        }
+        // Unprefixed aliases and unknowns.
+        assert_eq!(HallVariant::from_name("dense"), Some(HallVariant::Dense));
+        assert_eq!(MediaPolicy::from_name("panel"), Some(MediaPolicy::PatchPanel));
+        assert_eq!(Family::from_name("hypercube"), None);
+        assert_eq!(HallVariant::from_name("hall-tiny"), None);
+        assert_eq!(MediaPolicy::from_name(""), None);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! A minimal blocking client for the pd-serve protocol.
+//!
+//! One socket, one [`BufReader`], request/response helpers. The protocol
+//! allows pipelining; this client exposes both the lock-step
+//! [`Client::request`] round trip and the raw [`Client::send_line`] /
+//! [`Client::recv_line`] halves the load generator pipelines with.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::proto::{
+    parse_response, read_bounded_line, LineRead, Request, Response, DEFAULT_MAX_LINE_BYTES,
+};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Bound on one response line (reports are large; keep this generous).
+    pub max_line_bytes: usize,
+}
+
+impl Client {
+    /// Connects, with TCP_NODELAY so small request lines are not Nagled.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES * 16,
+        })
+    }
+
+    /// Retries [`Client::connect`] until it succeeds or `budget` runs out
+    /// — for tests and CI racing a just-spawned server to its bind.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        budget: Duration,
+    ) -> std::io::Result<Client> {
+        let started = Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if started.elapsed() >= budget => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one already-serialized request line (no trailing newline).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends one request without waiting for the response (pipelining).
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        self.send_line(&req.to_json_line())
+    }
+
+    /// Receives the next response line; `None` on a clean EOF.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        match read_bounded_line(&mut self.reader, self.max_line_bytes)? {
+            LineRead::Line(l) => Ok(Some(l)),
+            LineRead::Eof => Ok(None),
+            LineRead::TooLong { discarded } => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response line over {} bytes ({discarded} discarded)", self.max_line_bytes),
+            )),
+        }
+    }
+
+    /// Receives and parses the next response; `None` on a clean EOF.
+    pub fn recv(&mut self) -> std::io::Result<Option<Response>> {
+        let Some(line) = self.recv_line()? else {
+            return Ok(None);
+        };
+        parse_response(&line)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// One lock-step round trip. The connection closing before a response
+    /// arrives is an error — every request is owed a response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.send(req)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Half-closes the write side, telling the server this client is done
+    /// sending (its reader sees EOF once the pipeline drains).
+    pub fn finish_sending(&self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}

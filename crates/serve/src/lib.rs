@@ -1,0 +1,62 @@
+//! # pd-serve — the evaluation daemon
+//!
+//! Every other entry point in this workspace is a one-shot CLI: each
+//! invocation pays process startup and rebuilds the generation cache from
+//! cold. The paper's §5 agenda (capability envelopes, digital twins)
+//! implies the opposite workload — an *interactive* design assistant
+//! answering many small "score this design" queries against a warm model.
+//! This crate is that host: a std-only long-lived daemon over
+//! [`std::net::TcpListener`], speaking a line-delimited JSON protocol.
+//!
+//! * [`proto`] — the wire protocol: [`proto::Request`] /
+//!   [`proto::Response`], the [`proto::WireSpec`] design encoding, the
+//!   typed error taxonomy (`bad_request` / `overloaded` /
+//!   `shutting_down` / rendered `EvalError`s), and the bounded line
+//!   reader that keeps hostile input from growing memory.
+//! * [`server`] — [`server::Server`]: accept loop, per-connection
+//!   pipelining with in-order responses, a bounded admission queue
+//!   feeding a fixed worker pool through
+//!   [`pd_core::batch::evaluate_many_controlled`], one process-wide
+//!   [`pd_core::batch::GenCache`], and graceful drain on `shutdown`.
+//! * [`client`] — a minimal blocking [`client::Client`] (the `client`
+//!   bin, tests, and the load generator all use it).
+//! * [`loadgen`] — [`loadgen::run_loadgen`]: a seeded closed-loop load
+//!   harness that doubles as a live determinism checker, asserting
+//!   byte-identical response bodies for identical specs.
+//!
+//! ## Determinism
+//!
+//! The serving layer adds concurrency, caching, and admission control —
+//! none of which may touch response bytes. Evaluation responses are a
+//! pure function of the request spec: byte-identical across worker
+//! counts, cache states, connection interleavings, and server restarts.
+//! Only `status` bodies and admission rejections (`overloaded`,
+//! `shutting_down`) observe the wall clock, and both are typed so clients
+//! and the load harness can exclude them. `docs/ARCHITECTURE.md`
+//! ("Serving layer") specifies the protocol; `docs/OBSERVABILITY.md`
+//! catalogs the `serve.*` metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+pub use proto::{Op, Request, Response, WireSpec, WireSpace};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+
+/// One-stop imports for binaries and tests.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+    pub use crate::proto::{
+        parse_request, parse_response, read_bounded_line, BatchItem, LineRead, Op, Request,
+        Response, StatusBody, WireSpec, WireSpace, ERR_BAD_REQUEST, ERR_OVERLOADED,
+        ERR_SHUTTING_DOWN,
+    };
+    pub use crate::server::{Server, ServerConfig, ServerHandle, ServerStats};
+}

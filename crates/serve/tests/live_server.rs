@@ -1,0 +1,307 @@
+//! Live-socket tests: a real server on a loopback OS-assigned port, real
+//! clients, full protocol round trips — hostile input, admission control
+//! under a pipelined burst, and the graceful drain.
+
+use std::io::Write;
+use std::time::Duration;
+
+use pd_serve::prelude::*;
+use serde_json::{json, Value};
+
+/// Binds on port 0, runs the server on a background thread, and returns
+/// (handle, join). The join yields the drain-time [`ServerStats`].
+fn start(cfg: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<ServerStats>) {
+    let server = Server::bind(cfg).expect("bind loopback port 0");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect_retry(handle.local_addr(), Duration::from_secs(5)).expect("connect")
+}
+
+/// A cheap spec the worker finishes in milliseconds.
+fn tiny_spec() -> WireSpec {
+    serde_json::from_value(json!({
+        "family": "fat-tree",
+        "servers": 16,
+        "yield_trials": 2,
+        "repair_trials": 1,
+    }))
+    .expect("tiny spec")
+}
+
+/// A spec heavy enough to hold a single worker busy while a burst lands.
+fn heavy_spec() -> WireSpec {
+    serde_json::from_value(json!({
+        "family": "jellyfish",
+        "servers": 256,
+        "fault_scenarios": 20,
+        "yield_trials": 50,
+        "repair_trials": 10,
+    }))
+    .expect("heavy spec")
+}
+
+fn shutdown_and_join(
+    handle: &ServerHandle,
+    join: std::thread::JoinHandle<ServerStats>,
+) -> ServerStats {
+    handle.shutdown();
+    join.join().expect("server thread")
+}
+
+#[test]
+fn evaluate_status_and_shutdown_round_trip() {
+    let (handle, join) = start(ServerConfig {
+        jobs: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+
+    let resp = client
+        .request(&Request::evaluate(json!("r1"), tiny_spec()))
+        .expect("evaluate round trip");
+    assert!(resp.ok, "tiny spec evaluates: {:?}", resp.error);
+    assert_eq!(resp.id, json!("r1"));
+    let report = resp.report.expect("report payload");
+    assert_eq!(report.servers, 16);
+
+    let resp = client
+        .request(&Request::bare(json!("r2"), Op::Status))
+        .expect("status round trip");
+    let status = resp.status.expect("status payload");
+    assert!(status.requests >= 2);
+    assert_eq!(status.completed, 1);
+    assert!(!status.draining);
+
+    let resp = client
+        .request(&Request::bare(json!("r3"), Op::Shutdown))
+        .expect("shutdown acknowledged");
+    assert!(resp.ok);
+    assert_eq!(resp.draining, Some(true));
+
+    let stats = join.join().expect("server thread");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn malformed_and_oversized_lines_leave_the_connection_usable() {
+    let (handle, join) = start(ServerConfig {
+        jobs: 1,
+        max_line_bytes: 256,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+
+    // Not JSON at all: typed bad_request, null id.
+    client.send_line("this is not json").expect("send garbage");
+    let resp = client.recv().expect("io").expect("a response is owed");
+    assert!(resp.error_is(ERR_BAD_REQUEST), "{:?}", resp.error);
+    assert_eq!(resp.id, Value::Null);
+
+    // Parseable JSON with a salvageable id but an unknown op.
+    client
+        .send_line(r#"{"id":"bad-op","op":"frobnicate"}"#)
+        .expect("send bad op");
+    let resp = client.recv().expect("io").expect("response");
+    assert!(resp.error_is(ERR_BAD_REQUEST));
+    assert_eq!(resp.id, json!("bad-op"), "id salvaged from the bad line");
+
+    // A payload field that does not fit the op.
+    client
+        .send_line(r#"{"id":"mix","op":"status","budget":4}"#)
+        .expect("send misuse");
+    let resp = client.recv().expect("io").expect("response");
+    assert!(resp.error_is(ERR_BAD_REQUEST));
+    assert!(resp.error.as_deref().unwrap().contains("budget"));
+
+    // An oversized line: discarded to its newline, typed rejection.
+    let huge = format!(r#"{{"op":"evaluate","spec":{{"family":"{}"#, "x".repeat(4096));
+    client.send_line(&huge).expect("send oversized");
+    let resp = client.recv().expect("io").expect("response");
+    assert!(resp.error_is(ERR_BAD_REQUEST));
+    assert!(resp.error.as_deref().unwrap().contains("exceeds"));
+
+    // Blank lines are skipped without a response; the next real request
+    // still gets exactly one answer — the connection survived it all.
+    client.send_line("").expect("send blank");
+    let resp = client
+        .request(&Request::evaluate(json!("after"), tiny_spec()))
+        .expect("evaluate after hostile input");
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.id, json!("after"));
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn overloaded_burst_gets_typed_rejections_and_ordered_responses() {
+    // One worker, a one-slot queue: a pipelined burst behind a heavy head
+    // request must overflow admission while the server stays responsive.
+    let (handle, join) = start(ServerConfig {
+        jobs: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+
+    let burst = 16usize;
+    client
+        .send(&Request::evaluate(json!("head"), heavy_spec()))
+        .expect("send head");
+    for i in 0..burst {
+        client
+            .send(&Request::evaluate(json!(format!("b{i}")), tiny_spec()))
+            .expect("send burst");
+    }
+
+    // Responses must come back in request order, whatever the workers did.
+    let mut rejected = 0;
+    let mut completed = 0;
+    for i in 0..=burst {
+        let resp = client.recv().expect("io").expect("every request is owed a response");
+        let want = if i == 0 {
+            json!("head")
+        } else {
+            json!(format!("b{}", i - 1))
+        };
+        assert_eq!(resp.id, want, "responses arrive in request order");
+        if resp.error_is(ERR_OVERLOADED) {
+            rejected += 1;
+        } else {
+            assert!(resp.ok, "non-rejected must evaluate: {:?}", resp.error);
+            completed += 1;
+        }
+    }
+    assert!(rejected > 0, "a {burst}-deep burst over a 1-slot queue must overflow");
+    assert!(completed >= 2, "head plus at least one queued request complete");
+
+    // The server is still responsive after shedding load.
+    let resp = client
+        .request(&Request::bare(json!("alive"), Op::Status))
+        .expect("status after burst");
+    let status = resp.status.expect("status payload");
+    assert_eq!(status.rejected, rejected as u64);
+
+    let stats = shutdown_and_join(&handle, join);
+    assert_eq!(stats.rejected, rejected as u64);
+    assert_eq!(stats.completed, completed as u64);
+}
+
+#[test]
+fn drain_finishes_inflight_work_and_rejects_late_arrivals() {
+    let (handle, join) = start(ServerConfig {
+        jobs: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+
+    // Pipeline real work, then the shutdown, then more work — all before
+    // reading anything. The admitted job must complete; requests parsed
+    // after the drain begins must get typed shutting_down rejections.
+    client
+        .send(&Request::evaluate(json!("w1"), tiny_spec()))
+        .expect("send work");
+    client
+        .send(&Request::bare(json!("bye"), Op::Shutdown))
+        .expect("send shutdown");
+    client
+        .send(&Request::evaluate(json!("late"), tiny_spec()))
+        .expect("send late work");
+    client.finish_sending().expect("half-close");
+
+    let resp = client.recv().expect("io").expect("w1 response");
+    assert_eq!(resp.id, json!("w1"));
+    assert!(resp.ok, "admitted work finishes during drain: {:?}", resp.error);
+    let resp = client.recv().expect("io").expect("shutdown ack");
+    assert_eq!(resp.draining, Some(true));
+    let resp = client.recv().expect("io").expect("late response");
+    assert_eq!(resp.id, json!("late"));
+    assert!(resp.error_is(ERR_SHUTTING_DOWN), "{:?}", resp.error);
+    assert!(client.recv().expect("io").is_none(), "clean EOF after the drain");
+
+    let stats = join.join().expect("server thread");
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn batch_and_search_ops_work_end_to_end() {
+    let (handle, join) = start(ServerConfig {
+        jobs: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+
+    // Batch: two identical specs must yield two identical reports.
+    let req = Request {
+        specs: Some(vec![tiny_spec(), tiny_spec()]),
+        ..Request::bare(json!("batch"), Op::Batch)
+    };
+    let resp = client.request(&req).expect("batch round trip");
+    assert!(resp.ok, "{:?}", resp.error);
+    let results = resp.results.expect("batch payload");
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|item| item.report.is_some()));
+    assert_eq!(
+        results[0].report, results[1].report,
+        "identical specs get identical reports"
+    );
+
+    // Per-index validation failure is a bad_request naming the slot.
+    let bad: WireSpec = serde_json::from_value(json!({"family": "hypercube", "servers": 8}))
+        .expect("parse — validation happens at resolve time");
+    let req = Request {
+        specs: Some(vec![tiny_spec(), bad]),
+        ..Request::bare(json!("batch-bad"), Op::Batch)
+    };
+    let resp = client.request(&req).expect("bad batch round trip");
+    assert!(resp.error_is(ERR_BAD_REQUEST));
+    assert!(resp.error.as_deref().unwrap().contains("specs[1]"));
+
+    // Search over a 2-point space.
+    let req = Request {
+        space: Some(WireSpace {
+            families: vec!["fat-tree".into(), "leaf-spine".into()],
+            servers: vec![64],
+            speeds: vec![100.0],
+            seeds: vec![11],
+            halls: vec!["hall-std".into()],
+            media: vec!["media-std".into()],
+            fault_scenarios: vec![0],
+            yield_trials: Some(2),
+            repair_trials: Some(1),
+        }),
+        ..Request::bare(json!("sweep"), Op::Search)
+    };
+    let resp = client.request(&req).expect("search round trip");
+    assert!(resp.ok, "{:?}", resp.error);
+    let records = resp.records.expect("search payload");
+    assert_eq!(records.len(), 2);
+    assert_eq!(resp.interrupted, None, "uninterrupted search");
+
+    shutdown_and_join(&handle, join);
+}
+
+#[test]
+fn raw_socket_clients_need_only_lines_and_json() {
+    // The protocol's portability claim: no client library, just a socket.
+    let (handle, join) = start(ServerConfig::default());
+    let mut stream =
+        std::net::TcpStream::connect(handle.local_addr()).expect("raw connect");
+    stream
+        .write_all(b"{\"id\":1,\"op\":\"status\"}\n")
+        .expect("raw write");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let line = match read_bounded_line(&mut reader, 1 << 20).expect("raw read") {
+        LineRead::Line(l) => l,
+        other => panic!("expected a line, got {other:?}"),
+    };
+    let v: Value = serde_json::from_str(&line).expect("response is JSON");
+    assert_eq!(v["id"], json!(1));
+    assert_eq!(v["ok"], json!(true));
+    drop(reader);
+    shutdown_and_join(&handle, join);
+}

@@ -48,6 +48,7 @@ pub use pd_lifecycle as lifecycle;
 pub use pd_metrics as metrics;
 pub use pd_physical as physical;
 pub use pd_search as search;
+pub use pd_serve as serve;
 pub use pd_topology as topology;
 pub use pd_twin as twin;
 

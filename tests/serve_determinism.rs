@@ -1,0 +1,95 @@
+//! The serving layer's acceptance bar: a `loadgen` run against a
+//! single-worker server and an 8-worker server must observe byte-identical
+//! response bodies — same per-spec bytes, same digest — because worker
+//! count, cache state, and connection interleaving may change latency but
+//! never content. Mirrors `tests/batch_determinism.rs` one layer up: the
+//! same pipeline, now behind sockets, admission control, and a shared
+//! session cache.
+
+use pd_search::{Family, ParamSpace, TrialProfile};
+use pd_serve::{run_loadgen, LoadgenConfig, Server, ServerConfig, ServerHandle, ServerStats};
+
+fn start(jobs: usize) -> (ServerHandle, std::thread::JoinHandle<ServerStats>) {
+    let server = Server::bind(ServerConfig {
+        jobs,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback port 0");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+/// A small cheap space with repeats guaranteed: 2 families × 1 size, 32
+/// closed-loop requests drawing from 2 points.
+fn load_config(addr: String) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        connections: 4,
+        requests: 8,
+        seed: 11,
+        space: ParamSpace {
+            families: vec![Family::FatTree, Family::Jellyfish],
+            servers: vec![48],
+            seeds: vec![11],
+            fault_scenarios: vec![0],
+            trials: TrialProfile {
+                yield_trials: 2,
+                repair_trials: 1,
+            },
+            ..ParamSpace::default()
+        },
+        deadline_ms: None,
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_8_servers_serve_identical_bytes() {
+    let (h1, j1) = start(1);
+    let (h8, j8) = start(8);
+
+    let serial = run_loadgen(&load_config(h1.local_addr().to_string())).expect("load vs jobs=1");
+    let parallel = run_loadgen(&load_config(h8.local_addr().to_string())).expect("load vs jobs=8");
+
+    for out in [&serial, &parallel] {
+        assert!(
+            out.bodies_consistent(),
+            "within-run byte identity: {:?}",
+            out.mismatches
+        );
+        assert_eq!(out.sent, 32);
+        assert_eq!(out.rejected, 0, "default queue cap absorbs this load");
+        assert_eq!(out.ok + out.eval_errors, out.sent);
+        assert!(out.distinct_specs >= 2, "both space points must be drawn");
+    }
+
+    assert_eq!(
+        serial.ok, parallel.ok,
+        "success/error split is spec-determined, not scheduling-determined"
+    );
+    assert_eq!(serial.distinct_specs, parallel.distinct_specs);
+    assert_eq!(
+        serial.body_digest, parallel.body_digest,
+        "worker count must not change a single response byte"
+    );
+
+    // A second run against the (now cache-warm) parallel server: caching
+    // must not change bytes either.
+    let warmed = run_loadgen(&load_config(h8.local_addr().to_string())).expect("warm rerun");
+    assert_eq!(warmed.body_digest, parallel.body_digest, "cache state must not change bytes");
+
+    h1.shutdown();
+    h8.shutdown();
+    let s1 = j1.join().expect("jobs=1 server");
+    let s8 = j8.join().expect("jobs=8 server");
+    assert_eq!(s1.completed, 32);
+    assert_eq!(s8.completed, 64, "two loadgen runs hit the parallel server");
+    assert_eq!(s1.rejected + s8.rejected, 0);
+}
+
+#[test]
+fn facade_reexports_the_serving_layer() {
+    // The physnet facade exposes pd-serve like every other subsystem.
+    let cfg = physnet::serve::ServerConfig::default();
+    assert_eq!(cfg.addr, "127.0.0.1:0");
+}
