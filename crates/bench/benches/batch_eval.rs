@@ -7,7 +7,7 @@
 //! shared topologies, which the cold/warm pair below isolates).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pd_core::batch::{evaluate_many, BatchOptions, GenCache};
+use pd_core::batch::{evaluate_many, evaluate_many_with_cache, ArtifactCache, BatchOptions, GenCache};
 use pd_core::prelude::*;
 use std::hint::black_box;
 
@@ -74,6 +74,18 @@ fn bench_batch(c: &mut Criterion) {
     cache.build(&topo).expect("gen");
     g.bench_function("warm_hit_clone", |b| b.iter(|| cache.build(black_box(&topo))));
     g.bench_function("cold_build", |b| b.iter(|| black_box(&topo).build()));
+    g.finish();
+
+    // Whole-pipeline adoption: once the tiered artifact cache is warm,
+    // a repeat evaluation adopts the Report tier — a key derivation, one
+    // probe, and clones instead of fourteen stages.
+    let mut g = c.benchmark_group("artifact_cache");
+    g.sample_size(10);
+    let cache = ArtifactCache::new();
+    evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &cache);
+    g.bench_function("warm_adopt_16", |b| {
+        b.iter(|| evaluate_many_with_cache(black_box(&specs), &BatchOptions::jobs(1), &cache))
+    });
     g.finish();
 }
 

@@ -175,6 +175,16 @@ fn main() {
     let _ = client.finish_sending();
 
     println!("{line}");
+    // Pretty-print status cache tiers to stderr; stdout stays the verbatim
+    // response line loadgen checksums.
+    if let Ok(resp) = pd_serve::prelude::parse_response(&line) {
+        if let Some(status) = &resp.status {
+            let table = pd_serve::prelude::render_tier_table(&status.artifact_tiers);
+            if !table.is_empty() {
+                eprint!("{table}");
+            }
+        }
+    }
     let ok = serde_json::from_str::<Value>(&line)
         .ok()
         .and_then(|v| v.get("ok").and_then(Value::as_bool))

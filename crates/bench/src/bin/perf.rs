@@ -6,6 +6,7 @@
 //! perf --jobs 1 --out serial.json        # pin the worker count
 //! perf --baseline old.json               # diff mode: exit 1 on regression
 //! perf --baseline old.json --threshold 0.10
+//! perf --warm                            # matrix twice over one cache
 //! ```
 //!
 //! Writes `BENCH_PIPELINE.json` (see `docs/OBSERVABILITY.md` for the
@@ -15,18 +16,24 @@
 //! earlier report; the process exits non-zero when any cell's median wall
 //! time regressed beyond `--threshold` (default 20%) or any deterministic
 //! count drifted.
+//!
+//! `--warm` runs the matrix twice over one shared artifact cache and
+//! reports cold vs warm medians per cell. The written report is the cold
+//! pass. The run fails (exit 1) if the two passes' `"counts"` sections
+//! are not byte-identical — caching must be invisible in deterministic
+//! output — or if the warm pass was not at least as fast in total.
 
 use std::path::PathBuf;
 use std::process::exit;
 
 use pd_bench::cli::{parse, parse_list, write_atomic, CommonFlags};
-use pd_bench::perf::{diff, run, PerfConfig};
+use pd_bench::perf::{diff, run, run_warm, PerfConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--families a,b,...] [--sizes n,m,...] [--jobs N] \
          [--repeats N] [--clones N] [--seed N] [--out PATH] \
-         [--baseline PATH] [--threshold F] [--metrics] [--quiet] \
+         [--baseline PATH] [--threshold F] [--warm] [--metrics] [--quiet] \
          [--spec-timeout DUR] [--deadline DUR] [--retries N]\n\
          families: fat-tree, folded-clos, leaf-spine, jellyfish, xpander, \
          slimfly, flat-bf, fatclique, direct-connect"
@@ -39,6 +46,7 @@ fn main() {
     let mut out_path = PathBuf::from("BENCH_PIPELINE.json");
     let mut baseline: Option<PathBuf> = None;
     let mut threshold = 0.20f64;
+    let mut warm = false;
     let mut common = CommonFlags::new();
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +63,7 @@ fn main() {
                 baseline = Some(PathBuf::from(parse::<String>("--baseline", args.next())))
             }
             "--threshold" => threshold = parse("--threshold", args.next()),
+            "--warm" => warm = true,
             "--quiet" => cfg.progress = false,
             "--help" | "-h" => usage(),
             other => {
@@ -70,11 +79,38 @@ fn main() {
         usage()
     }
 
-    let report = run(&cfg).unwrap_or_else(|e| {
-        eprintln!("perf: {e}");
-        usage()
-    });
-    print!("{}", report.render_table());
+    let report = if warm {
+        let outcome = run_warm(&cfg).unwrap_or_else(|e| {
+            eprintln!("perf: {e}");
+            usage()
+        });
+        print!("{}", outcome.render_table());
+        if !outcome.counts_identical() {
+            eprintln!("perf: cold and warm counts sections differ — caching leaked into deterministic output");
+            exit(1);
+        }
+        let total = |r: &pd_bench::perf::PerfReport| -> u64 {
+            r.cells.iter().map(|c| c.median_wall_ns()).sum()
+        };
+        let (cold_ns, warm_ns) = (total(&outcome.cold), total(&outcome.warm));
+        println!(
+            "warm pass: counts byte-identical; total median {:.3} ms cold vs {:.3} ms warm",
+            cold_ns as f64 / 1e6,
+            warm_ns as f64 / 1e6,
+        );
+        if warm_ns > cold_ns {
+            eprintln!("perf: warm pass slower than cold pass — the artifact cache is not adopting");
+            exit(1);
+        }
+        outcome.cold
+    } else {
+        let report = run(&cfg).unwrap_or_else(|e| {
+            eprintln!("perf: {e}");
+            usage()
+        });
+        print!("{}", report.render_table());
+        report
+    };
 
     let doc = report.to_json();
     let pretty = serde_json::to_string_pretty(&doc).expect("serialize report");

@@ -120,6 +120,7 @@ fn main() {
         jobs,
         wave,
         cache_capacity: cache_cap,
+        cache: None,
         progress,
         cancel: None,
         eval_budget,

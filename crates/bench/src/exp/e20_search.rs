@@ -46,8 +46,7 @@ pub fn config() -> SearchConfig {
         },
         jobs: 0,
         wave: 8,
-        cache_capacity: None,
-        progress: false,
+        ..SearchConfig::default()
     }
 }
 

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use pd_core::batch::{evaluate_many, BatchOptions};
+use pd_core::batch::{evaluate_many, evaluate_many_with_cache, ArtifactCache, BatchOptions};
 use pd_core::compare::all_families;
 use pd_core::design::DesignSpec;
 use pd_geometry::Gbps;
@@ -130,8 +130,17 @@ pub struct PerfReport {
 }
 
 /// Runs the pinned matrix. Resets the global metrics registry first so the
-/// embedded snapshot describes only this run's work.
+/// embedded snapshot describes only this run's work. Each batch call owns
+/// a fresh artifact cache, exactly as `evaluate_many` does for
+/// experiments.
 pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
+    run_pass(cfg, None)
+}
+
+/// One matrix pass; with `Some(cache)` every batch call shares the given
+/// artifact cache (the `--warm` machinery), with `None` each call builds
+/// its own.
+fn run_pass(cfg: &PerfConfig, cache: Option<&ArtifactCache>) -> Result<PerfReport, String> {
     pd_metrics::global().reset();
     let opts = BatchOptions::jobs(cfg.jobs);
     let repeats = cfg.repeats.max(1);
@@ -187,7 +196,10 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
             };
             for rep in 0..repeats {
                 let started = Instant::now();
-                let results = evaluate_many(&specs, &opts);
+                let results = match cache {
+                    Some(shared) => evaluate_many_with_cache(&specs, &opts, shared),
+                    None => evaluate_many(&specs, &opts),
+                };
                 cell.wall_ns.push(started.elapsed().as_nanos() as u64);
                 if rep == 0 {
                     for r in &results {
@@ -302,6 +314,70 @@ impl PerfReport {
         }
         out
     }
+}
+
+/// A `--warm` run: the same matrix twice over one shared
+/// [`ArtifactCache`], so the second pass adopts every cached stage prefix
+/// the first pass stored.
+#[derive(Debug, Clone)]
+pub struct WarmOutcome {
+    /// The first pass, started against an empty cache. This is the report
+    /// written to disk — its counts are the contract.
+    pub cold: PerfReport,
+    /// The second pass over the now-warm cache.
+    pub warm: PerfReport,
+}
+
+impl WarmOutcome {
+    /// Whether the two passes' `"counts"` sections serialize to the same
+    /// bytes — the caching-is-invisible contract, checked at the report
+    /// level (cell counts *and* every Count-class metric).
+    pub fn counts_identical(&self) -> bool {
+        let section = |r: &PerfReport| {
+            serde_json::to_string(&r.to_json()["counts"]).expect("counts serialize")
+        };
+        section(&self.cold) == section(&self.warm)
+    }
+
+    /// Per-cell cold vs warm medians with the speedup factor.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14} {:>14} {:>9}\n",
+            "family", "servers", "cold median ms", "warm median ms", "speedup"
+        ));
+        for (c, w) in self.cold.cells.iter().zip(&self.warm.cells) {
+            let cold_ns = c.median_wall_ns();
+            let warm_ns = w.median_wall_ns();
+            let speedup = if warm_ns > 0 {
+                cold_ns as f64 / warm_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>14.3} {:>14.3} {:>8.2}x\n",
+                c.family,
+                c.target_servers,
+                cold_ns as f64 / 1e6,
+                warm_ns as f64 / 1e6,
+                speedup,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the matrix twice over one shared artifact cache. The metrics
+/// registry is reset at the start of each pass, so each embedded snapshot
+/// covers exactly that pass — which is what makes
+/// [`WarmOutcome::counts_identical`] a real assertion: adopted stages
+/// replay their Count-class metrics, so a warm pass must reproduce the
+/// cold pass's counts byte for byte.
+pub fn run_warm(cfg: &PerfConfig) -> Result<WarmOutcome, String> {
+    let cache = ArtifactCache::new();
+    let cold = run_pass(cfg, Some(&cache))?;
+    let warm = run_pass(cfg, Some(&cache))?;
+    Ok(WarmOutcome { cold, warm })
 }
 
 /// The outcome of comparing a fresh report against a baseline.
@@ -434,6 +510,29 @@ mod tests {
         assert_eq!(cell["errors"], 0);
         assert!(cell.get("median_wall_ns").is_none(), "timing leaked into counts");
         assert!(diags["cells"][0].get("median_wall_ns").is_some());
+    }
+
+    #[test]
+    fn warm_pass_adopts_and_reproduces_counts_byte_for_byte() {
+        let out = run_warm(&tiny_cfg()).expect("warm run");
+        assert!(
+            out.counts_identical(),
+            "warm pass drifted the counts section:\ncold: {}\nwarm: {}",
+            out.cold.to_json()["counts"],
+            out.warm.to_json()["counts"],
+        );
+        // The warm pass must have adopted cached prefixes, visible as
+        // Place-tier hits in its (per-pass) metrics snapshot.
+        let hits = match out.warm.snapshot.get("cache.artifact.place.hits") {
+            Some(e) => match e.value {
+                pd_metrics::MetricValue::Counter(v) => v,
+                _ => panic!("place hits should be a counter"),
+            },
+            None => panic!("cache.artifact.place.hits not registered"),
+        };
+        assert!(hits > 0, "warm pass never hit the Place tier");
+        // Both passes report the same matrix shape.
+        assert_eq!(out.cold.cells.len(), out.warm.cells.len());
     }
 
     #[test]

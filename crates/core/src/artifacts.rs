@@ -1,0 +1,595 @@
+//! Tiered stage-prefix artifact caching.
+//!
+//! The paper's agenda is *sweeps*: scoring many (topology, placement,
+//! cabling) variants against each other. Most points in such a sweep share
+//! a long prefix of work — two specs that differ only in fault scenarios
+//! redo placement, cabling, bundling, scheduling, and yield from scratch if
+//! only topology generation is memoized. The [`ArtifactCache`] fixes that
+//! by caching *stage prefixes*:
+//!
+//! * [`crate::DesignSpec::stage_keys`] derives, per [`Stage`], a key over
+//!   only the spec fields that stage (or any earlier stage) consumes.
+//!   Stages that consume no new field share their predecessor's key.
+//! * After each completed stage that ends an equal-key run (a *tier* —
+//!   see [`TIERS`]), the executor stores a [`Snapshot`] of every artifact
+//!   produced so far under that stage's key.
+//! * Before running, the executor probes tiers deepest-first and *adopts*
+//!   the longest cached prefix: it clones the snapshot's artifacts into the
+//!   state and resumes after them, so only the differing suffix runs.
+//!
+//! Determinism is preserved by construction: every stage body is a pure
+//! function of the spec fields its key covers, so an adopted artifact is
+//! byte-identical to the recomputed one, and the executor *replays* the
+//! deterministic count metrics (`pipeline.<stage>.{runs,artifacts}`) and
+//! stage-trace entries for adopted stages from counts recorded in the
+//! snapshot. Hit/miss/eviction counters are **Diagnostic-class** — under a
+//! bounded cache (and under parallel schedules) they depend on arrival
+//! order — exactly the contract the original generation cache established;
+//! see `docs/OBSERVABILITY.md`.
+//!
+//! [`GenCache`] — the original single-stage generation memo — lives here
+//! now and doubles as the Generate tier of every [`ArtifactCache`]
+//! ([`ArtifactCache::generate`] is the thin compat view). Its behaviour is
+//! unchanged: keyed by [`TopologySpec::generation_key`], once-per-key
+//! generation with concurrent distinct keys, cached failures, optional LRU
+//! bound, `clear()` without eviction accounting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use pd_metrics::Counter;
+
+use crate::design::TopologySpec;
+use crate::report::DeployabilityReport;
+use crate::stages::Stage;
+use pd_cabling::{BundlingReport, CablingPlan, HarnessReport};
+use pd_costing::{CapexReport, DeploymentPlan, Schedule, TcoReport, YieldReport};
+use pd_lifecycle::faults::FaultSweepReport;
+use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
+use pd_physical::{Hall, Placement};
+use pd_topology::gen::GenError;
+use pd_topology::metrics::GoodnessReport;
+use pd_topology::Network;
+use pd_twin::{EnvelopeCheck, Violation};
+
+/// A memo cache for topology generation, shared across a batch.
+///
+/// Keyed by [`TopologySpec::generation_key`] — a stable hash of the
+/// generation sub-spec — and guarded by a [`parking_lot::Mutex`] around the
+/// key map. Each key's slot is a [`OnceLock`], so the map lock is held only
+/// to look up the slot, never across generation: distinct topologies
+/// generate concurrently, while threads racing on the *same* key generate
+/// it exactly once and everyone else clones the result. Failed generations
+/// are cached too ([`GenError`] is `Clone`), so a bad sub-spec fails every
+/// spec that shares it without re-running the generator.
+///
+/// An unbounded cache holds every generated [`Network`] alive for its own
+/// lifetime, which a multi-thousand-point design-space sweep cannot afford.
+/// Two relief valves exist: [`GenCache::with_capacity`] bounds the entry
+/// count with least-recently-used eviction, and [`GenCache::clear`] drops
+/// every entry at a batch boundary (e.g. between search waves) while
+/// keeping the hit/miss counters running. Eviction never breaks
+/// determinism — an evicted key simply regenerates, and generation is a
+/// pure function of the key — it only trades memory for repeated work.
+#[derive(Default)]
+pub struct GenCache {
+    slots: Mutex<Slots>,
+    /// Maximum distinct entries held (`None` = unbounded).
+    capacity: Option<usize>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Cached handles for the cache's global metrics
+/// (`cache.gen.{hits,misses,evictions}`). All three are **diagnostics**:
+/// under a bounded cache they depend on thread scheduling (PR 3 kept them
+/// out of the search JSONL for the same reason), so they must never sit in
+/// a byte-compared snapshot section. Per-instance exact counters remain
+/// available via [`GenCache::hits`]/[`GenCache::misses`]/
+/// [`GenCache::evictions`]; the global cells aggregate over every cache in
+/// the process.
+struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static CELLS: OnceLock<CacheMetrics> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        CacheMetrics {
+            hits: reg.diagnostic_counter("cache.gen.hits"),
+            misses: reg.diagnostic_counter("cache.gen.misses"),
+            evictions: reg.diagnostic_counter("cache.gen.evictions"),
+        }
+    })
+}
+
+type GenSlot = Arc<OnceLock<Result<Network, GenError>>>;
+
+/// The guarded interior: the key map plus a logical clock for LRU order.
+#[derive(Default)]
+struct Slots {
+    map: HashMap<u64, SlotEntry>,
+    /// Monotone access counter; every lookup stamps its entry, so the entry
+    /// with the smallest stamp is the least recently used.
+    tick: u64,
+}
+
+struct SlotEntry {
+    slot: GenSlot,
+    last_used: u64,
+}
+
+impl GenCache {
+    /// An empty, unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` distinct topologies
+    /// (clamped to ≥ 1), evicting the least recently used entry beyond
+    /// that. Entries still being generated by another thread stay alive
+    /// through their `Arc` even if evicted from the map.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Fetches (and recency-stamps) the slot for `key`, evicting the LRU
+    /// entry if inserting `key` pushed the map over capacity.
+    fn slot_for(&self, key: u64) -> GenSlot {
+        let mut inner = self.slots.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().last_used = tick;
+                e.get().slot.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => e
+                .insert(SlotEntry {
+                    slot: Default::default(),
+                    last_used: tick,
+                })
+                .slot
+                .clone(),
+        };
+        if let Some(cap) = self.capacity {
+            while inner.map.len() > cap {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .filter(|(&k, _)| k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k);
+                match oldest {
+                    Some(k) => {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        cache_metrics().evictions.incr();
+                        inner.map.remove(&k)
+                    }
+                    None => break,
+                };
+            }
+        }
+        slot
+    }
+
+    /// Builds (or clones the memoized) network for `topo`.
+    ///
+    /// Uncacheable specs ([`TopologySpec::Custom`]) fall through to
+    /// [`TopologySpec::build`] and are counted as misses.
+    pub fn build(&self, topo: &TopologySpec) -> Result<Network, GenError> {
+        let Some(key) = topo.generation_key() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().misses.incr();
+            return topo.build();
+        };
+        let slot = self.slot_for(key);
+        let mut generated = false;
+        let result = slot.get_or_init(|| {
+            generated = true;
+            topo.build()
+        });
+        if generated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().misses.incr();
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.incr();
+        }
+        result.clone()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the generator (plus uncacheable specs).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by the LRU bound ([`GenCache::with_capacity`]);
+    /// always 0 for unbounded caches — [`GenCache::clear`] is not an
+    /// eviction.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Distinct topologies held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().map.len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().map.is_empty()
+    }
+
+    /// Drops every held entry (the hit/miss counters keep running).
+    ///
+    /// Long-lived callers — a search sweeping thousands of points through
+    /// [`crate::batch::evaluate_many_with_cache`] wave by wave — call this
+    /// between waves to stop the cache from holding every generated
+    /// [`Network`] alive, when a fixed [`GenCache::with_capacity`] bound
+    /// isn't wanted.
+    pub fn clear(&self) {
+        self.slots.lock().map.clear();
+    }
+}
+
+impl std::fmt::Debug for GenCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+/// The snapshot tiers, shallowest first: the *deepest* stage of every
+/// equal-key run of [`Stage::ALL`], skipping the Generate/Validate run
+/// (the [`GenCache`] already covers it, and a bare [`Network`] clone is
+/// what [`crate::stages::StageState::with_network`] wants anyway).
+///
+/// | tier | also covers | key adds (cumulative) |
+/// |---|---|---|
+/// | `Place` | — | `hall`, `placement`, `placement_improvement`, `equipment`, `seed` |
+/// | `Cable` | — | `cabling` |
+/// | `Bundle` | — | `min_bundle_size` |
+/// | `Schedule` | — | `use_bundles`, `schedule` |
+/// | `Cost` | `Yield` | `yields` |
+/// | `Repair` | — | `repair` |
+/// | `Faults` | — | `fault_scenarios` |
+/// | `Twin` | `Expansion` | `expansion` |
+/// | `Goodness` | — | `resilience_samples` |
+/// | `Report` | — | `name` |
+pub const TIERS: [Stage; 10] = [
+    Stage::Place,
+    Stage::Cable,
+    Stage::Bundle,
+    Stage::Schedule,
+    Stage::Cost,
+    Stage::Repair,
+    Stage::Faults,
+    Stage::Twin,
+    Stage::Goodness,
+    Stage::Report,
+];
+
+/// Every artifact a prefix of completed stages produced, cloned out of the
+/// executor, plus the per-stage artifact counts needed to *replay* the
+/// deterministic count metrics and trace entries on adoption. Fields
+/// deeper than the snapshot's tier are simply `None`.
+///
+/// Crate-private: only the stage executor reads or writes snapshots.
+#[derive(Default)]
+pub(crate) struct Snapshot {
+    pub(crate) network: Option<Network>,
+    pub(crate) hall: Option<Hall>,
+    pub(crate) placement: Option<Placement>,
+    pub(crate) cabling: Option<CablingPlan>,
+    pub(crate) bundling: Option<BundlingReport>,
+    pub(crate) harness: Option<HarnessReport>,
+    pub(crate) deployment: Option<DeploymentPlan>,
+    pub(crate) schedule: Option<Schedule>,
+    pub(crate) yields: Option<YieldReport>,
+    pub(crate) capex: Option<CapexReport>,
+    pub(crate) tco: Option<TcoReport>,
+    pub(crate) repair: Option<RepairSimReport>,
+    pub(crate) faults: Option<Option<FaultSweepReport>>,
+    pub(crate) expansion: Option<Option<LifecycleComplexity>>,
+    pub(crate) violations: Option<Vec<Violation>>,
+    pub(crate) envelope: Option<Vec<EnvelopeCheck>>,
+    pub(crate) resilience: Option<Option<f64>>,
+    pub(crate) good: Option<GoodnessReport>,
+    pub(crate) report: Option<DeployabilityReport>,
+    /// Artifact count each completed stage reported, indexed by
+    /// [`Stage::index`]; entries past the snapshot depth are zero.
+    pub(crate) artifact_counts: [u64; Stage::COUNT],
+}
+
+/// One bounded LRU tier of snapshots, keyed by the tier stage's
+/// [`crate::DesignSpec::stage_key`].
+#[derive(Default)]
+struct Tier {
+    slots: Mutex<TierSlots>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+#[derive(Default)]
+struct TierSlots {
+    map: HashMap<u64, TierEntry>,
+    tick: u64,
+}
+
+struct TierEntry {
+    snap: Arc<Snapshot>,
+    last_used: u64,
+}
+
+/// Cached handles for the per-tier global diagnostics
+/// (`cache.artifact.<stage>.{hits,misses,evictions}`), one triple per
+/// entry of [`TIERS`]. Diagnostic-class for the same reason as
+/// `cache.gen.*`: under a bounded cache or a parallel schedule, which
+/// lookups hit depends on arrival order, so these can never sit in a
+/// byte-compared counts section.
+struct TierCells {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn tier_cells() -> &'static [TierCells; TIERS.len()] {
+    static CELLS: OnceLock<[TierCells; TIERS.len()]> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let reg = pd_metrics::global();
+        TIERS.map(|stage| TierCells {
+            hits: reg.diagnostic_counter(&format!("cache.artifact.{}.hits", stage.name())),
+            misses: reg.diagnostic_counter(&format!("cache.artifact.{}.misses", stage.name())),
+            evictions: reg
+                .diagnostic_counter(&format!("cache.artifact.{}.evictions", stage.name())),
+        })
+    })
+}
+
+/// A point-in-time view of one tier's counters, for `serve`'s `status`
+/// op and the loadgen summary. Diagnostic-class numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStats {
+    /// The tier's stage (its [`Stage::name`] is the wire spelling).
+    pub stage: Stage,
+    /// Distinct snapshots currently held.
+    pub entries: usize,
+    /// Adoptions that reused this tier's work (an adoption at depth *D*
+    /// counts a hit on every tier at or above *D*, because all of their
+    /// work was reused — `cache.artifact.place.hits` is nonzero whenever
+    /// placement was skipped, however deep the adoption went).
+    pub hits: usize,
+    /// Probes that found no snapshot at this tier.
+    pub misses: usize,
+    /// Entries dropped by the LRU bound.
+    pub evictions: usize,
+}
+
+/// The tiered stage-prefix cache: a [`GenCache`] for the Generate tier
+/// plus one bounded LRU snapshot tier per entry of [`TIERS`].
+///
+/// Shared by all three evaluation drivers — the batch engine
+/// ([`crate::batch::evaluate_many_with_cache`]), the search runner's
+/// adaptive rungs, and `pd-serve`'s process-wide session cache — so a
+/// fault-scenario sweep over a shared (family, servers, seed) upstream
+/// reuses everything through Yield/Cost and only re-runs the fault suffix.
+///
+/// The capacity bound applies *per tier* (and to the embedded
+/// [`GenCache`]): a capacity-`N` cache holds at most `N` snapshots per
+/// tier, evicting least-recently-used. Eviction, like generation-tier
+/// eviction, trades memory for repeated work and never changes bytes.
+#[derive(Default)]
+pub struct ArtifactCache {
+    generate: GenCache,
+    tiers: [Tier; TIERS.len()],
+    capacity: Option<usize>,
+}
+
+impl ArtifactCache {
+    /// An empty, unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries per tier
+    /// (clamped to ≥ 1), including the Generate tier.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            generate: GenCache::with_capacity(capacity),
+            tiers: Default::default(),
+            capacity: Some(capacity.max(1)),
+        }
+    }
+
+    /// The Generate tier, as the familiar [`GenCache`] — the compat view
+    /// existing callers (and the `cache.gen.*` metrics) keep using.
+    pub fn generate(&self) -> &GenCache {
+        &self.generate
+    }
+
+    /// Looks up (and recency-stamps) the snapshot stored under `key` in
+    /// `tier` (an index into [`TIERS`]). Counts nothing — the executor
+    /// owns hit/miss attribution, because one adoption credits every tier
+    /// at or above the adopted depth.
+    pub(crate) fn probe(&self, tier: usize, key: u64) -> Option<Arc<Snapshot>> {
+        let mut inner = self.tiers[tier].slots.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.snap))
+    }
+
+    /// Stores `snap` under `key` in `tier` (an index into [`TIERS`]),
+    /// evicting the least recently used snapshot beyond the capacity
+    /// bound. Last writer wins on a racing double-store; both snapshots
+    /// are byte-identical by the determinism contract, so the race is
+    /// invisible outside the Diagnostic-class counters.
+    pub(crate) fn store(&self, tier: usize, key: u64, snap: Arc<Snapshot>) {
+        let mut inner = self.tiers[tier].slots.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            TierEntry {
+                snap,
+                last_used: tick,
+            },
+        );
+        if let Some(cap) = self.capacity {
+            while inner.map.len() > cap {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .filter(|(&k, _)| k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k);
+                match oldest {
+                    Some(k) => {
+                        self.tiers[tier].evictions.fetch_add(1, Ordering::Relaxed);
+                        tier_cells()[tier].evictions.incr();
+                        inner.map.remove(&k)
+                    }
+                    None => break,
+                };
+            }
+        }
+    }
+
+    /// Credits a reuse of `tier`'s work (per-instance and global
+    /// diagnostic counters).
+    pub(crate) fn record_hit(&self, tier: usize) {
+        self.tiers[tier].hits.fetch_add(1, Ordering::Relaxed);
+        tier_cells()[tier].hits.incr();
+    }
+
+    /// Records a probe that found nothing at `tier`.
+    pub(crate) fn record_miss(&self, tier: usize) {
+        self.tiers[tier].misses.fetch_add(1, Ordering::Relaxed);
+        tier_cells()[tier].misses.incr();
+    }
+
+    /// Point-in-time counters for every snapshot tier, shallowest first
+    /// (the Generate tier reports through [`ArtifactCache::generate`]).
+    pub fn tier_stats(&self) -> Vec<TierStats> {
+        TIERS
+            .iter()
+            .zip(&self.tiers)
+            .map(|(&stage, tier)| TierStats {
+                stage,
+                entries: tier.slots.lock().map.len(),
+                hits: tier.hits.load(Ordering::Relaxed),
+                misses: tier.misses.load(Ordering::Relaxed),
+                evictions: tier.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total snapshots held across every snapshot tier (excludes the
+    /// Generate tier — see [`GenCache::len`]).
+    pub fn snapshot_count(&self) -> usize {
+        self.tiers.iter().map(|t| t.slots.lock().map.len()).sum()
+    }
+
+    /// Drops every held entry in every tier, Generate included. Counters
+    /// keep running; like [`GenCache::clear`], this is not an eviction.
+    pub fn clear(&self) {
+        self.generate.clear();
+        for tier in &self.tiers {
+            tier.slots.lock().map.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("generate", &self.generate)
+            .field("snapshots", &self.snapshot_count())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_the_deepest_stage_of_each_equal_key_run() {
+        // Strictly increasing, all past Validate, ending at Report.
+        for pair in TIERS.windows(2) {
+            assert!(pair[0].index() < pair[1].index());
+        }
+        assert_eq!(TIERS[0], Stage::Place);
+        assert_eq!(*TIERS.last().unwrap(), Stage::Report);
+        // Every stage from Place on is covered by exactly one tier: the
+        // first tier at or below it in the ALL order.
+        for stage in &Stage::ALL[Stage::Place.index()..] {
+            assert!(
+                TIERS.iter().any(|t| t.index() >= stage.index()),
+                "{stage:?} has no covering tier"
+            );
+        }
+    }
+
+    #[test]
+    fn store_probe_round_trips_and_lru_evicts() {
+        let cache = ArtifactCache::with_capacity(2);
+        let snap = |count: u64| {
+            let mut s = Snapshot::default();
+            s.artifact_counts[Stage::Place.index()] = count;
+            Arc::new(s)
+        };
+        cache.store(0, 1, snap(10));
+        cache.store(0, 2, snap(20));
+        assert!(cache.probe(0, 1).is_some()); // touch 1 → 2 is now LRU
+        cache.store(0, 3, snap(30)); // evicts 2
+        assert!(cache.probe(0, 2).is_none());
+        assert_eq!(
+            cache.probe(0, 1).unwrap().artifact_counts[Stage::Place.index()],
+            10
+        );
+        assert_eq!(cache.tier_stats()[0].evictions, 1);
+        assert_eq!(cache.tier_stats()[0].entries, 2);
+        // Other tiers are untouched.
+        assert_eq!(cache.tier_stats()[1].entries, 0);
+        assert_eq!(cache.snapshot_count(), 2);
+        cache.clear();
+        assert_eq!(cache.snapshot_count(), 0);
+        assert_eq!(cache.tier_stats()[0].evictions, 1); // clear ≠ eviction
+    }
+
+    #[test]
+    fn hit_and_miss_attribution_is_caller_owned() {
+        let cache = ArtifactCache::new();
+        assert!(cache.probe(3, 42).is_none()); // probing alone counts nothing
+        assert_eq!(cache.tier_stats()[3].misses, 0);
+        cache.record_miss(3);
+        cache.record_hit(0);
+        let stats = cache.tier_stats();
+        assert_eq!((stats[3].misses, stats[3].hits), (1, 0));
+        assert_eq!((stats[0].hits, stats[0].stage), (1, Stage::Place));
+    }
+}

@@ -10,12 +10,15 @@
 //! * **Work stealing, ordered results.** Workers claim the next un-started
 //!   spec from a shared atomic counter (long evaluations don't convoy short
 //!   ones behind a static partition) and record results by index.
-//! * **Shared generation cache.** Specs whose topology sub-spec hashes
-//!   equal (same family, parameters, and seed — see
-//!   [`TopologySpec::generation_key`]) generate their [`Network`] once; the
-//!   [`GenCache`] hands every other taker a clone. Sweeps that vary
-//!   placement, cabling, or costing knobs over a fixed topology skip
-//!   regeneration entirely.
+//! * **Shared artifact cache.** Every batch shares a tiered
+//!   [`ArtifactCache`] (see [`crate::artifacts`]): specs whose topology
+//!   sub-spec hashes equal generate their network once (the embedded
+//!   [`GenCache`], as before), and specs sharing the fields of a longer
+//!   stage prefix — same hall, placement, cabling, scheduling knobs,
+//!   differing only in, say, fault scenarios — *adopt* the cached prefix
+//!   artifacts wholesale and re-run only the differing suffix. Sweeps
+//!   that vary one late-stage knob over a fixed upstream skip nearly the
+//!   whole pipeline.
 //! * **Determinism preserved.** Evaluation never branches on thread
 //!   identity or timing, and cached generation returns the same bytes the
 //!   cold path would, so reports are byte-identical at any job count.
@@ -71,7 +74,6 @@
 //! assert_eq!(results[1].as_ref().unwrap().report.name, "b");
 //! ```
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -79,16 +81,16 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use pd_metrics::{Counter, Gauge, Histogram};
 
+pub use crate::artifacts::{ArtifactCache, GenCache};
+
 use crate::chaos::ChaosPlan;
-use crate::design::{DesignSpec, TopologySpec};
+use crate::design::DesignSpec;
 use crate::pipeline::{EvalError, Evaluation};
 use crate::resilience::{
     fnv1a, global_deadline, global_retry, global_spec_timeout, monotonic_nanos, CancelToken,
     Deadline, RetryPolicy, WatchdogConfig,
 };
 use crate::stages::{take_current_stage, Stage, StageState, StageTrace};
-use pd_topology::gen::GenError;
-use pd_topology::Network;
 
 /// Options for a batch-evaluation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,198 +132,6 @@ impl BatchOptions {
             self.jobs
         };
         requested.min(batch_len).max(1)
-    }
-}
-
-/// A memo cache for topology generation, shared across a batch.
-///
-/// Keyed by [`TopologySpec::generation_key`] — a stable hash of the
-/// generation sub-spec — and guarded by a [`parking_lot::Mutex`] around the
-/// key map. Each key's slot is a [`OnceLock`], so the map lock is held only
-/// to look up the slot, never across generation: distinct topologies
-/// generate concurrently, while threads racing on the *same* key generate
-/// it exactly once and everyone else clones the result. Failed generations
-/// are cached too ([`GenError`] is `Clone`), so a bad sub-spec fails every
-/// spec that shares it without re-running the generator.
-///
-/// An unbounded cache holds every generated [`Network`] alive for its own
-/// lifetime, which a multi-thousand-point design-space sweep cannot afford.
-/// Two relief valves exist: [`GenCache::with_capacity`] bounds the entry
-/// count with least-recently-used eviction, and [`GenCache::clear`] drops
-/// every entry at a batch boundary (e.g. between search waves) while
-/// keeping the hit/miss counters running. Eviction never breaks
-/// determinism — an evicted key simply regenerates, and generation is a
-/// pure function of the key — it only trades memory for repeated work.
-#[derive(Default)]
-pub struct GenCache {
-    slots: Mutex<Slots>,
-    /// Maximum distinct entries held (`None` = unbounded).
-    capacity: Option<usize>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    evictions: AtomicUsize,
-}
-
-/// Cached handles for the cache's global metrics
-/// (`cache.gen.{hits,misses,evictions}`). All three are **diagnostics**:
-/// under a bounded cache they depend on thread scheduling (PR 3 kept them
-/// out of the search JSONL for the same reason), so they must never sit in
-/// a byte-compared snapshot section. Per-instance exact counters remain
-/// available via [`GenCache::hits`]/[`GenCache::misses`]/
-/// [`GenCache::evictions`]; the global cells aggregate over every cache in
-/// the process.
-struct CacheMetrics {
-    hits: Arc<Counter>,
-    misses: Arc<Counter>,
-    evictions: Arc<Counter>,
-}
-
-fn cache_metrics() -> &'static CacheMetrics {
-    static CELLS: OnceLock<CacheMetrics> = OnceLock::new();
-    CELLS.get_or_init(|| {
-        let reg = pd_metrics::global();
-        CacheMetrics {
-            hits: reg.diagnostic_counter("cache.gen.hits"),
-            misses: reg.diagnostic_counter("cache.gen.misses"),
-            evictions: reg.diagnostic_counter("cache.gen.evictions"),
-        }
-    })
-}
-
-type GenSlot = Arc<OnceLock<Result<Network, GenError>>>;
-
-/// The guarded interior: the key map plus a logical clock for LRU order.
-#[derive(Default)]
-struct Slots {
-    map: HashMap<u64, SlotEntry>,
-    /// Monotone access counter; every lookup stamps its entry, so the entry
-    /// with the smallest stamp is the least recently used.
-    tick: u64,
-}
-
-struct SlotEntry {
-    slot: GenSlot,
-    last_used: u64,
-}
-
-impl GenCache {
-    /// An empty, unbounded cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// An empty cache holding at most `capacity` distinct topologies
-    /// (clamped to ≥ 1), evicting the least recently used entry beyond
-    /// that. Entries still being generated by another thread stay alive
-    /// through their `Arc` even if evicted from the map.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            capacity: Some(capacity.max(1)),
-            ..Self::default()
-        }
-    }
-
-    /// Fetches (and recency-stamps) the slot for `key`, evicting the LRU
-    /// entry if inserting `key` pushed the map over capacity.
-    fn slot_for(&self, key: u64) -> GenSlot {
-        let mut inner = self.slots.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let slot = match inner.map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().last_used = tick;
-                e.get().slot.clone()
-            }
-            std::collections::hash_map::Entry::Vacant(e) => e
-                .insert(SlotEntry {
-                    slot: Default::default(),
-                    last_used: tick,
-                })
-                .slot
-                .clone(),
-        };
-        if let Some(cap) = self.capacity {
-            while inner.map.len() > cap {
-                let oldest = inner
-                    .map
-                    .iter()
-                    .filter(|(&k, _)| k != key)
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(&k, _)| k);
-                match oldest {
-                    Some(k) => {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                        cache_metrics().evictions.incr();
-                        inner.map.remove(&k)
-                    }
-                    None => break,
-                };
-            }
-        }
-        slot
-    }
-
-    /// Builds (or clones the memoized) network for `topo`.
-    ///
-    /// Uncacheable specs ([`TopologySpec::Custom`]) fall through to
-    /// [`TopologySpec::build`] and are counted as misses.
-    pub fn build(&self, topo: &TopologySpec) -> Result<Network, GenError> {
-        let Some(key) = topo.generation_key() else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            cache_metrics().misses.incr();
-            return topo.build();
-        };
-        let slot = self.slot_for(key);
-        let mut generated = false;
-        let result = slot.get_or_init(|| {
-            generated = true;
-            topo.build()
-        });
-        if generated {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            cache_metrics().misses.incr();
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            cache_metrics().hits.incr();
-        }
-        result.clone()
-    }
-
-    /// Lookups served from the cache.
-    pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Lookups that ran the generator (plus uncacheable specs).
-    pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Entries dropped by the LRU bound ([`GenCache::with_capacity`]);
-    /// always 0 for unbounded caches — [`GenCache::clear`] is not an
-    /// eviction.
-    pub fn evictions(&self) -> usize {
-        self.evictions.load(Ordering::Relaxed)
-    }
-
-    /// Distinct topologies held.
-    pub fn len(&self) -> usize {
-        self.slots.lock().map.len()
-    }
-
-    /// Whether the cache holds nothing yet.
-    pub fn is_empty(&self) -> bool {
-        self.slots.lock().map.is_empty()
-    }
-
-    /// Drops every held entry (the hit/miss counters keep running).
-    ///
-    /// Long-lived callers — a search sweeping thousands of points through
-    /// [`evaluate_many_with_cache`] wave by wave — call this between waves
-    /// to stop the cache from holding every generated [`Network`] alive,
-    /// when a fixed [`GenCache::with_capacity`] bound isn't wanted.
-    pub fn clear(&self) {
-        self.slots.lock().map.clear();
     }
 }
 
@@ -485,7 +295,7 @@ fn supervise(
 fn run_spec(
     spec: &DesignSpec,
     opts: &BatchOptions,
-    cache: &GenCache,
+    cache: &ArtifactCache,
     trace: Option<&StageTrace>,
     control: &BatchControl,
     slot: Option<&WorkerSlot>,
@@ -514,7 +324,7 @@ fn run_spec(
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut state = StageState::new(spec).with_cancel(&token).quiet(quiet);
             if opts.share_generation {
-                state = state.with_gen_cache(cache);
+                state = state.with_artifacts(cache);
             }
             if let Some(trace) = trace {
                 state = state.traced(trace);
@@ -580,15 +390,16 @@ fn run_spec(
     }
 }
 
-/// Evaluates one spec through a shared generation cache.
+/// Evaluates one spec through a shared artifact cache.
 ///
 /// The single-spec building block of [`evaluate_many`]; useful directly
-/// when a caller owns a long-lived [`GenCache`] spanning several batches.
+/// when a caller owns a long-lived [`ArtifactCache`] spanning several
+/// batches (the serve daemon's session cache is exactly this).
 pub fn evaluate_with_cache(
     spec: &DesignSpec,
-    cache: &GenCache,
+    cache: &ArtifactCache,
 ) -> Result<Evaluation, EvalError> {
-    let mut state = StageState::new(spec).with_gen_cache(cache);
+    let mut state = StageState::new(spec).with_artifacts(cache);
     state.run_to(Stage::Report)?;
     Ok(state.into_evaluation())
 }
@@ -597,24 +408,25 @@ pub fn evaluate_with_cache(
 ///
 /// Results come back in spec order, one per input, and are byte-identical
 /// to running [`crate::pipeline::evaluate`] serially over the slice — the
-/// job count affects wall-clock time only. A fresh [`GenCache`] is shared
-/// across the batch (unless `opts.share_generation` is off), so specs with
-/// equal topology sub-specs generate once.
+/// job count affects wall-clock time only. A fresh [`ArtifactCache`] is
+/// shared across the batch (unless `opts.share_generation` is off), so
+/// specs with equal topology sub-specs generate once and specs sharing a
+/// longer stage prefix reuse its artifacts.
 pub fn evaluate_many(
     specs: &[DesignSpec],
     opts: &BatchOptions,
 ) -> Vec<Result<Evaluation, EvalError>> {
-    let cache = GenCache::new();
+    let cache = ArtifactCache::new();
     evaluate_many_with_cache(specs, opts, &cache)
 }
 
-/// [`evaluate_many`] against a caller-owned cache, so generation memoization
-/// can span multiple batches (e.g. an experiment that sweeps one knob per
+/// [`evaluate_many`] against a caller-owned cache, so artifact reuse can
+/// span multiple batches (e.g. an experiment that sweeps one knob per
 /// batch over a fixed topology set).
 pub fn evaluate_many_with_cache(
     specs: &[DesignSpec],
     opts: &BatchOptions,
-    cache: &GenCache,
+    cache: &ArtifactCache,
 ) -> Vec<Result<Evaluation, EvalError>> {
     evaluate_many_traced(specs, opts, cache, None)
 }
@@ -628,7 +440,7 @@ pub fn evaluate_many_with_cache(
 pub fn evaluate_many_traced(
     specs: &[DesignSpec],
     opts: &BatchOptions,
-    cache: &GenCache,
+    cache: &ArtifactCache,
     trace: Option<&StageTrace>,
 ) -> Vec<Result<Evaluation, EvalError>> {
     evaluate_many_controlled(specs, opts, cache, trace, &BatchControl::from_globals())
@@ -648,7 +460,7 @@ pub fn evaluate_many_traced(
 pub fn evaluate_many_controlled(
     specs: &[DesignSpec],
     opts: &BatchOptions,
-    cache: &GenCache,
+    cache: &ArtifactCache,
     trace: Option<&StageTrace>,
     control: &BatchControl,
 ) -> Vec<Result<Evaluation, EvalError>> {
@@ -755,6 +567,7 @@ pub fn evaluate_many_controlled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::design::TopologySpec;
     use pd_geometry::Gbps;
     use pd_topology::gen::JellyfishParams;
 
@@ -805,13 +618,30 @@ mod tests {
     #[test]
     fn generation_is_shared_across_equal_subspecs() {
         let specs = mixed_batch();
-        let cache = GenCache::new();
-        let results = evaluate_many_with_cache(&specs, &BatchOptions::jobs(2), &cache);
+        let cache = ArtifactCache::new();
+        // Serial, so adoption order is deterministic: the first spec of
+        // each topology generates, and each duplicate — differing from
+        // its twin only in name — adopts a Goodness-tier snapshot without
+        // ever reaching the generation tier.
+        let results = evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &cache);
         assert!(results.iter().all(Result::is_ok));
-        // Three distinct topologies generated, three lookups served warm.
-        assert_eq!(cache.len(), 3);
-        assert_eq!(cache.misses(), 3);
-        assert_eq!(cache.hits(), 3);
+        let gen = cache.generate();
+        assert_eq!(gen.len(), 3);
+        assert_eq!(gen.misses(), 3);
+        assert_eq!(gen.hits(), 0, "prefix adoption supersedes generation hits");
+        let stats = cache.tier_stats();
+        let tier = |stage: Stage| stats.iter().find(|t| t.stage == stage).unwrap();
+        // The three duplicates (ft-b, jf7-b, jf7-c) each reused work from
+        // Place all the way through Goodness…
+        assert_eq!(tier(Stage::Place).hits, 3);
+        assert_eq!(tier(Stage::Goodness).hits, 3);
+        // …but never the Report tier, whose key folds in the spec name.
+        assert_eq!(tier(Stage::Report).hits, 0);
+        assert_eq!(tier(Stage::Report).misses, specs.len());
+        // Every spec stores its own Report snapshot; shared prefixes
+        // stored once.
+        assert_eq!(tier(Stage::Report).entries, specs.len());
+        assert_eq!(tier(Stage::Place).entries, 3);
     }
 
     #[test]
@@ -893,7 +723,7 @@ mod tests {
     #[test]
     fn traced_batch_counts_stage_runs_without_changing_results() {
         let specs = mixed_batch();
-        let cache = GenCache::new();
+        let cache = ArtifactCache::new();
         let trace = StageTrace::new();
         let traced =
             evaluate_many_traced(&specs, &BatchOptions::jobs(3), &cache, Some(&trace));
@@ -936,14 +766,15 @@ mod tests {
     #[test]
     fn eviction_does_not_change_results() {
         let specs = mixed_batch();
-        let unbounded = GenCache::new();
-        let tiny = GenCache::with_capacity(1);
+        let unbounded = ArtifactCache::new();
+        let tiny = ArtifactCache::with_capacity(1);
         let a = evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &unbounded);
         let b = evaluate_many_with_cache(&specs, &BatchOptions::jobs(1), &tiny);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.as_ref().unwrap().report, y.as_ref().unwrap().report);
         }
-        assert!(tiny.len() <= 1);
+        assert!(tiny.generate().len() <= 1);
+        assert!(tiny.tier_stats().iter().all(|t| t.entries <= 1));
     }
 
     #[test]
@@ -969,7 +800,7 @@ mod tests {
             let results = evaluate_many_controlled(
                 &specs,
                 &BatchOptions::jobs(jobs),
-                &GenCache::new(),
+                &ArtifactCache::new(),
                 None,
                 &control,
             );
@@ -990,7 +821,7 @@ mod tests {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(2),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -1012,7 +843,7 @@ mod tests {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(3),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -1035,7 +866,7 @@ mod tests {
             let results = evaluate_many_controlled(
                 &specs,
                 &BatchOptions::jobs(jobs),
-                &GenCache::new(),
+                &ArtifactCache::new(),
                 None,
                 &control,
             );
@@ -1068,7 +899,7 @@ mod tests {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(2),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -1100,7 +931,7 @@ mod tests {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(1),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -1115,7 +946,7 @@ mod tests {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(1),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -1149,7 +980,7 @@ mod tests {
             let results = evaluate_many_controlled(
                 &specs,
                 &BatchOptions::jobs(jobs),
-                &GenCache::new(),
+                &ArtifactCache::new(),
                 None,
                 &control,
             );

@@ -16,6 +16,8 @@ use pd_topology::gen::{
 };
 use pd_topology::Network;
 
+use crate::stages::Stage;
+
 /// Which topology family to build, with its parameters.
 #[derive(Debug, Clone)]
 pub enum TopologySpec {
@@ -174,6 +176,29 @@ pub struct DesignSpec {
     pub seed: u64,
 }
 
+/// Streaming FNV-1a over the bytes fed so far — the same constants as
+/// [`pd_topology::gen::cache_key`], so hashing the topology's Debug bytes
+/// first makes the Generate-stage key coincide with
+/// [`TopologySpec::generation_key`].
+struct StreamKey(u64);
+
+impl StreamKey {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, text: &str) {
+        for &b in text.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn value(&self) -> u64 {
+        self.0
+    }
+}
+
 impl DesignSpec {
     /// A spec with sensible defaults around a topology.
     pub fn new(name: impl Into<String>, topology: TopologySpec) -> Self {
@@ -201,6 +226,83 @@ impl DesignSpec {
             fault_scenarios: pd_lifecycle::FaultSweepParams::default(),
             seed: 1,
         }
+    }
+
+    /// Per-stage cache keys for the prefix artifact cache
+    /// ([`crate::artifacts::ArtifactCache`]), or `None` when the spec is
+    /// uncacheable ([`TopologySpec::Custom`] — mirroring
+    /// [`TopologySpec::generation_key`]).
+    ///
+    /// Each stage's key hashes *only the spec fields consumed by that
+    /// stage or an earlier one*, accumulated in one streaming FNV-1a pass:
+    /// a stage that consumes no new field shares the previous stage's key.
+    /// Two specs with equal keys at stage `S` therefore produce
+    /// byte-identical artifacts through `S` — that is the contract that
+    /// lets the stage executor adopt a cached prefix and still emit
+    /// byte-identical reports. The per-stage field attribution:
+    ///
+    /// | stage | new fields hashed |
+    /// |---|---|
+    /// | `Generate` | `topology` (exactly [`TopologySpec::generation_key`]) |
+    /// | `Validate` | — |
+    /// | `Place` | `hall`, `placement`, `placement_improvement`, `equipment`, `seed` |
+    /// | `Cable` | `cabling` |
+    /// | `Bundle` | `min_bundle_size` |
+    /// | `Schedule` | `use_bundles`, `schedule` |
+    /// | `Yield` | `yields` |
+    /// | `Cost` | — (equipment and schedule calibration already hashed) |
+    /// | `Repair` | `repair` |
+    /// | `Faults` | `fault_scenarios` |
+    /// | `Expansion` | `expansion` |
+    /// | `Twin` | — |
+    /// | `Goodness` | `resilience_samples` (`seed` already hashed) |
+    /// | `Report` | `name` |
+    ///
+    /// The key-coverage audit test in this module pins the attribution:
+    /// flipping any spec field must change the key of the first stage that
+    /// consumes it, and must *not* change any earlier stage's key.
+    pub fn stage_keys(&self) -> Option<[u64; Stage::COUNT]> {
+        if matches!(self.topology, TopologySpec::Custom(_)) {
+            return None;
+        }
+        let mut h = StreamKey::new();
+        let mut keys = [0u64; Stage::COUNT];
+        for stage in Stage::ALL {
+            match stage {
+                // No label and no separator: the Generate key must equal
+                // `generation_key()` so the gen tier and the prefix tiers
+                // agree on what "same topology" means.
+                Stage::Generate => h.write(&format!("{:?}", self.topology)),
+                Stage::Validate | Stage::Cost | Stage::Twin => {}
+                Stage::Place => h.write(&format!(
+                    "|place:{:?}|{:?}|{}|{:?}|{}",
+                    self.hall,
+                    self.placement,
+                    self.placement_improvement,
+                    self.equipment,
+                    self.seed
+                )),
+                Stage::Cable => h.write(&format!("|cable:{:?}", self.cabling)),
+                Stage::Bundle => h.write(&format!("|bundle:{}", self.min_bundle_size)),
+                Stage::Schedule => h.write(&format!(
+                    "|schedule:{}|{:?}",
+                    self.use_bundles, self.schedule
+                )),
+                Stage::Yield => h.write(&format!("|yield:{:?}", self.yields)),
+                Stage::Repair => h.write(&format!("|repair:{:?}", self.repair)),
+                Stage::Faults => h.write(&format!("|faults:{:?}", self.fault_scenarios)),
+                Stage::Expansion => h.write(&format!("|expansion:{:?}", self.expansion)),
+                Stage::Goodness => h.write(&format!("|goodness:{}", self.resilience_samples)),
+                Stage::Report => h.write(&format!("|report:{}", self.name)),
+            }
+            keys[stage.index()] = h.value();
+        }
+        Some(keys)
+    }
+
+    /// The cache key for one stage — `stage_keys()[stage.index()]`.
+    pub fn stage_key(&self, stage: Stage) -> Option<u64> {
+        self.stage_keys().map(|keys| keys[stage.index()])
     }
 }
 
@@ -262,6 +364,151 @@ mod tests {
         let net = gen::fat_tree(4, Gbps::new(100.0)).unwrap();
         let spec = TopologySpec::Custom(net.clone());
         assert_eq!(spec.build().unwrap().switch_count(), net.switch_count());
+    }
+
+    #[test]
+    fn stage_keys_share_prefixes_and_split_at_consumers() {
+        let base = DesignSpec::new(
+            "t",
+            TopologySpec::FatTree {
+                k: 4,
+                speed: Gbps::new(100.0),
+            },
+        );
+        let keys = base.stage_keys().expect("generated topology is cacheable");
+        // Generate coincides with the generation cache's key, so the gen
+        // tier and the prefix tiers agree on topology identity.
+        assert_eq!(Some(keys[0]), base.topology.generation_key());
+        assert_eq!(base.stage_key(Stage::Generate), Some(keys[0]));
+        // Stages that consume no new field share their predecessor's key.
+        assert_eq!(keys[Stage::Validate.index()], keys[Stage::Generate.index()]);
+        assert_eq!(keys[Stage::Cost.index()], keys[Stage::Yield.index()]);
+        assert_eq!(keys[Stage::Twin.index()], keys[Stage::Expansion.index()]);
+        // Stages that do consume a new field must split from the previous.
+        for (a, b) in [
+            (Stage::Validate, Stage::Place),
+            (Stage::Place, Stage::Cable),
+            (Stage::Cable, Stage::Bundle),
+            (Stage::Bundle, Stage::Schedule),
+            (Stage::Schedule, Stage::Yield),
+            (Stage::Cost, Stage::Repair),
+            (Stage::Repair, Stage::Faults),
+            (Stage::Faults, Stage::Expansion),
+            (Stage::Twin, Stage::Goodness),
+            (Stage::Goodness, Stage::Report),
+        ] {
+            assert_ne!(keys[a.index()], keys[b.index()], "{a:?} → {b:?}");
+        }
+        // Custom topologies are uncacheable end to end.
+        let custom = TopologySpec::Custom(base.topology.build().unwrap());
+        assert_eq!(DesignSpec::new("c", custom).stage_keys(), None);
+    }
+
+    /// The key-coverage audit: for every `DesignSpec` field, flipping it
+    /// changes the `stage_key` of the first stage that consumes it and
+    /// leaves every earlier stage's key untouched. This is what catches
+    /// silent cache poisoning when a field is added later without updating
+    /// `stage_keys` — the new field's mutation would flip no key at all.
+    #[test]
+    fn flipping_any_field_changes_exactly_the_consuming_suffix() {
+        fn base() -> DesignSpec {
+            DesignSpec::new(
+                "t",
+                TopologySpec::FatTree {
+                    k: 4,
+                    speed: Gbps::new(100.0),
+                },
+            )
+        }
+        // (field, first consuming stage, mutation) — one row per field of
+        // `DesignSpec`. Adding a field without extending this table (and
+        // `stage_keys`) should be caught in review by the struct literal
+        // in `DesignSpec::new` growing without this test changing.
+        let cases: Vec<(&str, Stage, Box<dyn Fn(&mut DesignSpec)>)> = vec![
+            ("name", Stage::Report, Box::new(|s| s.name = "other".into())),
+            (
+                "topology",
+                Stage::Generate,
+                Box::new(|s| {
+                    s.topology = TopologySpec::FatTree {
+                        k: 6,
+                        speed: Gbps::new(100.0),
+                    }
+                }),
+            ),
+            ("hall", Stage::Place, Box::new(|s| s.hall.rows += 1)),
+            (
+                "placement",
+                Stage::Place,
+                Box::new(|s| s.placement = PlacementStrategy::Linear),
+            ),
+            (
+                "placement_improvement",
+                Stage::Place,
+                Box::new(|s| s.placement_improvement += 8),
+            ),
+            (
+                "equipment",
+                Stage::Place,
+                Box::new(|s| s.equipment.switches_per_network_rack += 1),
+            ),
+            (
+                "cabling",
+                Stage::Cable,
+                Box::new(|s| s.cabling.site_port_capacity += 1),
+            ),
+            (
+                "min_bundle_size",
+                Stage::Bundle,
+                Box::new(|s| s.min_bundle_size += 1),
+            ),
+            (
+                "use_bundles",
+                Stage::Schedule,
+                Box::new(|s| s.use_bundles = !s.use_bundles),
+            ),
+            (
+                "schedule",
+                Stage::Schedule,
+                Box::new(|s| s.schedule.technicians += 1),
+            ),
+            ("yields", Stage::Yield, Box::new(|s| s.yields.trials += 1)),
+            (
+                "expansion",
+                Stage::Expansion,
+                Box::new(|s| s.expansion = ExpansionProbe::FlatTors { count: 1, seed: 2 }),
+            ),
+            ("repair", Stage::Repair, Box::new(|s| s.repair.trials += 1)),
+            (
+                "resilience_samples",
+                Stage::Goodness,
+                Box::new(|s| s.resilience_samples += 3),
+            ),
+            (
+                "fault_scenarios",
+                Stage::Faults,
+                Box::new(|s| s.fault_scenarios.scenarios += 4),
+            ),
+            ("seed", Stage::Place, Box::new(|s| s.seed += 1)),
+        ];
+        let reference = base().stage_keys().unwrap();
+        for (field, first_consumer, mutate) in cases {
+            let mut flipped = base();
+            mutate(&mut flipped);
+            let keys = flipped.stage_keys().unwrap();
+            assert_ne!(
+                keys[first_consumer.index()],
+                reference[first_consumer.index()],
+                "flipping {field} must change the {first_consumer:?} key"
+            );
+            for stage in &Stage::ALL[..first_consumer.index()] {
+                assert_eq!(
+                    keys[stage.index()],
+                    reference[stage.index()],
+                    "flipping {field} must not change the earlier {stage:?} key"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   (partial evaluation with resume), attributes panics to the stage that
 //!   died, and can record per-stage wall time into a
 //!   [`stages::StageTrace`].
+//! * [`artifacts`] — the tiered [`artifacts::ArtifactCache`]: per-stage
+//!   cache keys over only the spec fields each stage consumes
+//!   ([`design::DesignSpec::stage_keys`]), so evaluations *adopt* the
+//!   longest cached prefix of artifacts and re-run only what differs.
 //! * [`batch`] — [`batch::evaluate_many`]: the same pipeline fanned out
-//!   over a scoped worker pool with a shared topology-generation memo
-//!   cache. Results are byte-identical to serial evaluation at any job
+//!   over a scoped worker pool with a shared [`artifacts::ArtifactCache`].
+//!   Results are byte-identical to serial evaluation at any job
 //!   count; see `docs/ARCHITECTURE.md` for the determinism contract.
 //! * [`report`] — [`report::DeployabilityReport`], the §5.4 metric suite
 //!   (time-to-deploy, cost-to-deploy, first-pass yield, rewiring steps,
@@ -80,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod batch;
 pub mod chaos;
 pub mod compare;
@@ -90,7 +95,8 @@ pub mod resilience;
 pub mod score;
 pub mod stages;
 
-pub use batch::{evaluate_many, BatchControl, BatchOptions, GenCache};
+pub use artifacts::{ArtifactCache, GenCache};
+pub use batch::{evaluate_many, BatchControl, BatchOptions};
 pub use design::{DesignSpec, ExpansionProbe, TopologySpec};
 pub use pipeline::{evaluate, EvalError, Evaluation};
 pub use report::DeployabilityReport;
@@ -100,7 +106,8 @@ pub use stages::{Stage, StageState, StageTrace, StopAfter};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::batch::{evaluate_many, BatchControl, BatchOptions, GenCache};
+    pub use crate::artifacts::{ArtifactCache, GenCache};
+    pub use crate::batch::{evaluate_many, BatchControl, BatchOptions};
     pub use crate::compare;
     pub use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
     pub use crate::pipeline::{evaluate, EvalError, Evaluation};

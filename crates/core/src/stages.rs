@@ -51,10 +51,10 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
-use crate::batch::GenCache;
+use crate::artifacts::{ArtifactCache, GenCache, Snapshot, TIERS};
 use crate::chaos::ChaosPlan;
 use crate::design::{DesignSpec, ExpansionProbe, TopologySpec};
 use crate::pipeline::{EvalError, Evaluation};
@@ -375,6 +375,13 @@ const ARTIFACT: &str = "stage ordering guarantees earlier artifacts exist";
 pub struct StageState<'a> {
     spec: &'a DesignSpec,
     gen_cache: Option<&'a GenCache>,
+    artifacts: Option<&'a ArtifactCache>,
+    /// Per-stage cache keys ([`DesignSpec::stage_keys`]); `None` when no
+    /// artifact cache is attached or the spec is uncacheable (`Custom`).
+    stage_keys: Option<[u64; Stage::COUNT]>,
+    /// Artifact count each completed stage reported, for snapshots and
+    /// count replay on adoption.
+    artifact_counts: [u64; Stage::COUNT],
     trace: Option<&'a StageTrace>,
     cancel: Option<&'a CancelToken>,
     deadline: Option<Deadline>,
@@ -417,6 +424,9 @@ impl<'a> StageState<'a> {
         Self {
             spec,
             gen_cache: None,
+            artifacts: None,
+            stage_keys: None,
+            artifact_counts: [0; Stage::COUNT],
             trace: None,
             cancel: None,
             deadline: None,
@@ -462,6 +472,28 @@ impl<'a> StageState<'a> {
     /// topology sub-specs across many states generate once.
     pub fn with_gen_cache(mut self, cache: &'a GenCache) -> Self {
         self.gen_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a tiered [`ArtifactCache`]: [`Stage::Generate`] routes
+    /// through its Generate tier (exactly like
+    /// [`StageState::with_gen_cache`]), and the executor additionally
+    /// *adopts* the longest cached prefix of completed-stage artifacts
+    /// before running anything, then stores a snapshot after each
+    /// completed tier stage — so two specs sharing every field a prefix
+    /// consumes (see [`DesignSpec::stage_keys`]) evaluate the shared
+    /// prefix once. Adoption never changes bytes: stage bodies are pure
+    /// functions of the fields their key covers, and the deterministic
+    /// count metrics and trace entries are replayed from the snapshot's
+    /// recorded counts. Uncacheable specs ([`TopologySpec::Custom`]) get
+    /// the Generate routing only. Attaching a chaos plan
+    /// ([`StageState::with_chaos`]) disables adoption *and* storing: an
+    /// injected failure must re-fire on retry, and a chaos-perturbed run
+    /// must never seed snapshots for healthy runs.
+    pub fn with_artifacts(mut self, cache: &'a ArtifactCache) -> Self {
+        self.gen_cache = Some(cache.generate());
+        self.artifacts = Some(cache);
+        self.stage_keys = self.spec.stage_keys();
         self
     }
 
@@ -581,6 +613,13 @@ impl<'a> StageState<'a> {
     /// readable, and no partial artifact exists.
     pub fn run(&mut self, stop: StopAfter) -> Result<(), EvalError> {
         let eval_started = *self.eval_started.get_or_insert_with(Instant::now);
+        // Prefix adoption probes once per `run` call, and only *after*
+        // the first boundary's checks below — a pre-fired cancel or an
+        // already-expired deadline still wins over a cache hit. Resumed
+        // `run_to` calls (the search rungs) re-probe, picking up deeper
+        // prefixes cached since the last call. Chaos disables adoption:
+        // injections are keyed to stages actually running.
+        let mut adopt = self.chaos.is_none() && self.stage_keys.is_some();
         while self.next <= stop.0.index() {
             let stage = Stage::ALL[self.next];
             if let Some(heartbeat) = self.heartbeat {
@@ -604,6 +643,10 @@ impl<'a> StageState<'a> {
                     elapsed_ms: eval_started.elapsed().as_millis() as u64,
                 });
             }
+            if std::mem::take(&mut adopt) && self.try_adopt(stop.0) {
+                set_current_stage(None);
+                continue;
+            }
             let started = Instant::now();
             let outcome = self.run_stage(stage);
             set_current_stage(None);
@@ -622,9 +665,143 @@ impl<'a> StageState<'a> {
                 metrics.artifacts[stage.index()].add(artifacts);
             }
             metrics.wall_ns[stage.index()].add(elapsed.as_nanos() as u64);
+            self.artifact_counts[stage.index()] = artifacts;
             self.next += 1;
+            self.store_tier(stage);
         }
         Ok(())
+    }
+
+    /// Probes the snapshot tiers deepest-first for the longest cached
+    /// prefix between the current depth and `stop`, adopting it on a hit.
+    /// Returns whether anything was adopted (the executor then re-enters
+    /// the boundary loop at the resumed depth).
+    ///
+    /// Counter attribution: an adoption at depth *D* records a **hit** on
+    /// every tier between the pre-adoption depth and *D* — all of their
+    /// work was reused, however deep the one probe that found it went —
+    /// and a **miss** on each deeper tier probed on the way down. All
+    /// Diagnostic-class (arrival-order dependent under parallel
+    /// schedules and bounded capacity).
+    fn try_adopt(&mut self, stop: Stage) -> bool {
+        let (Some(cache), Some(keys)) = (self.artifacts, self.stage_keys) else {
+            return false;
+        };
+        let resumed_from = self.next;
+        let mut missed: Vec<usize> = Vec::new();
+        for (tier, &stage) in TIERS.iter().enumerate().rev() {
+            if stage.index() > stop.index() || stage.index() < resumed_from {
+                continue;
+            }
+            let Some(snap) = cache.probe(tier, keys[stage.index()]) else {
+                missed.push(tier);
+                continue;
+            };
+            for (shallower, &s) in TIERS.iter().enumerate().take(tier + 1) {
+                if s.index() >= resumed_from {
+                    cache.record_hit(shallower);
+                }
+            }
+            for &m in &missed {
+                cache.record_miss(m);
+            }
+            self.adopt(stage, &snap);
+            return true;
+        }
+        for &m in &missed {
+            cache.record_miss(m);
+        }
+        false
+    }
+
+    /// Clones `snap`'s artifacts into the store and replays the
+    /// deterministic per-stage accounting for stages `self.next..=depth`
+    /// as if each had run: trace entries and the Count-class
+    /// `pipeline.<stage>.{runs,artifacts}` metrics use the snapshot's
+    /// recorded artifact counts (zero wall time — wall time is
+    /// Diagnostic-class), so adopted and computed evaluations are
+    /// byte-identical on every deterministic surface.
+    fn adopt(&mut self, depth: Stage, snap: &Snapshot) {
+        self.network = snap.network.clone();
+        self.hall = snap.hall.clone();
+        self.placement = snap.placement.clone();
+        self.cabling = snap.cabling.clone();
+        self.bundling = snap.bundling.clone();
+        self.harness = snap.harness.clone();
+        self.deployment = snap.deployment.clone();
+        self.schedule = snap.schedule.clone();
+        self.yields = snap.yields.clone();
+        self.capex = snap.capex.clone();
+        self.tco = snap.tco.clone();
+        self.repair = snap.repair.clone();
+        self.faults = snap.faults.clone();
+        self.expansion = snap.expansion.clone();
+        self.violations = snap.violations.clone();
+        self.envelope = snap.envelope.clone();
+        self.resilience = snap.resilience;
+        self.good = snap.good.clone();
+        self.report = snap.report.clone();
+        let trace = match self.trace {
+            Some(t) => Some(t),
+            None => global_trace(),
+        };
+        let metrics = stage_metrics();
+        for &stage in &Stage::ALL[self.next..=depth.index()] {
+            let produced = snap.artifact_counts[stage.index()];
+            self.artifact_counts[stage.index()] = produced;
+            if let Some(trace) = trace {
+                trace.record(stage, Duration::ZERO, produced);
+            }
+            if !self.quiet {
+                metrics.runs[stage.index()].incr();
+                metrics.artifacts[stage.index()].add(produced);
+            }
+        }
+        self.next = depth.index() + 1;
+    }
+
+    /// After `stage` completes, stores a snapshot of every artifact so
+    /// far under the stage's key — if `stage` ends an equal-key tier
+    /// ([`TIERS`]), an artifact cache is attached, the spec is cacheable,
+    /// and no chaos plan is present (a chaos-perturbed run must never
+    /// seed snapshots for healthy runs). Only *completed* stages store,
+    /// so a panicking or failing stage can't poison a tier.
+    fn store_tier(&self, stage: Stage) {
+        if self.chaos.is_some() {
+            return;
+        }
+        let (Some(cache), Some(keys)) = (self.artifacts, self.stage_keys) else {
+            return;
+        };
+        let Some(tier) = TIERS.iter().position(|&t| t == stage) else {
+            return;
+        };
+        cache.store(
+            tier,
+            keys[stage.index()],
+            Arc::new(Snapshot {
+                network: self.network.clone(),
+                hall: self.hall.clone(),
+                placement: self.placement.clone(),
+                cabling: self.cabling.clone(),
+                bundling: self.bundling.clone(),
+                harness: self.harness.clone(),
+                deployment: self.deployment.clone(),
+                schedule: self.schedule.clone(),
+                yields: self.yields.clone(),
+                capex: self.capex.clone(),
+                tco: self.tco.clone(),
+                repair: self.repair.clone(),
+                faults: self.faults.clone(),
+                expansion: self.expansion.clone(),
+                violations: self.violations.clone(),
+                envelope: self.envelope.clone(),
+                resilience: self.resilience,
+                good: self.good.clone(),
+                report: self.report.clone(),
+                artifact_counts: self.artifact_counts,
+            }),
+        );
     }
 
     /// Consumes the store into an [`Evaluation`].
@@ -1208,6 +1385,73 @@ mod tests {
             a.network().unwrap().switch_count(),
             b.network().unwrap().switch_count()
         );
+    }
+
+    #[test]
+    fn adoption_reuses_the_longest_shared_prefix_byte_identically() {
+        // Two specs sharing everything through Repair but differing in
+        // the fault sweep: the second adopts the Repair-tier snapshot
+        // (faults are ordered after repair) and only re-runs Faults →
+        // Report.
+        let base = fat_tree_spec();
+        let mut swept = fat_tree_spec();
+        swept.name = "ft4-faults".into();
+        swept.fault_scenarios.scenarios = 3;
+
+        let cache = ArtifactCache::new();
+        let trace_cold = StageTrace::new();
+        let mut cold = StageState::new(&base).with_artifacts(&cache).traced(&trace_cold);
+        cold.run_to(Stage::Report).unwrap();
+        let trace_warm = StageTrace::new();
+        let mut warm = StageState::new(&swept).with_artifacts(&cache).traced(&trace_warm);
+        warm.run_to(Stage::Report).unwrap();
+
+        // The warm run reused everything through Repair…
+        let stats = cache.tier_stats();
+        let tier = |stage: Stage| stats.iter().find(|t| t.stage == stage).unwrap();
+        assert_eq!(tier(Stage::Place).hits, 1);
+        assert_eq!(tier(Stage::Cost).hits, 1);
+        assert_eq!(tier(Stage::Repair).hits, 1);
+        assert_eq!(tier(Stage::Faults).hits, 0, "fault keys differ");
+        assert_eq!(tier(Stage::Faults).misses, 1);
+        assert_eq!(cache.generate().hits(), 0, "adoption skipped Generate entirely");
+
+        // …and replayed the adopted stages' accounting, so the trace is
+        // indistinguishable from a cold run's counts.
+        for stage in Stage::ALL {
+            assert_eq!(trace_warm.runs(stage), 1, "{stage:?} recorded once");
+            if stage != Stage::Faults {
+                assert_eq!(
+                    trace_warm.artifacts(stage),
+                    trace_cold.artifacts(stage),
+                    "{stage:?} artifact count replays identically"
+                );
+            }
+        }
+
+        // Byte-identity: the adopted evaluation equals a cache-free one.
+        let warm_ev = warm.into_evaluation();
+        let mut plain = StageState::new(&swept);
+        plain.run_to(Stage::Report).unwrap();
+        assert_eq!(warm_ev.report, plain.into_evaluation().report);
+    }
+
+    #[test]
+    fn custom_specs_bypass_adoption_but_keep_generate_routing() {
+        let net = TopologySpec::FatTree {
+            k: 4,
+            speed: pd_geometry::Gbps::new(100.0),
+        }
+        .build()
+        .unwrap();
+        let mut spec = fat_tree_spec();
+        spec.topology = TopologySpec::Custom(net);
+        let cache = ArtifactCache::new();
+        let mut st = StageState::new(&spec).with_artifacts(&cache);
+        st.run_to(Stage::Report).unwrap();
+        // Uncacheable: counted as a generation miss, nothing snapshotted.
+        assert_eq!(cache.generate().misses(), 1);
+        assert_eq!(cache.snapshot_count(), 0);
     }
 
     #[test]

@@ -17,15 +17,18 @@
 //!
 //! The adaptive strategy's rungs are partial runs of the real pipeline:
 //! [`StageState::run_to`] stopped after `Generate` (rung A) and `Place`
-//! (rung B) through the shared [`GenCache`] — not a reimplementation — so
-//! the proxies and full evaluation cannot drift apart.
+//! (rung B) through the shared [`ArtifactCache`] — not a
+//! reimplementation — so the proxies and full evaluation cannot drift
+//! apart. Because rung B *stores* each survivor's Place-tier snapshot,
+//! the promoted points' full evaluations adopt that prefix instead of
+//! re-placing from scratch.
 //!
 //! Resume reuses full-evaluation results by [`PointRecord::key`] and
 //! re-derives everything cheap (pruning decisions, pruned records) from
 //! scratch — proxy decisions are pure functions of the configuration, so
 //! a resumed run and an uninterrupted run write the same bytes.
 //!
-//! Generation-cache statistics (`hits`/`misses`) are reported in progress
+//! Cache statistics (generation `hits`/`misses`) are reported in progress
 //! output and in [`SearchOutcome`], but deliberately **not** in the JSONL:
 //! under a bounded cache they can vary with thread scheduling, and the
 //! output file must not.
@@ -33,8 +36,9 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
-use pd_core::batch::{evaluate_many_controlled, BatchControl, BatchOptions, GenCache};
+use pd_core::batch::{evaluate_many_controlled, ArtifactCache, BatchControl, BatchOptions};
 use pd_core::design::DesignSpec;
 use pd_core::resilience::CancelToken;
 use pd_core::stages::{Stage, StageState};
@@ -55,9 +59,16 @@ pub struct SearchConfig {
     /// Points per checkpoint wave (clamped ≥ 1). Smaller waves checkpoint
     /// more often; the wave size never changes the output bytes.
     pub wave: usize,
-    /// Bound the shared generation cache to this many networks
-    /// (`None` = unbounded).
+    /// Bound the run-owned artifact cache to this many entries per tier
+    /// (`None` = unbounded). Ignored when [`SearchConfig::cache`] supplies
+    /// a caller-owned cache, which arrives already bounded.
     pub cache_capacity: Option<usize>,
+    /// Share a caller-owned [`ArtifactCache`] (the serve daemon passes its
+    /// process-wide session cache here, so searches warm — and are warmed
+    /// by — evaluate/batch traffic). `None` = the run builds a private
+    /// cache sized by [`SearchConfig::cache_capacity`]. Never changes the
+    /// records: cached prefixes are byte-identical to recomputation.
+    pub cache: Option<Arc<ArtifactCache>>,
     /// Emit per-wave progress lines on stderr.
     pub progress: bool,
     /// External cancellation: when this token fires, the run stops at the
@@ -80,6 +91,7 @@ impl Default for SearchConfig {
             jobs: 0,
             wave: 8,
             cache_capacity: None,
+            cache: None,
             progress: false,
             cancel: None,
             eval_budget: None,
@@ -120,7 +132,7 @@ struct Planned {
 }
 
 /// Applies the strategy, running the adaptive proxies when asked.
-fn plan(cfg: &SearchConfig, cache: &GenCache) -> Vec<Planned> {
+fn plan(cfg: &SearchConfig, cache: &ArtifactCache) -> Vec<Planned> {
     let points = cfg.strategy.plan(&cfg.space);
     let (budget, eta) = match cfg.strategy {
         Strategy::Adaptive { budget, eta } => (budget, eta.max(2)),
@@ -146,7 +158,7 @@ fn plan(cfg: &SearchConfig, cache: &GenCache) -> Vec<Planned> {
     let mut survivors: Vec<(usize, f64)> = Vec::new(); // (plan idx, closeness)
     let mut states: Vec<Option<StageState>> = Vec::with_capacity(points.len());
     for (i, (p, spec)) in points.iter().zip(&specs).enumerate() {
-        let mut state = StageState::new(spec).with_gen_cache(cache);
+        let mut state = StageState::new(spec).with_artifacts(cache);
         match state.run_to(Stage::Generate) {
             Ok(()) => {
                 let net = state.network().expect("generate stage completed");
@@ -283,11 +295,18 @@ pub fn run_search_with(
     reuse: &HashMap<u64, PointRecord>,
     mut sink: impl FnMut(&[PointRecord]) -> std::io::Result<()>,
 ) -> std::io::Result<SearchOutcome> {
-    let cache = match cfg.cache_capacity {
-        Some(cap) => GenCache::with_capacity(cap),
-        None => GenCache::new(),
+    let owned;
+    let cache: &ArtifactCache = match &cfg.cache {
+        Some(shared) => shared,
+        None => {
+            owned = match cfg.cache_capacity {
+                Some(cap) => ArtifactCache::with_capacity(cap),
+                None => ArtifactCache::new(),
+            };
+            &owned
+        }
     };
-    let planned = plan(cfg, &cache);
+    let planned = plan(cfg, cache);
     let trials = cfg.space.trials;
     let opts = BatchOptions::jobs(cfg.jobs);
     let wave_len = cfg.wave.max(1);
@@ -370,7 +389,7 @@ pub fn run_search_with(
             }
         }
         let specs: Vec<DesignSpec> = todo.iter().map(|(_, _, spec)| spec.clone()).collect();
-        let results = evaluate_many_controlled(&specs, &opts, &cache, None, &control);
+        let results = evaluate_many_controlled(&specs, &opts, cache, None, &control);
         for ((s, point, _), result) in todo.into_iter().zip(results) {
             slots[s] = match result {
                 Ok(ev) => {
@@ -399,8 +418,8 @@ pub fn run_search_with(
                 w + 1,
                 total.div_ceil(wave_len),
                 done = records.len(),
-                hits = cache.hits(),
-                misses = cache.misses(),
+                hits = cache.generate().hits(),
+                misses = cache.generate().misses(),
             );
         }
         if interrupted {
@@ -421,8 +440,8 @@ pub fn run_search_with(
         evaluated,
         reused,
         pruned,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: cache.generate().hits(),
+        cache_misses: cache.generate().misses(),
         interrupted,
     })
 }
@@ -451,6 +470,7 @@ mod tests {
             jobs: 2,
             wave: 4,
             cache_capacity: None,
+            cache: None,
             progress: false,
             cancel: None,
             eval_budget: None,

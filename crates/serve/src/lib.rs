@@ -17,7 +17,8 @@
 //!   pipelining with in-order responses, a bounded admission queue
 //!   feeding a fixed worker pool through
 //!   [`pd_core::batch::evaluate_many_controlled`], one process-wide
-//!   [`pd_core::batch::GenCache`], and graceful drain on `shutdown`.
+//!   tiered [`pd_core::batch::ArtifactCache`] (shared across connections
+//!   and with search runs), and graceful drain on `shutdown`.
 //! * [`client`] — a minimal blocking [`client::Client`] (the `client`
 //!   bin, tests, and the load generator all use it).
 //! * [`loadgen`] — [`loadgen::run_loadgen`]: a seeded closed-loop load
@@ -45,17 +46,17 @@ pub mod proto;
 pub mod server;
 
 pub use client::Client;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+pub use loadgen::{render_tier_table, run_loadgen, LoadgenConfig, LoadgenOutcome};
 pub use proto::{Op, Request, Response, WireSpec, WireSpace};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 
 /// One-stop imports for binaries and tests.
 pub mod prelude {
     pub use crate::client::Client;
-    pub use crate::loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+    pub use crate::loadgen::{render_tier_table, run_loadgen, LoadgenConfig, LoadgenOutcome};
     pub use crate::proto::{
         parse_request, parse_response, read_bounded_line, BatchItem, LineRead, Op, Request,
-        Response, StatusBody, WireSpec, WireSpace, ERR_BAD_REQUEST, ERR_OVERLOADED,
+        Response, StatusBody, TierStatus, WireSpec, WireSpace, ERR_BAD_REQUEST, ERR_OVERLOADED,
         ERR_SHUTTING_DOWN,
     };
     pub use crate::server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -32,7 +32,7 @@ use pd_topology::gen::SplitMix64;
 use serde_json::Value;
 
 use crate::client::Client;
-use crate::proto::{Request, WireSpec, ERR_OVERLOADED, ERR_SHUTTING_DOWN};
+use crate::proto::{Op, Request, TierStatus, WireSpec, ERR_OVERLOADED, ERR_SHUTTING_DOWN};
 
 /// A load run's shape. Every field participates in determinism except
 /// `addr`.
@@ -105,6 +105,12 @@ pub struct LoadgenOutcome {
     pub wall: Duration,
     /// Completed-response latency percentiles.
     pub latency: LatencySummary,
+    /// The server's per-tier artifact-cache statistics, fetched with one
+    /// `status` request after the load completes. Diagnostics only —
+    /// deliberately excluded from [`LoadgenOutcome::body_digest`], which
+    /// must stay equal across cache states. Empty if the fetch failed
+    /// (the load results still stand).
+    pub artifact_tiers: Vec<TierStatus>,
 }
 
 /// Latency percentiles over completed (non-rejected) responses.
@@ -139,7 +145,7 @@ impl LoadgenOutcome {
 
     /// The human-readable report the `loadgen` bin prints.
     pub fn render_summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "loadgen: {} sent, {} ok, {} eval-errors, {} rejected in {:.2?} \
              ({:.1} responses/s)\n\
              latency: p50 {:.2?}  p90 {:.2?}  p99 {:.2?}  max {:.2?}\n\
@@ -157,8 +163,27 @@ impl LoadgenOutcome {
             self.distinct_specs,
             self.mismatches.len(),
             self.body_digest,
-        )
+        );
+        out.push_str(&render_tier_table(&self.artifact_tiers));
+        out
     }
+}
+
+/// Renders per-tier artifact-cache statistics as indented lines, one per
+/// tier, in pipeline order; empty input renders nothing. Shared by the
+/// loadgen summary and the `client` bin's `status` pretty-printer.
+pub fn render_tier_table(tiers: &[TierStatus]) -> String {
+    if tiers.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("artifact cache (per tier): hits / misses / evictions / entries\n");
+    for t in tiers {
+        out.push_str(&format!(
+            "  {:<9} {:>6} / {:>6} / {:>6} / {:>6}\n",
+            t.stage, t.hits, t.misses, t.evictions, t.entries
+        ));
+    }
+    out
 }
 
 /// The canonical comparison form of a response: its JSON with the `id`
@@ -295,7 +320,17 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenOutcome> {
         body_digest: fnv1a(&digest_input),
         wall,
         latency,
+        artifact_tiers: fetch_tier_stats(cfg).unwrap_or_default(),
     })
+}
+
+/// Fetches the server's per-tier cache statistics with one `status`
+/// round trip on a fresh connection. Best-effort: any failure yields
+/// `None` rather than failing the measured load run.
+fn fetch_tier_stats(cfg: &LoadgenConfig) -> Option<Vec<TierStatus>> {
+    let mut client = Client::connect(cfg.addr.as_str()).ok()?;
+    let resp = client.request(&Request::bare("loadgen-status", Op::Status)).ok()?;
+    Some(resp.status?.artifact_tiers)
 }
 
 /// One connection's closed loop.
@@ -395,6 +430,32 @@ mod tests {
         assert!(t.mismatches.is_empty());
         t.record_body("a", "body2".into());
         assert_eq!(t.mismatches.len(), 1);
+    }
+
+    #[test]
+    fn tier_table_renders_in_order_and_hides_when_absent() {
+        assert_eq!(render_tier_table(&[]), "");
+        let tiers = vec![
+            TierStatus {
+                stage: "place".into(),
+                entries: 2,
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+            },
+            TierStatus {
+                stage: "report".into(),
+                entries: 5,
+                hits: 0,
+                misses: 5,
+                evictions: 0,
+            },
+        ];
+        let table = render_tier_table(&tiers);
+        let place = table.find("place").expect("place row");
+        let report = table.find("report").expect("report row");
+        assert!(place < report, "rows keep pipeline order");
+        assert!(table.starts_with("artifact cache (per tier):"));
     }
 
     #[test]

@@ -458,6 +458,29 @@ pub struct StatusBody {
     pub cache_hits: usize,
     /// Generation-cache misses since start.
     pub cache_misses: usize,
+    /// Per-tier artifact-cache statistics, in pipeline order. `default`
+    /// so clients tolerate status bodies from older servers.
+    #[serde(default)]
+    pub artifact_tiers: Vec<TierStatus>,
+}
+
+/// One artifact-cache tier's statistics inside a [`StatusBody`]. Mirrors
+/// `pd_core::artifacts::TierStats` on the wire; like the rest of the
+/// status body these counters are diagnostics, never part of the
+/// byte-identity contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TierStatus {
+    /// Tier stage name (lowercase, e.g. `"place"`).
+    pub stage: String,
+    /// Snapshots currently cached in this tier.
+    pub entries: u64,
+    /// Prefix adoptions credited to this tier since start.
+    pub hits: u64,
+    /// Probes that found nothing at this tier since start.
+    pub misses: u64,
+    /// Snapshots evicted by the per-tier LRU bound since start.
+    pub evictions: u64,
 }
 
 /// One response line. Exactly one of the payload fields is populated on
@@ -784,6 +807,13 @@ mod tests {
                 cache_entries: 2,
                 cache_hits: 5,
                 cache_misses: 2,
+                artifact_tiers: vec![TierStatus {
+                    stage: "place".into(),
+                    entries: 2,
+                    hits: 4,
+                    misses: 3,
+                    evictions: 1,
+                }],
             },
         ));
         round_trip_response(&Response::draining(json!("e")));

@@ -29,11 +29,15 @@
 //!   process-wide queue. At capacity the request is answered immediately
 //!   with a typed [`ERR_OVERLOADED`] rejection — the server's memory is
 //!   bounded by `queue_cap`, not by how fast clients can write.
-//! * **Session caching.** All workers share one process-wide [`GenCache`],
-//!   so repeated queries against the same topology (the interactive
-//!   design-assistant pattern) skip regeneration across connections.
-//!   Caching never changes response bytes — generation is a pure function
-//!   of the spec — it only changes latency.
+//! * **Session caching.** All workers share one process-wide
+//!   [`ArtifactCache`], so repeated queries against the same topology (the
+//!   interactive design-assistant pattern) skip regeneration across
+//!   connections, and queries that share a *prefix* of the pipeline —
+//!   same placement, different fault ensemble — resume from the deepest
+//!   cached stage instead of stage zero. Caching never changes response
+//!   bytes — cached artifacts are byte-identical to recomputation — it
+//!   only changes latency. Per-tier hit/miss/eviction counts are exposed
+//!   through the `status` op.
 //! * **Resilience inheritance.** Every evaluation runs through
 //!   [`evaluate_many_controlled`] under a [`BatchControl`] derived from
 //!   the server config and the request's `deadline_ms`, so per-spec
@@ -56,7 +60,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use pd_core::batch::{evaluate_many_controlled, BatchControl, BatchOptions, GenCache};
+use pd_core::batch::{evaluate_many_controlled, ArtifactCache, BatchControl, BatchOptions};
 use pd_core::resilience::{CancelToken, Deadline, RetryPolicy, WatchdogConfig};
 use pd_core::DesignSpec;
 use pd_metrics::{Counter, Gauge, Histogram};
@@ -242,7 +246,7 @@ impl WaitGroup {
 struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
-    cache: GenCache,
+    cache: Arc<ArtifactCache>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     /// Set once by the first shutdown trigger; never cleared.
@@ -322,9 +326,21 @@ impl Shared {
             workers: self.workers,
             queue_cap: self.cfg.queue_cap,
             draining: self.draining.load(Ordering::Acquire),
-            cache_entries: self.cache.len(),
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.generate().len(),
+            cache_hits: self.cache.generate().hits(),
+            cache_misses: self.cache.generate().misses(),
+            artifact_tiers: self
+                .cache
+                .tier_stats()
+                .into_iter()
+                .map(|t| crate::proto::TierStatus {
+                    stage: t.stage.name().to_string(),
+                    entries: t.entries as u64,
+                    hits: t.hits as u64,
+                    misses: t.misses as u64,
+                    evictions: t.evictions as u64,
+                })
+                .collect(),
         }
     }
 }
@@ -366,10 +382,10 @@ impl Server {
         } else {
             cfg.jobs
         };
-        let cache = match cfg.cache_cap {
-            Some(cap) => GenCache::with_capacity(cap),
-            None => GenCache::new(),
-        };
+        let cache = Arc::new(match cfg.cache_cap {
+            Some(cap) => ArtifactCache::with_capacity(cap),
+            None => ArtifactCache::new(),
+        });
         let shared = Arc::new(Shared {
             cfg,
             addr,
@@ -858,6 +874,7 @@ fn execute(shared: &Shared, job: Job) -> Response {
                 strategy,
                 jobs: 1,
                 cache_capacity: shared.cfg.cache_cap,
+                cache: Some(Arc::clone(&shared.cache)),
                 progress: false,
                 cancel: Some(token),
                 ..SearchConfig::default()

@@ -5,7 +5,7 @@
 //! serializing every report to JSON and comparing the bytes between a
 //! serial run, an 8-way parallel run, and repeated runs.
 
-use physnet::core::batch::{evaluate_many_with_cache, BatchOptions, GenCache};
+use physnet::core::batch::{evaluate_many_with_cache, ArtifactCache, BatchOptions};
 use physnet::prelude::*;
 
 fn quick(name: &str, topo: TopologySpec, seed: u64) -> DesignSpec {
@@ -75,11 +75,13 @@ fn cached_generation_does_not_change_reports() {
 #[test]
 fn shared_topologies_generate_once() {
     let specs = batch();
-    let cache = GenCache::new();
+    let cache = ArtifactCache::new();
     let results = evaluate_many_with_cache(&specs, &BatchOptions::jobs(8), &cache);
     assert!(results.iter().all(Result::is_ok));
     // 5 distinct topology sub-specs across 6 designs: jf-a and jf-b share.
-    assert_eq!(cache.len(), 5);
-    assert_eq!(cache.misses(), 5);
-    assert_eq!(cache.hits(), 1);
+    // (They differ in seed, which the Place tier consumes, so neither can
+    // adopt the other's artifacts and both reach the generation cache.)
+    assert_eq!(cache.generate().len(), 5);
+    assert_eq!(cache.generate().misses(), 5);
+    assert_eq!(cache.generate().hits(), 1);
 }

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use physnet::core::batch::{evaluate_many, evaluate_many_controlled, BatchControl, GenCache};
+use physnet::core::batch::{evaluate_many, evaluate_many_controlled, ArtifactCache, BatchControl};
 use physnet::core::chaos::{ChaosPlan, Injection};
 use physnet::core::prelude::*;
 use physnet::search::prelude::*;
@@ -73,7 +73,7 @@ fn seeded_cancellations_keep_spec_order_and_surviving_bytes_at_any_job_count() {
             let results = evaluate_many_controlled(
                 &specs,
                 &BatchOptions::jobs(jobs),
-                &GenCache::new(),
+                &ArtifactCache::new(),
                 None,
                 &control,
             );
@@ -128,7 +128,7 @@ fn mixed_panic_and_cancel_injections_never_drop_a_slot() {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(jobs),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -174,7 +174,7 @@ fn retry_recovers_injected_panics_byte_identically() {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(jobs),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -212,7 +212,7 @@ fn watchdog_frees_a_stalled_worker_and_retry_recovers() {
     let results = evaluate_many_controlled(
         &specs,
         &BatchOptions::jobs(2),
-        &GenCache::new(),
+        &ArtifactCache::new(),
         None,
         &control,
     );
@@ -246,7 +246,7 @@ fn caller_cancellation_is_graceful_and_typed_everywhere() {
         let results = evaluate_many_controlled(
             &specs,
             &BatchOptions::jobs(jobs),
-            &GenCache::new(),
+            &ArtifactCache::new(),
             None,
             &control,
         );
@@ -278,6 +278,7 @@ fn search_cfg(jobs: usize) -> SearchConfig {
         jobs,
         wave: 2,
         cache_capacity: None,
+        cache: None,
         progress: false,
         cancel: None,
         eval_budget: None,

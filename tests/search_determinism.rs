@@ -29,6 +29,7 @@ fn small_cfg(jobs: usize) -> SearchConfig {
         jobs,
         wave: 2,
         cache_capacity: None,
+        cache: None,
         progress: false,
         cancel: None,
         eval_budget: None,
