@@ -1,0 +1,245 @@
+//! Criterion benches for the dense CSR graph kernels against the
+//! id-keyed implementations they replaced.
+//!
+//! The `reference_*` functions here are verbatim copies of the pre-CSR
+//! `pd_topology::routing` algorithms (HashMap-keyed BFS, ECMP, and
+//! max-flow), kept self-contained in the bench so the comparison survives
+//! the originals' deletion. Every pair measures the same computation:
+//! the CSR side's outputs are checked against the reference's in
+//! `#[test]`-free debug assertions at bench startup, so a drifting kernel
+//! fails loudly rather than timing the wrong work.
+//!
+//! The sweep benches exercise the fault injector's masked-ECMP scenario
+//! evaluation at kernel-jobs 1 (the serial byte-reference) and 4, showing
+//! the intra-evaluation parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pd_cabling::{BundlingReport, CablingPlan, CablingPolicy};
+use pd_core::prelude::*;
+use pd_costing::calib::LaborCalibration;
+use pd_lifecycle::{FaultSweepParams, Injector, RepairSimParams};
+use pd_physical::placement::EquipmentProfile;
+use pd_physical::{Hall, Placement};
+use pd_topology::csr::{self, CsrNet};
+use pd_topology::routing::AllPairs;
+use pd_topology::{LinkId, SwitchId, TrafficMatrix};
+use std::collections::{HashMap, VecDeque};
+use std::hint::black_box;
+
+// ---------------------------------------------------------------------------
+// Pre-CSR reference implementations (verbatim from the old routing module)
+// ---------------------------------------------------------------------------
+
+/// The old `AllPairs::compute` body: per-source BFS over id-keyed
+/// neighbor lookups into a dense matrix.
+fn reference_all_pairs(net: &Network) -> Vec<Vec<u16>> {
+    let ids: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
+    let index: HashMap<SwitchId, usize> = ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let n = ids.len();
+    let mut dist = vec![vec![u16::MAX; n]; n];
+    let mut queue = VecDeque::new();
+    for (i, &src) in ids.iter().enumerate() {
+        dist[i][i] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[i][index[&u]];
+            for v in net.neighbors(u) {
+                let vi = index[&v];
+                if dist[i][vi] == u16::MAX {
+                    dist[i][vi] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// The old `EcmpLoads::compute` body: HashMap-grouped demands, id-keyed
+/// inflow and load accumulators.
+fn reference_ecmp(net: &Network, ap: &AllPairs, tm: &TrafficMatrix) -> HashMap<LinkId, f64> {
+    let mut loads: HashMap<LinkId, f64> = HashMap::new();
+    let mut by_dst: HashMap<SwitchId, Vec<(SwitchId, f64)>> = HashMap::new();
+    for d in tm.demands() {
+        by_dst.entry(d.dst).or_default().push((d.src, d.gbps.value()));
+    }
+    for (dst, sources) in by_dst {
+        let mut order: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
+        order.retain(|&s| ap.distance(s, dst).is_some());
+        order.sort_by_key(|&s| std::cmp::Reverse(ap.distance(s, dst).unwrap_or(u16::MAX)));
+        let mut inflow: HashMap<SwitchId, f64> = HashMap::new();
+        for (src, gbps) in sources {
+            if src != dst && ap.distance(src, dst).is_some() {
+                *inflow.entry(src).or_default() += gbps;
+            }
+        }
+        for &u in &order {
+            if u == dst {
+                continue;
+            }
+            let flow = match inflow.get(&u) {
+                Some(&f) if f > 0.0 => f,
+                _ => continue,
+            };
+            let du = ap.distance(u, dst).expect("filtered reachable");
+            let down: Vec<(LinkId, SwitchId)> = net
+                .incident_links(u)
+                .iter()
+                .filter_map(|&l| {
+                    let link = net.link(l)?;
+                    let v = link.other(u);
+                    (ap.distance(v, dst)? + 1 == du).then_some((l, v))
+                })
+                .collect();
+            if down.is_empty() {
+                continue;
+            }
+            let share = flow / down.len() as f64;
+            for (l, v) in down {
+                *loads.entry(l).or_default() += share;
+                *inflow.entry(v).or_default() += share;
+            }
+        }
+    }
+    loads
+}
+
+/// The old `edge_disjoint_paths` body: HashMap residual capacities and
+/// parent pointers per augmentation.
+fn reference_edge_disjoint(net: &Network, s: SwitchId, t: SwitchId) -> usize {
+    if s == t {
+        return 0;
+    }
+    let mut residual: HashMap<(LinkId, u8), i32> = HashMap::new();
+    for l in net.links() {
+        residual.insert((l.id, 0), 1);
+        residual.insert((l.id, 1), 1);
+    }
+    let mut flow = 0usize;
+    loop {
+        let mut parent: HashMap<SwitchId, (SwitchId, LinkId, u8)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &lid in net.incident_links(u) {
+                let link = match net.link(lid) {
+                    Some(l) => l,
+                    None => continue,
+                };
+                let (v, dir) = if link.a == u {
+                    (link.b, 0u8)
+                } else {
+                    (link.a, 1u8)
+                };
+                if v != s && !parent.contains_key(&v) && residual[&(lid, dir)] > 0 {
+                    parent.insert(v, (u, lid, dir));
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !parent.contains_key(&t) {
+            return flow;
+        }
+        let mut cur = t;
+        while cur != s {
+            let (p, lid, dir) = parent[&cur];
+            *residual.get_mut(&(lid, dir)).expect("inserted") -= 1;
+            *residual.get_mut(&(lid, dir ^ 1)).expect("inserted") += 1;
+            cur = p;
+        }
+        flow += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Benches
+// ---------------------------------------------------------------------------
+
+fn bench_routing_kernels(c: &mut Criterion) {
+    let net = topo_gen::fat_tree(8, Gbps::new(100.0)).expect("gen");
+    let view = CsrNet::build(&net);
+    let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+    let demands = csr::IndexedDemands::build(&view, &tm);
+    let ap = AllPairs::compute_on(&view);
+    let hosts = view.host_switches();
+    let (s_idx, t_idx) = (hosts[0], *hosts.last().expect("hosts"));
+    let (s_id, t_id) = (view.switch_id(s_idx), view.switch_id(t_idx));
+
+    // Same answers before timing: a drifted kernel must not get benched.
+    debug_assert_eq!(reference_all_pairs(&net), csr::all_pairs_dist_with_jobs(&view, 1));
+    debug_assert_eq!(
+        reference_edge_disjoint(&net, s_id, t_id),
+        csr::with_scratch(|sc| csr::max_flow(&view, s_idx, t_idx, None, sc)),
+    );
+
+    let mut g = c.benchmark_group("graph_kernels");
+    g.sample_size(10);
+
+    g.bench_function("csr_build", |b| b.iter(|| CsrNet::build(black_box(&net))));
+
+    g.bench_function("allpairs/reference", |b| {
+        b.iter(|| reference_all_pairs(black_box(&net)))
+    });
+    for jobs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("allpairs/csr", jobs), &jobs, |b, &jobs| {
+            b.iter(|| csr::all_pairs_dist_with_jobs(black_box(&view), jobs))
+        });
+    }
+
+    g.bench_function("ecmp/reference", |b| {
+        b.iter(|| reference_ecmp(black_box(&net), &ap, &tm))
+    });
+    g.bench_function("ecmp/csr", |b| {
+        b.iter(|| csr::with_scratch(|sc| csr::ecmp_evaluate(black_box(&view), &demands, None, sc)))
+    });
+
+    g.bench_function("maxflow/reference", |b| {
+        b.iter(|| reference_edge_disjoint(black_box(&net), s_id, t_id))
+    });
+    g.bench_function("maxflow/csr", |b| {
+        b.iter(|| csr::with_scratch(|sc| csr::max_flow(black_box(&view), s_idx, t_idx, None, sc)))
+    });
+
+    g.finish();
+}
+
+fn bench_fault_sweep(c: &mut Criterion) {
+    let net = topo_gen::fat_tree(8, Gbps::new(100.0)).expect("gen");
+    let hall = Hall::new(HallSpec::default());
+    let placement = Placement::place(
+        &net,
+        &hall,
+        PlacementStrategy::BlockLocal,
+        &EquipmentProfile::default(),
+    )
+    .expect("place");
+    let plan = CablingPlan::build(&net, &hall, &placement, &CablingPolicy::default());
+    let bundling = BundlingReport::analyze(&plan, 4);
+    let calib = LaborCalibration::default();
+    let repair = RepairSimParams::default();
+    let inj = Injector::new(&net, &hall, &placement, &plan, &bundling, &calib, &repair);
+
+    let params = FaultSweepParams {
+        scenarios: 16,
+        max_domains: 2,
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("graph_kernels_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(params.scenarios as u64));
+    for jobs in [1usize, 4] {
+        csr::set_kernel_jobs(jobs);
+        g.bench_with_input(BenchmarkId::new("sweep/kernel_jobs", jobs), &params, |b, params| {
+            b.iter(|| inj.sweep(black_box(params)))
+        });
+    }
+    csr::set_kernel_jobs(1);
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing_kernels, bench_fault_sweep);
+criterion_main!(benches);

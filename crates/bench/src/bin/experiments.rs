@@ -58,7 +58,7 @@ fn main() {
         } else if arg == "--trace" {
             trace = true;
         } else if common.consume(&arg, &mut args) {
-            // --spec-timeout / --deadline / --retries / --metrics
+            // --spec-timeout / --deadline / --retries / --kernel-jobs / --metrics
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -76,8 +76,8 @@ fn main() {
                 println!("  {name:<4} {desc}");
             }
             println!(
-                "\nusage: experiments <e1..e20 | all> [--jobs N] [--trace] [--metrics] \
-                 [--spec-timeout DUR] [--deadline DUR] [--retries N]"
+                "\nusage: experiments <e1..e20 | all> [--jobs N] [--kernel-jobs N] \
+                 [--trace] [--metrics] [--spec-timeout DUR] [--deadline DUR] [--retries N]"
             );
         }
         Some("all") => {

@@ -22,18 +22,26 @@
 //! pass. The run fails (exit 1) if the two passes' `"counts"` sections
 //! are not byte-identical — caching must be invisible in deterministic
 //! output — or if the warm pass was not at least as fast in total.
+//!
+//! `--kernels` measures the dense graph kernels in isolation (CSR
+//! construction, all-pairs BFS, ECMP, max-flow, masked-ECMP failure
+//! sweep) on each matrix network and writes `BENCH_KERNELS.json` in the
+//! same schema, so `--baseline`/`--threshold` work unchanged. Kernel
+//! parallelism comes from the shared `--kernel-jobs` flag; output digests
+//! are byte-identical at every setting.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use pd_bench::cli::{parse, parse_list, write_atomic, CommonFlags};
-use pd_bench::perf::{diff, run, run_warm, PerfConfig};
+use pd_bench::cli::{emit_metrics_table, parse, parse_list, write_atomic, CommonFlags};
+use pd_bench::perf::{diff, run, run_kernels, run_warm, PerfConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--families a,b,...] [--sizes n,m,...] [--jobs N] \
          [--repeats N] [--clones N] [--seed N] [--out PATH] \
-         [--baseline PATH] [--threshold F] [--warm] [--metrics] [--quiet] \
+         [--baseline PATH] [--threshold F] [--warm] [--kernels] \
+         [--kernel-jobs N] [--metrics] [--quiet] \
          [--spec-timeout DUR] [--deadline DUR] [--retries N]\n\
          families: fat-tree, folded-clos, leaf-spine, jellyfish, xpander, \
          slimfly, flat-bf, fatclique, direct-connect"
@@ -41,12 +49,48 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Atomically writes the JSON document, exiting 1 on I/O failure.
+fn write_report(doc: &serde_json::Value, out_path: &Path) {
+    let pretty = serde_json::to_string_pretty(doc).expect("serialize report");
+    if let Err(e) = write_atomic(out_path, &(pretty + "\n")) {
+        eprintln!("perf: cannot write {}: {e}", out_path.display());
+        exit(1);
+    }
+    println!("report: {}", out_path.display());
+}
+
+/// Diffs `doc` against the baseline file, exiting 1 on any regression.
+fn compare_baseline(doc: &serde_json::Value, base_path: &Path, threshold: f64) {
+    let base: serde_json::Value = std::fs::read_to_string(base_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        .unwrap_or_else(|e| {
+            eprintln!("perf: cannot read baseline {}: {e}", base_path.display());
+            exit(1)
+        });
+    let outcome = diff(doc, &base, threshold);
+    println!("\nbaseline comparison (threshold {:.0}%):", threshold * 100.0);
+    for line in &outcome.lines {
+        println!("  {line}");
+    }
+    if !outcome.passed() {
+        eprintln!(
+            "perf: {} regression(s) beyond {:.0}%",
+            outcome.regressions.len(),
+            threshold * 100.0
+        );
+        exit(1);
+    }
+    println!("baseline comparison passed");
+}
+
 fn main() {
     let mut cfg = PerfConfig::default();
-    let mut out_path = PathBuf::from("BENCH_PIPELINE.json");
+    let mut out_path: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut threshold = 0.20f64;
     let mut warm = false;
+    let mut kernels = false;
     let mut common = CommonFlags::new();
 
     let mut args = std::env::args().skip(1);
@@ -58,12 +102,13 @@ fn main() {
             "--repeats" => cfg.repeats = parse("--repeats", args.next()),
             "--clones" => cfg.clones = parse("--clones", args.next()),
             "--seed" => cfg.seed = parse("--seed", args.next()),
-            "--out" => out_path = PathBuf::from(parse::<String>("--out", args.next())),
+            "--out" => out_path = Some(PathBuf::from(parse::<String>("--out", args.next()))),
             "--baseline" => {
                 baseline = Some(PathBuf::from(parse::<String>("--baseline", args.next())))
             }
             "--threshold" => threshold = parse("--threshold", args.next()),
             "--warm" => warm = true,
+            "--kernels" => kernels = true,
             "--quiet" => cfg.progress = false,
             "--help" | "-h" => usage(),
             other => {
@@ -78,6 +123,27 @@ fn main() {
         eprintln!("--sizes needs at least one size");
         usage()
     }
+
+    if kernels {
+        let report = run_kernels(&cfg).unwrap_or_else(|e| {
+            eprintln!("perf: {e}");
+            usage()
+        });
+        print!("{}", report.render_table());
+        let doc = report.to_json();
+        write_report(
+            &doc,
+            &out_path.unwrap_or_else(|| PathBuf::from("BENCH_KERNELS.json")),
+        );
+        if common.metrics {
+            emit_metrics_table();
+        }
+        if let Some(base_path) = baseline {
+            compare_baseline(&doc, &base_path, threshold);
+        }
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| PathBuf::from("BENCH_PIPELINE.json"));
 
     let report = if warm {
         let outcome = run_warm(&cfg).unwrap_or_else(|e| {
@@ -113,12 +179,7 @@ fn main() {
     };
 
     let doc = report.to_json();
-    let pretty = serde_json::to_string_pretty(&doc).expect("serialize report");
-    if let Err(e) = write_atomic(&out_path, &(pretty + "\n")) {
-        eprintln!("perf: cannot write {}: {e}", out_path.display());
-        exit(1);
-    }
-    println!("report: {}", out_path.display());
+    write_report(&doc, &out_path);
 
     if common.metrics {
         eprintln!("\nglobal metrics (this run):");
@@ -126,26 +187,6 @@ fn main() {
     }
 
     if let Some(base_path) = baseline {
-        let base: serde_json::Value = std::fs::read_to_string(&base_path)
-            .map_err(|e| e.to_string())
-            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
-            .unwrap_or_else(|e| {
-                eprintln!("perf: cannot read baseline {}: {e}", base_path.display());
-                exit(1)
-            });
-        let outcome = diff(&doc, &base, threshold);
-        println!("\nbaseline comparison (threshold {:.0}%):", threshold * 100.0);
-        for line in &outcome.lines {
-            println!("  {line}");
-        }
-        if !outcome.passed() {
-            eprintln!(
-                "perf: {} regression(s) beyond {:.0}%",
-                outcome.regressions.len(),
-                threshold * 100.0
-            );
-            exit(1);
-        }
-        println!("baseline comparison passed");
+        compare_baseline(&doc, &base_path, threshold);
     }
 }

@@ -3,8 +3,10 @@
 //! Every binary in this crate speaks the same resilience and
 //! observability dialect: `--spec-timeout` / `--deadline` / `--retries`
 //! set the process-wide batch-engine defaults
-//! ([`pd_core::resilience`]), and `--metrics` prints the global
-//! [`pd_metrics`] registry table on exit. This module is the single
+//! ([`pd_core::resilience`]), `--kernel-jobs` sets the intra-evaluation
+//! graph-kernel parallelism ([`pd_topology::csr::set_kernel_jobs`] —
+//! byte-identical output at every setting), and `--metrics` prints the
+//! global [`pd_metrics`] registry table on exit. This module is the single
 //! implementation the `experiments`, `search`, `perf`, `serve`,
 //! `client`, and `loadgen` bins share, instead of six hand-rolled
 //! copies drifting apart.
@@ -68,9 +70,11 @@ pub fn emit_metrics_table() {
     }
 }
 
-/// The flag quartet shared by every bin that drives the batch engine:
+/// The flag set shared by every bin that drives the batch engine:
 /// `--spec-timeout DUR`, `--deadline DUR`, `--retries N` (process-wide
-/// resilience defaults) and `--metrics` (registry table on exit).
+/// resilience defaults), `--kernel-jobs N` (intra-evaluation graph-kernel
+/// parallelism; `0` = one per core, `1` = serial, bytes identical either
+/// way) and `--metrics` (registry table on exit).
 #[derive(Debug, Default)]
 pub struct CommonFlags {
     /// Whether `--metrics` was given.
@@ -85,7 +89,7 @@ impl CommonFlags {
 
     /// Tries to consume `arg` (pulling its value from `args` when the
     /// flag takes one). Returns whether the argument was one of the
-    /// shared quartet; the caller handles its own flags otherwise.
+    /// shared set; the caller handles its own flags otherwise.
     pub fn consume(&mut self, arg: &str, args: &mut impl Iterator<Item = String>) -> bool {
         match arg {
             "--spec-timeout" => {
@@ -97,6 +101,9 @@ impl CommonFlags {
             "--retries" => {
                 let extra: u32 = parse("--retries", args.next());
                 set_global_retry(RetryPolicy::attempts(extra + 1));
+            }
+            "--kernel-jobs" => {
+                pd_topology::csr::set_kernel_jobs(parse("--kernel-jobs", args.next()));
             }
             "--metrics" => self.metrics = true,
             _ => return false,
@@ -129,11 +136,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn common_flags_recognize_exactly_the_quartet() {
+    fn common_flags_recognize_exactly_the_shared_set() {
         let mut flags = CommonFlags::new();
         let mut none = std::iter::empty::<String>();
         assert!(flags.consume("--metrics", &mut none));
         assert!(flags.metrics);
+        let mut one = std::iter::once("1".to_string());
+        assert!(flags.consume("--kernel-jobs", &mut one));
+        assert_eq!(pd_topology::csr::kernel_jobs(), 1);
         assert!(!flags.consume("--jobs", &mut none));
         assert!(!flags.consume("--quiet", &mut none));
         assert!(!flags.consume("metrics", &mut none));

@@ -24,8 +24,10 @@ use std::time::Instant;
 
 use pd_core::batch::{evaluate_many, evaluate_many_with_cache, ArtifactCache, BatchOptions};
 use pd_core::compare::all_families;
-use pd_core::design::DesignSpec;
+use pd_core::design::{DesignSpec, TopologySpec};
 use pd_geometry::Gbps;
+use pd_topology::csr::{self, CsrNet};
+use pd_topology::TrafficMatrix;
 use serde_json::{json, Map, Value};
 
 /// The perf matrix and its knobs.
@@ -149,25 +151,7 @@ fn run_pass(cfg: &PerfConfig, cache: Option<&ArtifactCache>) -> Result<PerfRepor
 
     for &size in &cfg.sizes {
         let menu = all_families(size, Gbps::new(100.0), cfg.seed);
-        let picked: Vec<&(String, pd_core::design::TopologySpec)> = if cfg.families.is_empty() {
-            menu.iter().collect()
-        } else {
-            let mut picked = Vec::new();
-            for want in &cfg.families {
-                match menu.iter().find(|(name, _)| name == want) {
-                    Some(entry) => picked.push(entry),
-                    None => {
-                        let known: Vec<&str> =
-                            menu.iter().map(|(n, _)| n.as_str()).collect();
-                        return Err(format!(
-                            "unknown family {want:?}; known: {}",
-                            known.join(", ")
-                        ));
-                    }
-                }
-            }
-            picked
-        };
+        let picked = pick_families(&menu, &cfg.families)?;
 
         for (family, topo) in picked {
             let specs: Vec<DesignSpec> = (0..clones)
@@ -234,6 +218,28 @@ fn run_pass(cfg: &PerfConfig, cache: Option<&ArtifactCache>) -> Result<PerfRepor
         seed: cfg.seed,
         snapshot: pd_metrics::global().snapshot(),
     })
+}
+
+/// Resolves `want` against the family menu, or the whole menu when empty;
+/// unknown names get the full list in the error.
+fn pick_families<'a>(
+    menu: &'a [(String, TopologySpec)],
+    want: &[String],
+) -> Result<Vec<&'a (String, TopologySpec)>, String> {
+    if want.is_empty() {
+        return Ok(menu.iter().collect());
+    }
+    let mut picked = Vec::new();
+    for name in want {
+        match menu.iter().find(|(n, _)| n == name) {
+            Some(entry) => picked.push(entry),
+            None => {
+                let known: Vec<&str> = menu.iter().map(|(n, _)| n.as_str()).collect();
+                return Err(format!("unknown family {name:?}; known: {}", known.join(", ")));
+            }
+        }
+    }
+    Ok(picked)
 }
 
 impl PerfReport {
@@ -471,6 +477,222 @@ pub fn diff(new: &Value, old: &Value, threshold: f64) -> DiffOutcome {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Graph-kernel micro-benchmarks (`perf --kernels`)
+// ---------------------------------------------------------------------------
+
+/// Masked-ECMP samples the `sweep` kernel cell evaluates (a fixed, small
+/// count so the CI smoke stays quick; the cell identity does not encode
+/// it, so changing it requires a baseline refresh).
+const SWEEP_SAMPLES: usize = 8;
+
+/// One measured graph kernel on one (family, size) network: a
+/// deterministic output digest plus per-repeat wall times.
+///
+/// In the JSON document the cell's `"family"` field is the composite
+/// `kernel/family` (e.g. `allpairs/fat-tree`), so [`diff`] keys kernel
+/// cells exactly like pipeline cells.
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// Kernel name: `csrbuild`, `allpairs`, `ecmp`, `maxflow`, `sweep`.
+    pub kernel: String,
+    /// Family name from [`all_families`].
+    pub family: String,
+    /// The matrix size the network was built for.
+    pub target_servers: usize,
+    /// Deterministic digest of the kernel's output (distance sums, float
+    /// bit patterns, flow values). The kernel determinism contract says
+    /// this is identical at any `--kernel-jobs` value, so digest drift
+    /// against a baseline means a behavior change, not scheduling.
+    pub checksum: u64,
+    /// Wall time of each repeat, in nanoseconds, in run order.
+    pub wall_ns: Vec<u64>,
+}
+
+impl KernelCell {
+    /// Median wall time (lower middle, always an observed sample).
+    pub fn median_wall_ns(&self) -> u64 {
+        let mut v = self.wall_ns.clone();
+        v.sort_unstable();
+        v.get(v.len().saturating_sub(1) / 2).copied().unwrap_or(0)
+    }
+
+    /// Fastest repeat.
+    pub fn min_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// A `perf --kernels` run: per-kernel cells over the same family matrix
+/// the pipeline workload uses.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// One entry per (kernel, family, size), kernels innermost.
+    pub cells: Vec<KernelCell>,
+    /// The `--kernel-jobs` value in effect during the run.
+    pub kernel_jobs: usize,
+    /// Repeats per cell.
+    pub repeats: usize,
+    /// Seed the seeded families used.
+    pub seed: u64,
+}
+
+impl KernelReport {
+    /// The `BENCH_KERNELS.json` document, in the same
+    /// `counts`/`diagnostics` shape as [`PerfReport::to_json`] so
+    /// [`diff`] compares either kind. Checksums live under `counts`
+    /// (byte-stable at any `--kernel-jobs`); wall times under
+    /// `diagnostics`.
+    pub fn to_json(&self) -> Value {
+        let count_cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                json!({
+                    "family": format!("{}/{}", c.kernel, c.family),
+                    "target_servers": c.target_servers,
+                    "checksum": c.checksum,
+                })
+            })
+            .collect();
+        let timing_cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                json!({
+                    "family": format!("{}/{}", c.kernel, c.family),
+                    "target_servers": c.target_servers,
+                    "median_wall_ns": c.median_wall_ns(),
+                    "min_wall_ns": c.min_wall_ns(),
+                })
+            })
+            .collect();
+        json!({
+            "schema": "pd-bench-kernels/1",
+            "counts": {
+                "cells": count_cells,
+                "seed": self.seed,
+            },
+            "diagnostics": {
+                "cells": timing_cells,
+                "kernel_jobs": self.kernel_jobs,
+                "repeats": self.repeats,
+            },
+        })
+    }
+
+    /// Human-readable per-cell table (stderr-friendly).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>8} {:>12} {:>12} {:>18}\n",
+            "kernel", "family", "servers", "median ms", "min ms", "checksum"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<10} {:<14} {:>8} {:>12.3} {:>12.3} {:>18x}\n",
+                c.kernel,
+                c.family,
+                c.target_servers,
+                c.median_wall_ns() as f64 / 1e6,
+                c.min_wall_ns() as f64 / 1e6,
+                c.checksum,
+            ));
+        }
+        out
+    }
+}
+
+/// Measures the dense graph kernels in isolation — CSR construction,
+/// all-pairs BFS, ECMP flow splitting, max-flow path diversity, and the
+/// masked-ECMP failure sweep — on each (family, size) network of the
+/// matrix, outside the pipeline (no placement, costing, or caching in the
+/// measurement). `cfg.jobs` is unused; the kernels honor the process-wide
+/// `--kernel-jobs` knob ([`pd_topology::csr::set_kernel_jobs`]).
+pub fn run_kernels(cfg: &PerfConfig) -> Result<KernelReport, String> {
+    let repeats = cfg.repeats.max(1);
+    let mut cells = Vec::new();
+
+    for &size in &cfg.sizes {
+        let menu = all_families(size, Gbps::new(100.0), cfg.seed);
+        for (family, topo) in pick_families(&menu, &cfg.families)? {
+            let net = topo
+                .build()
+                .map_err(|e| format!("{family}@{size}: {e:?}"))?;
+            let view = CsrNet::build(&net);
+            let tm = TrafficMatrix::uniform_servers(&net, Gbps::new(1.0));
+            let demands = csr::IndexedDemands::build(&view, &tm);
+            let hosts = view.host_switches();
+
+            let mut measure = |kernel: &str, f: &mut dyn FnMut() -> u64| {
+                let mut cell = KernelCell {
+                    kernel: kernel.to_string(),
+                    family: family.clone(),
+                    target_servers: size,
+                    checksum: 0,
+                    wall_ns: Vec::with_capacity(repeats),
+                };
+                for rep in 0..repeats {
+                    let started = Instant::now();
+                    let digest = f();
+                    cell.wall_ns.push(started.elapsed().as_nanos() as u64);
+                    if rep == 0 {
+                        cell.checksum = digest;
+                    }
+                }
+                if cfg.progress {
+                    eprintln!(
+                        "[perf] {kernel:<10} {family:<14} {size:>6} servers: median {:>9.3} ms over {repeats} repeat(s)",
+                        cell.median_wall_ns() as f64 / 1e6,
+                    );
+                }
+                cells.push(cell);
+            };
+
+            measure("csrbuild", &mut || {
+                let v = CsrNet::build(&net);
+                ((v.switch_count() as u64) << 32) | v.link_count() as u64
+            });
+            measure("allpairs", &mut || {
+                let dist = csr::all_pairs_dist(&view);
+                dist.iter()
+                    .flat_map(|row| row.iter())
+                    .filter(|&&d| d != csr::UNREACHABLE)
+                    .map(|&d| u64::from(d))
+                    .sum()
+            });
+            measure("ecmp", &mut || {
+                let out = csr::with_scratch(|s| csr::ecmp_evaluate(&view, &demands, None, s));
+                out.max_utilization.to_bits().wrapping_add(out.routable as u64)
+            });
+            if hosts.len() >= 2 {
+                let (s, t) = (hosts[0], *hosts.last().expect("nonempty"));
+                measure("maxflow", &mut || {
+                    csr::with_scratch(|sc| csr::max_flow(&view, s, t, None, sc)) as u64
+                });
+            }
+            measure("sweep", &mut || {
+                pd_topology::metrics::failure_resilience_on(
+                    &net,
+                    &view,
+                    0.10,
+                    SWEEP_SAMPLES,
+                    cfg.seed,
+                )
+                .mean_retention
+                .to_bits()
+            });
+        }
+    }
+
+    Ok(KernelReport {
+        cells,
+        kernel_jobs: csr::kernel_jobs(),
+        repeats,
+        seed: cfg.seed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +799,29 @@ mod tests {
         assert!(d.regressions[0].contains("+50.0%"), "{:?}", d.regressions);
         // +10%: inside the threshold.
         assert!(diff(&doc(1_100_000), &base, 0.20).passed());
+    }
+
+    #[test]
+    fn kernel_report_is_deterministic_and_diffs_clean() {
+        let cfg = tiny_cfg();
+        let a = run_kernels(&cfg).expect("kernel run");
+        let b = run_kernels(&cfg).expect("kernel run");
+        assert!(!a.cells.is_empty());
+        let digests = |r: &KernelReport| {
+            r.cells
+                .iter()
+                .map(|c| (c.kernel.clone(), c.checksum))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digests(&a), digests(&b), "kernel digests drifted between runs");
+        // A huge threshold ignores timing jitter; digest drift would
+        // still fail, so a clean diff pins the determinism contract.
+        let d = diff(&a.to_json(), &b.to_json(), 1_000.0);
+        assert!(d.passed(), "{:?}", d.regressions);
+        let doc = a.to_json();
+        assert!(doc["counts"]["cells"][0].get("checksum").is_some());
+        assert!(doc["counts"]["cells"][0].get("median_wall_ns").is_none());
+        assert!(doc["diagnostics"]["cells"][0].get("median_wall_ns").is_some());
     }
 
     #[test]

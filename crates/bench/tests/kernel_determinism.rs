@@ -1,0 +1,43 @@
+//! Cross-process pin of the kernel determinism contract.
+//!
+//! The CSR kernels fixed a real hazard: the old ECMP accumulator iterated
+//! a `HashMap` while summing `f64` loads, so two *processes* (different
+//! `RandomState` seeds) could disagree in the last float bit even though
+//! each process was self-consistent. In-process tests cannot catch that
+//! class of bug — both runs share one hash seed — so this test spawns the
+//! `experiments` binary in fresh subprocesses and asserts byte-identical
+//! stdout across processes *and* across `--kernel-jobs` settings.
+//!
+//! `e6` drives the full goodness pipeline (all-pairs BFS, ECMP, sampled
+//! bisection and max-flow) over every topology family, which is exactly
+//! the surface the old hazard lived on.
+
+use std::process::Command;
+
+/// Runs `experiments e6` in a fresh subprocess and returns its stdout.
+fn run_e6(kernel_jobs: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["e6", "--jobs", "2", "--kernel-jobs", kernel_jobs])
+        .output()
+        .expect("spawn experiments");
+    assert!(
+        out.status.success(),
+        "experiments e6 --kernel-jobs {kernel_jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "e6 produced no output");
+    out.stdout
+}
+
+#[test]
+fn e6_stdout_is_byte_identical_across_processes_and_kernel_jobs() {
+    let serial = run_e6("1");
+    for jobs in ["1", "4", "0"] {
+        let other = run_e6(jobs);
+        assert_eq!(
+            serial, other,
+            "experiments e6 stdout drifted between processes \
+             (--kernel-jobs 1 vs --kernel-jobs {jobs})"
+        );
+    }
+}

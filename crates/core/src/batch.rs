@@ -218,6 +218,12 @@ pub struct BatchControl {
     pub watchdog: Option<WatchdogConfig>,
     /// Chaos injection plan (tests only; `None` in production).
     pub chaos: Option<Arc<ChaosPlan>>,
+    /// Intra-evaluation kernel parallelism: when nonzero, the batch sets
+    /// the process-wide [`pd_topology::csr::set_kernel_jobs`] knob before
+    /// running (0 leaves the global untouched). Kernel results are
+    /// byte-identical at every job count, so this is purely a latency
+    /// knob — `1` (the process default) is the serial byte-reference.
+    pub kernel_jobs: usize,
 }
 
 impl BatchControl {
@@ -232,6 +238,7 @@ impl BatchControl {
             retry: global_retry().unwrap_or_else(RetryPolicy::none),
             watchdog: None,
             chaos: None,
+            kernel_jobs: 0,
         }
     }
 }
@@ -464,6 +471,9 @@ pub fn evaluate_many_controlled(
     trace: Option<&StageTrace>,
     control: &BatchControl,
 ) -> Vec<Result<Evaluation, EvalError>> {
+    if control.kernel_jobs > 0 {
+        pd_topology::csr::set_kernel_jobs(control.kernel_jobs);
+    }
     let jobs = opts.effective_jobs(specs.len());
     let metrics = batch_metrics();
     if !specs.is_empty() {

@@ -67,7 +67,8 @@ use pd_lifecycle::expansion::{clos_add_pods, flat_add_tor, ClosExpansionParams, 
 use pd_lifecycle::faults::{FaultSweepReport, Injector};
 use pd_lifecycle::{LifecycleComplexity, RepairSimReport};
 use pd_physical::{Hall, Placement};
-use pd_topology::metrics::{goodness, GoodnessParams, GoodnessReport};
+use pd_topology::csr::CsrNet;
+use pd_topology::metrics::{goodness_on, GoodnessParams, GoodnessReport};
 use pd_topology::{Network, SwitchRole};
 use pd_twin::{check_design, CapabilityEnvelope, DesignFacts, EnvelopeCheck, Severity, Violation};
 
@@ -395,6 +396,11 @@ pub struct StageState<'a> {
     /// Index (into [`Stage::ALL`]) of the next stage to run.
     next: usize,
     network: Option<Network>,
+    /// Dense CSR view of `network`, built lazily the first time a kernel
+    /// stage (Faults, Goodness) needs it and shared between them via
+    /// `Arc`. Invalidated whenever `network` changes: snapshot adoption
+    /// and the flat-ToR expansion probe.
+    csr: Option<Arc<CsrNet>>,
     hall: Option<Hall>,
     placement: Option<Placement>,
     cabling: Option<CablingPlan>,
@@ -436,6 +442,7 @@ impl<'a> StageState<'a> {
             quiet: false,
             next: 0,
             network: None,
+            csr: None,
             hall: None,
             placement: None,
             cabling: None,
@@ -723,6 +730,7 @@ impl<'a> StageState<'a> {
     /// byte-identical on every deterministic surface.
     fn adopt(&mut self, depth: Stage, snap: &Snapshot) {
         self.network = snap.network.clone();
+        self.csr = None;
         self.hall = snap.hall.clone();
         self.placement = snap.placement.clone();
         self.cabling = snap.cabling.clone();
@@ -758,6 +766,17 @@ impl<'a> StageState<'a> {
             }
         }
         self.next = depth.index() + 1;
+    }
+
+    /// The dense [`CsrNet`] view of the current network, built on first
+    /// use and shared (via `Arc`) by every kernel stage until the network
+    /// changes.
+    fn shared_csr(&mut self) -> Arc<CsrNet> {
+        if self.csr.is_none() {
+            let net = self.network.as_ref().expect(ARTIFACT);
+            self.csr = Some(Arc::new(CsrNet::build(net)));
+        }
+        Arc::clone(self.csr.as_ref().expect("just built"))
     }
 
     /// After `stage` completes, stores a snapshot of every artifact so
@@ -984,18 +1003,24 @@ impl<'a> StageState<'a> {
                 // Correlated fault injection (§3.3), on the as-built
                 // network: this stage is ordered before `Expansion`, which
                 // mutates the network for flat-ToR growth.
-                let faults = (spec.fault_scenarios.scenarios > 0).then(|| {
-                    Injector::new(
-                        self.network.as_ref().expect(ARTIFACT),
-                        self.hall.as_ref().expect(ARTIFACT),
-                        self.placement.as_ref().expect(ARTIFACT),
-                        self.cabling.as_ref().expect(ARTIFACT),
-                        self.bundling.as_ref().expect(ARTIFACT),
-                        &spec.schedule.calib,
-                        &spec.repair,
+                let faults = if spec.fault_scenarios.scenarios > 0 {
+                    let view = self.shared_csr();
+                    Some(
+                        Injector::with_shared_csr(
+                            self.network.as_ref().expect(ARTIFACT),
+                            self.hall.as_ref().expect(ARTIFACT),
+                            self.placement.as_ref().expect(ARTIFACT),
+                            self.cabling.as_ref().expect(ARTIFACT),
+                            self.bundling.as_ref().expect(ARTIFACT),
+                            &spec.schedule.calib,
+                            &spec.repair,
+                            view,
+                        )
+                        .sweep(&spec.fault_scenarios),
                     )
-                    .sweep(&spec.fault_scenarios)
-                });
+                } else {
+                    None
+                };
                 let produced = faults.as_ref().map_or(0, |f| f.scenarios as u64);
                 self.faults = Some(faults);
                 Ok(produced)
@@ -1007,6 +1032,9 @@ impl<'a> StageState<'a> {
                     self.hall.as_ref().expect(ARTIFACT),
                     self.placement.as_ref().expect(ARTIFACT),
                 );
+                // The flat-ToR probe mutates the network in place; any
+                // cached dense view is stale from here on.
+                self.csr = None;
                 let produced = expansion.as_ref().map_or(0, |c| c.rewiring_steps as u64);
                 self.expansion = Some(expansion);
                 Ok(produced)
@@ -1028,18 +1056,21 @@ impl<'a> StageState<'a> {
                 Ok(produced)
             }
             Stage::Goodness => {
+                let view = self.shared_csr();
                 let net = self.network.as_ref().expect(ARTIFACT);
                 let resilience = (spec.resilience_samples > 0).then(|| {
-                    pd_topology::metrics::failure_resilience(
+                    pd_topology::metrics::failure_resilience_on(
                         net,
+                        &view,
                         0.10,
                         spec.resilience_samples,
                         spec.seed,
                     )
                     .mean_retention
                 });
-                let good = goodness(
+                let good = goodness_on(
                     net,
+                    &view,
                     &GoodnessParams {
                         seed: spec.seed,
                         ..GoodnessParams::default()

@@ -37,11 +37,12 @@ use pd_cabling::{BundlingReport, CablingPlan};
 use pd_costing::calib::LaborCalibration;
 use pd_geometry::{Gbps, Hours, Meters, RouteEdgeId};
 use pd_physical::{FeedId, Hall, Placement, SlotId};
+use pd_topology::csr::{self, CsrNet, IndexedDemands, Masks};
 use pd_topology::gen::SplitMix64;
-use pd_topology::routing::{AllPairs, EcmpLoads};
 use pd_topology::{LinkId, Network, SwitchId, TrafficMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One physically-derived failure domain.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -240,10 +241,12 @@ struct FaultSet {
 /// design and evaluates degraded states.
 ///
 /// Construction precomputes the healthy baseline (uniform traffic matrix,
-/// ECMP throughput scale, total capacity) and the deterministic domain
-/// orderings (tray segments by load, bundles by size), so repeated
-/// [`Injector::inject`] calls — the sweep's hot path — pay only for the
-/// degraded-state evaluation.
+/// ECMP throughput scale, total capacity), a dense [`CsrNet`] view of the
+/// network, and the deterministic domain orderings (tray segments by load,
+/// bundles by size), so repeated [`Injector::inject`] calls — the sweep's
+/// hot path — pay only for the degraded-state evaluation, which runs as
+/// masked kernels on the shared view instead of cloning and mutating the
+/// `Network`.
 pub struct Injector<'a> {
     net: &'a Network,
     hall: &'a Hall,
@@ -251,6 +254,10 @@ pub struct Injector<'a> {
     plan: &'a CablingPlan,
     calib: &'a LaborCalibration,
     repair: &'a RepairSimParams,
+    /// Dense view of `net`, shareable with the executor's other stages.
+    csr: Arc<CsrNet>,
+    /// The uniform traffic matrix lowered onto `csr`'s index space.
+    demands: IndexedDemands,
     tm: TrafficMatrix,
     healthy_scale: f64,
     total_capacity: f64,
@@ -272,9 +279,34 @@ impl<'a> Injector<'a> {
         calib: &'a LaborCalibration,
         repair: &'a RepairSimParams,
     ) -> Self {
+        let view = Arc::new(CsrNet::build(net));
+        Self::with_shared_csr(net, hall, placement, plan, bundling, calib, repair, view)
+    }
+
+    /// As [`Injector::new`], reusing a dense view the caller already built
+    /// for `net` (the staged executor threads one [`CsrNet`] through the
+    /// Goodness and Faults stages).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shared_csr(
+        net: &'a Network,
+        hall: &'a Hall,
+        placement: &'a Placement,
+        plan: &'a CablingPlan,
+        bundling: &'a BundlingReport,
+        calib: &'a LaborCalibration,
+        repair: &'a RepairSimParams,
+        view: Arc<CsrNet>,
+    ) -> Self {
+        debug_assert_eq!(
+            view.switch_count(),
+            net.switch_count(),
+            "shared CsrNet must be built from the same network"
+        );
         let tm = TrafficMatrix::uniform_servers(net, Gbps::new(1.0));
-        let ap = AllPairs::compute(net);
-        let healthy_scale = EcmpLoads::compute(net, &ap, &tm).throughput_scale(net);
+        let demands = IndexedDemands::build(&view, &tm);
+        let healthy_scale = csr::with_scratch(|scratch| {
+            csr::ecmp_evaluate(&view, &demands, None, scratch).throughput_scale()
+        });
         let total_capacity = net.links().map(|l| l.capacity().value()).sum();
 
         let mut tray_order: Vec<(RouteEdgeId, Vec<LinkId>)> =
@@ -313,6 +345,8 @@ impl<'a> Injector<'a> {
             plan,
             calib,
             repair,
+            csr: view,
+            demands,
             tm,
             healthy_scale,
             total_capacity,
@@ -451,44 +485,45 @@ impl<'a> Injector<'a> {
             1.0
         };
 
-        // Degraded network for routing analysis.
-        let mut broken = self.net.clone();
+        // Degraded evaluation: mask the failed elements on the shared dense
+        // view — no Network clone, no element removal. One masked ECMP
+        // kernel yields both the routable-demand count and the degraded
+        // throughput scale; the largest-component sweep reuses the same
+        // masks and scratch.
+        let mut masks = Masks::healthy(&self.csr);
         for &s in &set.switches {
-            let _ = broken.remove_switch(s);
+            if let Some(i) = self.csr.switch_idx(s) {
+                masks.switch_alive[i as usize] = false;
+            }
         }
         for &l in &links_down {
-            let _ = broken.remove_link(l);
+            if let Some(i) = self.csr.link_idx(l) {
+                masks.link_alive[i as usize] = false;
+            }
         }
-
-        let ap = AllPairs::compute(&broken);
-        let total_pairs = self.tm.demands().len();
-        let routable = self
-            .tm
-            .demands()
-            .iter()
-            .filter(|d| ap.distance(d.src, d.dst).is_some())
-            .count();
-        let healthy_ok = self.healthy_scale.is_finite() && self.healthy_scale > 0.0;
-        let throughput_retention = if total_pairs == 0 || !healthy_ok {
-            // No server traffic to degrade: fall back to the capacity view.
-            capacity_retention
-        } else if routable == 0 {
-            0.0
-        } else {
-            let scale =
-                EcmpLoads::compute(&broken, &ap, &self.tm).throughput_scale(&broken);
-            let per_pair = if scale.is_finite() {
-                (scale / self.healthy_scale).min(1.0)
+        let (throughput_retention, disconnected_servers) = csr::with_scratch(|scratch| {
+            let outcome = csr::ecmp_evaluate(&self.csr, &self.demands, Some(&masks), scratch);
+            let total_pairs = self.demands.total;
+            let healthy_ok = self.healthy_scale.is_finite() && self.healthy_scale > 0.0;
+            let throughput_retention = if total_pairs == 0 || !healthy_ok {
+                // No server traffic to degrade: fall back to the capacity view.
+                capacity_retention
+            } else if outcome.routable == 0 {
+                0.0
             } else {
-                1.0
+                let scale = outcome.throughput_scale();
+                let per_pair = if scale.is_finite() {
+                    (scale / self.healthy_scale).min(1.0)
+                } else {
+                    1.0
+                };
+                per_pair * (outcome.routable as f64 / total_pairs as f64)
             };
-            per_pair * (routable as f64 / total_pairs as f64)
-        };
-
-        let disconnected_servers = self
-            .net
-            .server_count()
-            .saturating_sub(largest_component_servers(&broken));
+            let disconnected = self.net.server_count().saturating_sub(
+                csr::largest_component_servers(&self.csr, Some(&masks), scratch),
+            );
+            (throughput_retention, disconnected)
+        });
 
         // Recovery plan, priced by the repair calibration: a chassis swap
         // per downed switch, a card swap per failed linecard, a cable
@@ -535,32 +570,29 @@ impl<'a> Injector<'a> {
     /// distribution; each physical scenario is paired with a random-link
     /// scenario of equal failed-link count to measure the
     /// physical-vs-logical resilience gap.
+    ///
+    /// Scenarios are independent, so they fan out over
+    /// [`csr::kernel_jobs`] worker threads in contiguous index chunks
+    /// (each worker reuses its thread-local [`csr`] scratch); every
+    /// scenario writes its own result slot and the statistics are then
+    /// accumulated serially in scenario order, so the report is
+    /// byte-identical at any `--kernel-jobs` setting.
     pub fn sweep(&self, params: &FaultSweepParams) -> FaultSweepReport {
+        self.sweep_with_jobs(params, csr::kernel_jobs())
+    }
+
+    /// [`Injector::sweep`] with an explicit worker count (tests pin the
+    /// jobs-independence contract with this).
+    fn sweep_with_jobs(&self, params: &FaultSweepParams, jobs: usize) -> FaultSweepReport {
         let started = std::time::Instant::now();
         let n = params.scenarios.max(1);
         let links_total = self.net.link_count().max(1);
 
-        let mut cap_sum = 0.0;
-        let mut cap_worst = 1.0f64;
-        let mut tput_sum = 0.0;
-        let mut tput_worst = 1.0f64;
-        let mut disc_sum = 0.0;
-        let mut disc_worst = 0u32;
-        let mut hours_sum = Hours::ZERO;
-        let mut gap_sum = 0.0;
-
-        for i in 0..n {
+        // Scenario i → (degraded state, equal-magnitude logical baseline
+        // throughput retention).
+        let eval_one = |i: usize| -> (DegradedState, f64) {
             let scenario = FaultScenario::random(params.seed, i, params.max_domains);
             let d = self.inject(&scenario);
-
-            cap_sum += d.capacity_retention;
-            cap_worst = cap_worst.min(d.capacity_retention);
-            tput_sum += d.throughput_retention;
-            tput_worst = tput_worst.min(d.throughput_retention);
-            disc_sum += f64::from(d.disconnected_servers);
-            disc_worst = disc_worst.max(d.disconnected_servers);
-            hours_sum += d.recovery_hours;
-
             // Equal-magnitude logical baseline: the same number of failed
             // links, chosen uniformly at random.
             let fraction = d.links_down.len() as f64 / links_total as f64;
@@ -571,7 +603,49 @@ impl<'a> Injector<'a> {
                     seed: params.seed ^ 0xBA5E11AE ^ (i as u64),
                 },
             ));
-            gap_sum += baseline.throughput_retention - d.throughput_retention;
+            (d, baseline.throughput_retention)
+        };
+
+        let jobs = jobs.clamp(1, n);
+        let results: Vec<(DegradedState, f64)> = if jobs <= 1 {
+            (0..n).map(eval_one).collect()
+        } else {
+            let mut slots: Vec<Option<(DegradedState, f64)>> = Vec::new();
+            slots.resize_with(n, || None);
+            let chunk = n.div_ceil(jobs);
+            std::thread::scope(|s| {
+                for (ci, out) in slots.chunks_mut(chunk).enumerate() {
+                    let eval_one = &eval_one;
+                    s.spawn(move || {
+                        for (k, slot) in out.iter_mut().enumerate() {
+                            *slot = Some(eval_one(ci * chunk + k));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every scenario slot filled"))
+                .collect()
+        };
+
+        let mut cap_sum = 0.0;
+        let mut cap_worst = 1.0f64;
+        let mut tput_sum = 0.0;
+        let mut tput_worst = 1.0f64;
+        let mut disc_sum = 0.0;
+        let mut disc_worst = 0u32;
+        let mut hours_sum = Hours::ZERO;
+        let mut gap_sum = 0.0;
+        for (d, baseline_tput) in &results {
+            cap_sum += d.capacity_retention;
+            cap_worst = cap_worst.min(d.capacity_retention);
+            tput_sum += d.throughput_retention;
+            tput_worst = tput_worst.min(d.throughput_retention);
+            disc_sum += f64::from(d.disconnected_servers);
+            disc_worst = disc_worst.max(d.disconnected_servers);
+            hours_sum += d.recovery_hours;
+            gap_sum += baseline_tput - d.throughput_retention;
         }
 
         let metrics = sweep_metrics();
@@ -613,30 +687,6 @@ fn sweep_metrics() -> &'static SweepMetrics {
             wall_ns: reg.diagnostic_counter("faults.sweep.wall_ns"),
         }
     })
-}
-
-/// Server mass of the largest connected component of `net`.
-fn largest_component_servers(net: &Network) -> u32 {
-    let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
-    let mut best = 0u32;
-    for s in net.switches() {
-        if seen.contains(&s.id) {
-            continue;
-        }
-        let mut mass = 0u32;
-        let mut stack = vec![s.id];
-        seen.insert(s.id);
-        while let Some(u) = stack.pop() {
-            mass += net.switch(u).map(|sw| u32::from(sw.server_ports)).unwrap_or(0);
-            for v in net.neighbors(u) {
-                if seen.insert(v) {
-                    stack.push(v);
-                }
-            }
-        }
-        best = best.max(mass);
-    }
-    best
 }
 
 #[cfg(test)]
@@ -837,5 +887,25 @@ mod tests {
         assert!((0.0..=1.0).contains(&a.mean_capacity_retention));
         assert!((0.0..=1.0).contains(&a.mean_throughput_retention));
         assert!(a.resilience_gap.abs() <= 1.0);
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_at_any_job_count() {
+        let f = fixture();
+        let inj = f.injector();
+        let params = FaultSweepParams {
+            scenarios: 5,
+            max_domains: 2,
+            seed: 13,
+        };
+        let serial = inj.sweep_with_jobs(&params, 1);
+        for jobs in [2, 4, 9] {
+            let parallel = inj.sweep_with_jobs(&params, jobs);
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "sweep diverged at jobs={jobs}"
+            );
+        }
     }
 }

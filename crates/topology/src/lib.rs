@@ -17,12 +17,17 @@
 //!   and an ECMP throughput proxy under configurable [`traffic`] matrices.
 //! * [`routing`]: BFS all-pairs distances, exact ECMP flow splitting, Yen's
 //!   k-shortest paths.
+//! * [`csr`]: the dense compressed-sparse-row kernel engine the routing and
+//!   goodness layers run on — index-based BFS / ECMP / max-flow / cut
+//!   kernels with reusable scratch, alive-masks for degraded evaluation,
+//!   and index-ordered float accumulation so results are byte-stable.
 //!
 //! Everything is deterministic given an explicit seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod gen;
 pub mod interop;
 pub mod metrics;

@@ -5,9 +5,10 @@
 //! The headline experiment (E6) computes these side-by-side with the
 //! physical-deployability metrics to show how the two rankings diverge.
 
+use crate::csr::{self, CsrNet, Masks};
 use crate::gen::SplitMix64;
 use crate::network::{Network, SwitchId};
-use crate::routing::{edge_disjoint_paths, AllPairs, EcmpLoads};
+use crate::routing::{AllPairs, EcmpLoads};
 use crate::traffic::TrafficMatrix;
 use pd_geometry::Gbps;
 use serde::{Deserialize, Serialize};
@@ -64,9 +65,16 @@ impl Default for GoodnessParams {
 
 /// Computes the full goodness report.
 pub fn goodness(net: &Network, params: &GoodnessParams) -> GoodnessReport {
-    let ap = AllPairs::compute(net);
+    goodness_on(net, &CsrNet::build(net), params)
+}
+
+/// As [`goodness`], but on a prebuilt [`CsrNet`] of the same network so the
+/// executor can thread one dense view through every kernel of an
+/// evaluation (all-pairs BFS, ECMP, bisection cuts, max-flow sampling).
+pub fn goodness_on(net: &Network, view: &CsrNet, params: &GoodnessParams) -> GoodnessReport {
+    let ap = AllPairs::compute_on(view);
     let tm = TrafficMatrix::uniform_servers(net, Gbps::new(1.0));
-    let loads = EcmpLoads::compute(net, &ap, &tm);
+    let loads = EcmpLoads::compute_on(view, &ap, &tm);
     let scale = loads.throughput_scale(net);
     let servers = net.server_count();
     let host_switches: Vec<SwitchId> = net
@@ -85,14 +93,10 @@ pub fn goodness(net: &Network, params: &GoodnessParams) -> GoodnessReport {
     };
 
     let mut rng = SplitMix64::new(params.seed);
-    let bisection_per_server = sampled_bisection(net, params.bisection_samples, &mut rng);
+    let bisection_per_server = sampled_bisection_on(view, params.bisection_samples, &mut rng);
 
-    let min_edge_disjoint_paths = sampled_min_disjoint(
-        net,
-        &host_switches,
-        params.disjoint_pairs,
-        &mut rng,
-    );
+    let min_edge_disjoint_paths =
+        sampled_min_disjoint_on(view, params.disjoint_pairs, &mut rng);
 
     GoodnessReport {
         label: net.label.clone(),
@@ -118,37 +122,37 @@ pub fn goodness(net: &Network, params: &GoodnessParams) -> GoodnessReport {
 /// (NP-hard) is out of reach, and sampling noise is controlled by the seed
 /// so comparisons across topologies are reproducible.
 pub fn sampled_bisection(net: &Network, samples: usize, rng: &mut SplitMix64) -> f64 {
-    let hosts: Vec<SwitchId> = net
-        .switches()
-        .filter(|s| s.server_ports > 0)
-        .map(|s| s.id)
-        .collect();
+    sampled_bisection_on(&CsrNet::build(net), samples, rng)
+}
+
+/// As [`sampled_bisection`], on a prebuilt [`CsrNet`]. Each sampled cut is
+/// one shuffle of the host index list plus one dense BFS side-assignment
+/// ([`csr::cut_capacity`]): transit switches join the side from which BFS
+/// first reaches them, and the crossing capacity is summed in link index
+/// order — RNG consumption and results match the id-based version this
+/// replaces.
+pub fn sampled_bisection_on(view: &CsrNet, samples: usize, rng: &mut SplitMix64) -> f64 {
+    let hosts = view.host_switches();
     if hosts.len() < 2 {
         return 0.0;
     }
-    let server_speed = net
-        .switches()
-        .find(|s| s.server_ports > 0)
-        .map(|s| s.port_speed.value())
-        .unwrap_or(1.0);
-    let full = f64::from(net.server_count()) / 2.0 * server_speed;
+    let server_speed = view.switch_port_speed(hosts[0]);
+    let full = f64::from(view.server_count()) / 2.0 * server_speed;
 
-    let mut best = f64::INFINITY;
-    for _ in 0..samples.max(1) {
-        let mut shuffled = hosts.clone();
-        rng.shuffle(&mut shuffled);
-        let half: std::collections::HashSet<SwitchId> =
-            shuffled[..shuffled.len() / 2].iter().copied().collect();
-        // Grow the side assignment to non-host switches: assign each to the
-        // side of the majority of its host-side BFS attachment; simplest
-        // robust approach is min-cut-free: count only links with both
-        // endpoints decided (host switches) plus estimate through-capacity
-        // via max-flow would be exact but expensive. We instead compute the
-        // cut in the *whole* graph by assigning non-host switches greedily
-        // to balance, which for hierarchical networks underestimates less.
-        let cut = cut_capacity(net, &half, &hosts);
-        best = best.min(cut);
-    }
+    let mut side_a = vec![false; view.switch_count()];
+    let best = csr::with_scratch(|scratch| {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let mut shuffled = hosts.clone();
+            rng.shuffle(&mut shuffled);
+            side_a.fill(false);
+            for &h in &shuffled[..shuffled.len() / 2] {
+                side_a[h as usize] = true;
+            }
+            best = best.min(csr::cut_capacity(view, &hosts, &side_a, scratch));
+        }
+        best
+    });
     if full > 0.0 {
         best / full
     } else {
@@ -156,66 +160,29 @@ pub fn sampled_bisection(net: &Network, samples: usize, rng: &mut SplitMix64) ->
     }
 }
 
-/// Capacity crossing a host partition, with non-host (transit) switches
-/// assigned to sides by BFS proximity: each transit switch joins the side
-/// from which it is first reached (ties → side A). This mimics how a real
-/// bisection argument assigns spine capacity to halves.
-fn cut_capacity(
-    net: &Network,
-    side_a_hosts: &std::collections::HashSet<SwitchId>,
-    hosts: &[SwitchId],
-) -> f64 {
-    use std::collections::{HashMap, VecDeque};
-    let mut side: HashMap<SwitchId, bool> = HashMap::new();
-    let mut queue = VecDeque::new();
-    for &h in hosts {
-        let a = side_a_hosts.contains(&h);
-        side.insert(h, a);
-        queue.push_back(h);
-    }
-    while let Some(u) = queue.pop_front() {
-        let su = side[&u];
-        for v in net.neighbors(u) {
-            if let std::collections::hash_map::Entry::Vacant(e) = side.entry(v) {
-                e.insert(su);
-                queue.push_back(v);
-            }
-        }
-    }
-    net.links()
-        .filter(|l| {
-            let (Some(&sa), Some(&sb)) = (side.get(&l.a), side.get(&l.b)) else {
-                return false;
-            };
-            sa != sb
-        })
-        .map(|l| l.capacity().value())
-        .sum()
-}
-
-fn sampled_min_disjoint(
-    net: &Network,
-    hosts: &[SwitchId],
-    pairs: usize,
-    rng: &mut SplitMix64,
-) -> usize {
+/// Minimum edge-disjoint path count over sampled host pairs, as
+/// unit-capacity max-flow on the shared dense view.
+fn sampled_min_disjoint_on(view: &CsrNet, pairs: usize, rng: &mut SplitMix64) -> usize {
+    let hosts = view.host_switches();
     if hosts.len() < 2 {
         return 0;
     }
-    let mut min = usize::MAX;
-    for _ in 0..pairs.max(1) {
-        let a = hosts[rng.below(hosts.len())];
-        let mut b = hosts[rng.below(hosts.len())];
-        while b == a {
-            b = hosts[rng.below(hosts.len())];
+    csr::with_scratch(|scratch| {
+        let mut min = usize::MAX;
+        for _ in 0..pairs.max(1) {
+            let a = hosts[rng.below(hosts.len())];
+            let mut b = hosts[rng.below(hosts.len())];
+            while b == a {
+                b = hosts[rng.below(hosts.len())];
+            }
+            min = min.min(csr::max_flow(view, a, b, None, scratch));
         }
-        min = min.min(edge_disjoint_paths(net, a, b));
-    }
-    if min == usize::MAX {
-        0
-    } else {
-        min
-    }
+        if min == usize::MAX {
+            0
+        } else {
+            min
+        }
+    })
 }
 
 /// For a `d`-regular network (counting network links only), estimates the
@@ -393,58 +360,69 @@ pub fn failure_resilience(
     samples: usize,
     seed: u64,
 ) -> ResilienceReport {
-    use crate::routing::{AllPairs, EcmpLoads};
-    use crate::traffic::TrafficMatrix;
+    failure_resilience_on(net, &CsrNet::build(net), fail_fraction, samples, seed)
+}
 
+/// As [`failure_resilience`], on a prebuilt [`CsrNet`]. Each sample masks
+/// the failed links on the shared dense view ([`Masks`]) instead of cloning
+/// the network and removing them; one masked ECMP evaluation yields both
+/// the disconnect check (`routable < total demands`) and the degraded
+/// throughput scale. The link shuffle consumes the RNG exactly as before,
+/// so per-seed results remain stable.
+pub fn failure_resilience_on(
+    net: &Network,
+    view: &CsrNet,
+    fail_fraction: f64,
+    samples: usize,
+    seed: u64,
+) -> ResilienceReport {
     let tm = TrafficMatrix::uniform_servers(net, Gbps::new(1.0));
-    let ap0 = AllPairs::compute(net);
-    let healthy = EcmpLoads::compute(net, &ap0, &tm).throughput_scale(net);
+    let demands = csr::IndexedDemands::build(view, &tm);
 
-    let link_ids: Vec<crate::network::LinkId> = net.links().map(|l| l.id).collect();
-    let fail_count = ((link_ids.len() as f64) * fail_fraction).round() as usize;
+    let fail_count = ((view.link_count() as f64) * fail_fraction).round() as usize;
     let mut rng = SplitMix64::new(seed);
+    let mut masks = Masks::healthy(view);
 
-    let mut retained_sum = 0.0;
-    let mut retained_n = 0usize;
-    let mut worst = f64::INFINITY;
-    let mut disconnects = 0usize;
-    for _ in 0..samples.max(1) {
-        let mut ids = link_ids.clone();
-        rng.shuffle(&mut ids);
-        let mut broken = net.clone();
-        for l in ids.into_iter().take(fail_count) {
-            let _ = broken.remove_link(l);
+    csr::with_scratch(|scratch| {
+        let healthy = csr::ecmp_evaluate(view, &demands, None, scratch).throughput_scale();
+
+        let mut retained_sum = 0.0;
+        let mut retained_n = 0usize;
+        let mut worst = f64::INFINITY;
+        let mut disconnects = 0usize;
+        for _ in 0..samples.max(1) {
+            let mut ids: Vec<u32> = (0..view.link_count() as u32).collect();
+            rng.shuffle(&mut ids);
+            masks.link_alive.fill(true);
+            for &l in ids.iter().take(fail_count) {
+                masks.link_alive[l as usize] = false;
+            }
+            let outcome = csr::ecmp_evaluate(view, &demands, Some(&masks), scratch);
+            if outcome.routable < demands.total {
+                disconnects += 1;
+                worst = 0.0;
+                continue;
+            }
+            let retention = if healthy > 0.0 && healthy.is_finite() {
+                (outcome.throughput_scale() / healthy).min(1.0)
+            } else {
+                0.0
+            };
+            retained_sum += retention;
+            retained_n += 1;
+            worst = worst.min(retention);
         }
-        let ap = AllPairs::compute(&broken);
-        let disconnected = tm
-            .demands()
-            .iter()
-            .any(|d| ap.distance(d.src, d.dst).is_none());
-        if disconnected {
-            disconnects += 1;
-            worst = 0.0;
-            continue;
+        ResilienceReport {
+            fail_fraction,
+            mean_retention: if retained_n == 0 {
+                0.0
+            } else {
+                retained_sum / retained_n as f64
+            },
+            worst_retention: if worst.is_finite() { worst } else { 0.0 },
+            disconnect_fraction: disconnects as f64 / samples.max(1) as f64,
         }
-        let scale = EcmpLoads::compute(&broken, &ap, &tm).throughput_scale(&broken);
-        let retention = if healthy > 0.0 && healthy.is_finite() {
-            (scale / healthy).min(1.0)
-        } else {
-            0.0
-        };
-        retained_sum += retention;
-        retained_n += 1;
-        worst = worst.min(retention);
-    }
-    ResilienceReport {
-        fail_fraction,
-        mean_retention: if retained_n == 0 {
-            0.0
-        } else {
-            retained_sum / retained_n as f64
-        },
-        worst_retention: if worst.is_finite() { worst } else { 0.0 },
-        disconnect_fraction: disconnects as f64 / samples.max(1) as f64,
-    }
+    })
 }
 
 #[cfg(test)]

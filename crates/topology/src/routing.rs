@@ -4,11 +4,15 @@
 //!
 //! These are the "traditional metrics of network goodness" machinery (paper
 //! §1) — the abstraction layer whose blind spots the rest of the toolkit
-//! exists to illuminate.
+//! exists to illuminate. The hot kernels (all-pairs BFS, ECMP splitting,
+//! max-flow) run on the dense [`crate::csr`] engine; the types here keep
+//! their id-based public shapes and the `compute_on` variants let callers
+//! share one prebuilt [`CsrNet`] across kernels.
 
+use crate::csr::{self, CsrNet};
 use crate::network::{LinkId, Network, SwitchId};
 use crate::traffic::TrafficMatrix;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Dense all-pairs hop-count distances, with a stable switch-id ⇄ index map.
 #[derive(Debug, Clone)]
@@ -23,27 +27,19 @@ impl AllPairs {
     /// Runs BFS from every switch. `O(V·(V+E))`, fine for the scales the
     /// experiments use (≤ a few thousand switches).
     pub fn compute(net: &Network) -> Self {
-        let ids: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
+        Self::compute_on(&CsrNet::build(net))
+    }
+
+    /// As [`AllPairs::compute`], but on a prebuilt [`CsrNet`] so the dense
+    /// view can be shared with the other kernels. Rows fan out over
+    /// [`csr::kernel_jobs`] worker threads in contiguous index chunks; each
+    /// row is written by exactly one worker and BFS distances are
+    /// schedule-invariant, so the matrix is byte-identical at any setting.
+    pub fn compute_on(view: &CsrNet) -> Self {
+        let ids: Vec<SwitchId> = view.switch_ids().to_vec();
         let index: HashMap<SwitchId, usize> =
             ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-        let n = ids.len();
-        let mut dist = vec![vec![u16::MAX; n]; n];
-        let mut queue = VecDeque::new();
-        for (i, &src) in ids.iter().enumerate() {
-            dist[i][i] = 0;
-            queue.clear();
-            queue.push_back(src);
-            while let Some(u) = queue.pop_front() {
-                let du = dist[i][index[&u]];
-                for v in net.neighbors(u) {
-                    let vi = index[&v];
-                    if dist[i][vi] == u16::MAX {
-                        dist[i][vi] = du + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
-        }
+        let dist = csr::all_pairs_dist(view);
         Self { ids, index, dist }
     }
 
@@ -130,54 +126,31 @@ impl EcmpLoads {
     /// at every switch, flow toward a destination divides equally among all
     /// next hops that lie on some shortest path.
     pub fn compute(net: &Network, ap: &AllPairs, tm: &TrafficMatrix) -> Self {
-        let mut loads: HashMap<LinkId, f64> = HashMap::new();
-        // Group demands by destination so each (dst) BFS field is reused.
-        let mut by_dst: HashMap<SwitchId, Vec<(SwitchId, f64)>> = HashMap::new();
-        for d in tm.demands() {
-            by_dst.entry(d.dst).or_default().push((d.src, d.gbps.value()));
-        }
-        for (dst, sources) in by_dst {
-            // Process switches in decreasing distance-to-dst order,
-            // accumulating through-flow per switch.
-            let mut order: Vec<SwitchId> = net.switches().map(|s| s.id).collect();
-            order.retain(|&s| ap.distance(s, dst).is_some());
-            order.sort_by_key(|&s| std::cmp::Reverse(ap.distance(s, dst).unwrap_or(u16::MAX)));
-            let mut inflow: HashMap<SwitchId, f64> = HashMap::new();
-            for (src, gbps) in sources {
-                if src != dst && ap.distance(src, dst).is_some() {
-                    *inflow.entry(src).or_default() += gbps;
-                }
-            }
-            for &u in &order {
-                if u == dst {
-                    continue;
-                }
-                let flow = match inflow.get(&u) {
-                    Some(&f) if f > 0.0 => f,
-                    _ => continue,
-                };
-                let du = ap.distance(u, dst).expect("filtered reachable");
-                // Downhill links: neighbor strictly closer to dst.
-                let down: Vec<(LinkId, SwitchId)> = net
-                    .incident_links(u)
-                    .iter()
-                    .filter_map(|&l| {
-                        let link = net.link(l)?;
-                        let v = link.other(u);
-                        (ap.distance(v, dst)? + 1 == du).then_some((l, v))
-                    })
-                    .collect();
-                if down.is_empty() {
-                    continue; // isolated inconsistency; skip rather than panic
-                }
-                let share = flow / down.len() as f64;
-                for (l, v) in down {
-                    *loads.entry(l).or_default() += share;
-                    *inflow.entry(v).or_default() += share;
-                }
-            }
-        }
-        Self { link_load: loads }
+        Self::compute_on(&CsrNet::build(net), ap, tm)
+    }
+
+    /// As [`compute`](Self::compute), on a prebuilt [`CsrNet`].
+    ///
+    /// Destinations are processed in increasing switch-index order, each
+    /// destination's switches in decreasing distance (counting sort, ties
+    /// by index), and all load/inflow accumulation runs over dense
+    /// index/adjacency-ordered arrays — the float-sum order is fixed by
+    /// construction, so loads are byte-stable across processes. (The
+    /// previous implementation iterated a `by_dst: HashMap` in RandomState
+    /// order while summing `f64` shares.)
+    pub fn compute_on(view: &CsrNet, ap: &AllPairs, tm: &TrafficMatrix) -> Self {
+        debug_assert_eq!(view.switch_ids(), &ap.ids[..], "CSR/AllPairs index spaces differ");
+        let demands = csr::IndexedDemands::build(view, tm);
+        let link_load = csr::with_scratch(|scratch| {
+            csr::ecmp_with_distances(view, &demands, &ap.dist, scratch);
+            csr::take_loads(view, scratch)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, v)| v > 0.0)
+                .map(|(l, v)| (view.link_id(l as u32), v))
+                .collect()
+        });
+        Self { link_load }
     }
 
     /// Maximum link utilization given each link's capacity; `0.0` for an
@@ -209,54 +182,11 @@ impl EcmpLoads {
 /// max-flow (BFS augmentation; each undirected link is one unit of capacity
 /// in either direction, as in standard Menger analysis).
 pub fn edge_disjoint_paths(net: &Network, s: SwitchId, t: SwitchId) -> usize {
-    if s == t {
+    let view = CsrNet::build(net);
+    let (Some(si), Some(ti)) = (view.switch_idx(s), view.switch_idx(t)) else {
         return 0;
-    }
-    // Residual capacity per (link, direction): direction 0 = a→b, 1 = b→a.
-    let mut residual: HashMap<(LinkId, u8), i32> = HashMap::new();
-    for l in net.links() {
-        residual.insert((l.id, 0), 1);
-        residual.insert((l.id, 1), 1);
-    }
-    let mut flow = 0usize;
-    loop {
-        // BFS in the residual graph.
-        let mut parent: HashMap<SwitchId, (SwitchId, LinkId, u8)> = HashMap::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            if u == t {
-                break;
-            }
-            for &lid in net.incident_links(u) {
-                let link = match net.link(lid) {
-                    Some(l) => l,
-                    None => continue,
-                };
-                let (v, dir) = if link.a == u {
-                    (link.b, 0u8)
-                } else {
-                    (link.a, 1u8)
-                };
-                if v != s && !parent.contains_key(&v) && residual[&(lid, dir)] > 0 {
-                    parent.insert(v, (u, lid, dir));
-                    queue.push_back(v);
-                }
-            }
-        }
-        if !parent.contains_key(&t) {
-            return flow;
-        }
-        // Augment by 1 along the path.
-        let mut cur = t;
-        while cur != s {
-            let (p, lid, dir) = parent[&cur];
-            *residual.get_mut(&(lid, dir)).expect("inserted") -= 1;
-            *residual.get_mut(&(lid, dir ^ 1)).expect("inserted") += 1;
-            cur = p;
-        }
-        flow += 1;
-    }
+    };
+    csr::with_scratch(|scratch| csr::max_flow(&view, si, ti, None, scratch))
 }
 
 /// A simple path through the network, as a switch sequence.
@@ -272,20 +202,50 @@ impl Path {
 
 /// Yen's algorithm: up to `k` loop-free shortest paths from `s` to `t` by
 /// hop count, in nondecreasing length order.
+///
+/// Candidate management is a hash set of every path ever enqueued (replacing
+/// two linear `contains` scans) plus a binary heap keyed on hop count
+/// (replacing a full re-sort per iteration) — `O(log n)` per candidate
+/// instead of `O(n log n)`, with the selection order of the quadratic
+/// version reproduced exactly: minimum hops first, ties broken toward the
+/// most recently inserted candidate (what stable-sort-descending + `pop()`
+/// used to yield).
 pub fn k_shortest_paths(net: &Network, s: SwitchId, t: SwitchId, k: usize) -> Vec<Path> {
     let Some(first) = bfs_path(net, s, t, &Default::default(), &Default::default()) else {
         return Vec::new();
     };
+
+    /// Max-heap entry ordered so `pop()` yields fewest hops, ties toward
+    /// the largest insertion sequence number.
+    #[derive(PartialEq, Eq)]
+    struct Cand {
+        hops: usize,
+        seq: usize,
+        path: Path,
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.hops.cmp(&self.hops).then(self.seq.cmp(&other.seq))
+        }
+    }
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut seen: HashSet<Vec<SwitchId>> = HashSet::new();
+    seen.insert(first.0.clone());
     let mut found = vec![first];
-    let mut candidates: Vec<Path> = Vec::new();
+    let mut candidates: BinaryHeap<Cand> = BinaryHeap::new();
+    let mut seq = 0usize;
     while found.len() < k {
         let last = found.last().expect("non-empty").clone();
         for i in 0..last.0.len() - 1 {
             let spur = last.0[i];
             let root = &last.0[..=i];
             // Ban edges used by previously found paths sharing this root.
-            let mut banned_edges: std::collections::HashSet<(SwitchId, SwitchId)> =
-                Default::default();
+            let mut banned_edges: HashSet<(SwitchId, SwitchId)> = Default::default();
             for p in &found {
                 if p.0.len() > i + 1 && p.0[..=i] == *root {
                     let (a, b) = (p.0[i], p.0[i + 1]);
@@ -294,20 +254,26 @@ pub fn k_shortest_paths(net: &Network, s: SwitchId, t: SwitchId, k: usize) -> Ve
                 }
             }
             // Ban root nodes except the spur itself.
-            let banned_nodes: std::collections::HashSet<SwitchId> =
-                root[..i].iter().copied().collect();
+            let banned_nodes: HashSet<SwitchId> = root[..i].iter().copied().collect();
             if let Some(tail) = bfs_path(net, spur, t, &banned_nodes, &banned_edges) {
                 let mut full = root[..i].to_vec();
                 full.extend(tail.0);
-                let cand = Path(full);
-                if !found.contains(&cand) && !candidates.contains(&cand) {
-                    candidates.push(cand);
+                // `seen` covers found ∪ pending: every popped candidate
+                // moves into `found`, so one membership test replaces both
+                // of the old linear scans.
+                if seen.insert(full.clone()) {
+                    let path = Path(full);
+                    candidates.push(Cand {
+                        hops: path.hops(),
+                        seq,
+                        path,
+                    });
+                    seq += 1;
                 }
             }
         }
-        candidates.sort_by_key(|p| std::cmp::Reverse(p.hops()));
         match candidates.pop() {
-            Some(best) => found.push(best),
+            Some(best) => found.push(best.path),
             None => break,
         }
     }
@@ -472,6 +438,70 @@ mod tests {
         // ToRs; the first four returned must all be 4 hops.
         assert!(paths.len() >= 4);
         assert!(paths[..4].iter().all(|p| p.hops() == 4));
+    }
+
+    /// The pre-optimization quadratic Yen implementation (linear `contains`
+    /// scans + full re-sort per iteration), kept verbatim as a behavioral
+    /// oracle for the heap-based version.
+    fn k_shortest_reference(net: &Network, s: SwitchId, t: SwitchId, k: usize) -> Vec<Path> {
+        let Some(first) = bfs_path(net, s, t, &Default::default(), &Default::default()) else {
+            return Vec::new();
+        };
+        let mut found = vec![first];
+        let mut candidates: Vec<Path> = Vec::new();
+        while found.len() < k {
+            let last = found.last().expect("non-empty").clone();
+            for i in 0..last.0.len() - 1 {
+                let spur = last.0[i];
+                let root = &last.0[..=i];
+                let mut banned_edges: HashSet<(SwitchId, SwitchId)> = Default::default();
+                for p in &found {
+                    if p.0.len() > i + 1 && p.0[..=i] == *root {
+                        let (a, b) = (p.0[i], p.0[i + 1]);
+                        banned_edges.insert((a, b));
+                        banned_edges.insert((b, a));
+                    }
+                }
+                let banned_nodes: HashSet<SwitchId> = root[..i].iter().copied().collect();
+                if let Some(tail) = bfs_path(net, spur, t, &banned_nodes, &banned_edges) {
+                    let mut full = root[..i].to_vec();
+                    full.extend(tail.0);
+                    let cand = Path(full);
+                    if !found.contains(&cand) && !candidates.contains(&cand) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            candidates.sort_by_key(|p| std::cmp::Reverse(p.hops()));
+            match candidates.pop() {
+                Some(best) => found.push(best),
+                None => break,
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn k_shortest_matches_quadratic_reference() {
+        let n = fat_tree(4, speed()).unwrap();
+        let tors: Vec<_> = n
+            .switches()
+            .filter(|s| s.role == SwitchRole::Tor)
+            .map(|s| s.id)
+            .collect();
+        for (s, t, k) in [
+            (tors[0], tors[7], 8),
+            (tors[0], tors[1], 5),
+            (tors[2], tors[6], 12),
+            (tors[3], tors[4], 1),
+            (tors[0], tors[0], 3),
+        ] {
+            assert_eq!(
+                k_shortest_paths(&n, s, t, k),
+                k_shortest_reference(&n, s, t, k),
+                "divergence at s={s} t={t} k={k}"
+            );
+        }
     }
 
     #[test]
